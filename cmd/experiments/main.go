@@ -1,0 +1,74 @@
+// Command experiments regenerates every figure of the paper and the
+// quantitative tables for its §5 claims (see DESIGN.md §4 for the index
+// and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	experiments                 # everything
+//	experiments -only fig2      # one artifact: fig1a fig1b fig2 fig3 t1..t6
+//	experiments -seeds 50       # more executions per table cell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"weakrace/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		only   = fs.String("only", "", "run a single artifact: fig1a, fig1b, fig2, fig3, t1..t9")
+		seeds  = fs.Int("seeds", 20, "executions per table cell")
+		gtSeed = fs.Int("gt-seeds", 200, "SC samples for Theorem 4.2 ground truth")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg := experiments.Config{Seeds: *seeds, GroundTruthSeeds: *gtSeed}
+
+	runners := map[string]func(io.Writer) error{
+		"fig1a": experiments.Figure1a,
+		"fig1b": experiments.Figure1b,
+		"fig2": func(w io.Writer) error {
+			_, err := experiments.Figure2(w)
+			return err
+		},
+		"fig3": experiments.Figure3,
+		"t1":   func(w io.Writer) error { return experiments.Table1(w, cfg) },
+		"t2":   func(w io.Writer) error { return experiments.Table2(w, cfg) },
+		"t3":   func(w io.Writer) error { return experiments.Table3(w, cfg) },
+		"t4":   func(w io.Writer) error { return experiments.Table4(w, cfg) },
+		"t5":   func(w io.Writer) error { return experiments.Table5(w, cfg) },
+		"t6":   func(w io.Writer) error { return experiments.Table6(w, cfg) },
+		"t7":   func(w io.Writer) error { return experiments.Table7(w, cfg) },
+		"t8":   func(w io.Writer) error { return experiments.Table8(w, cfg) },
+		"t9":   func(w io.Writer) error { return experiments.Table9(w, cfg) },
+	}
+
+	if *only != "" {
+		fn, ok := runners[*only]
+		if !ok {
+			fmt.Fprintf(stderr, "experiments: unknown artifact %q\n", *only)
+			return 2
+		}
+		if err := fn(stdout); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := experiments.All(stdout, cfg); err != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleArtifacts(t *testing.T) {
+	for _, c := range []struct{ only, want string }{
+		{"fig1a", "MATCHES PAPER"},
+		{"t8", "conservative"},
+	} {
+		var out, errb bytes.Buffer
+		if got := run([]string{"-only", c.only, "-seeds", "4", "-gt-seeds", "40"}, &out, &errb); got != 0 {
+			t.Fatalf("%s: exit = %d (stderr: %s)", c.only, got, errb.String())
+		}
+		if !strings.Contains(out.String(), c.want) {
+			t.Fatalf("%s output missing %q:\n%s", c.only, c.want, out.String())
+		}
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-only", "t99"}, &out, &errb); got != 2 {
+		t.Fatalf("exit = %d, want 2", got)
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+// writeTraces materializes one racy and one clean trace in dir and returns
+// their paths, plus a text-format copy and a file-set directory.
+func writeTraces(t *testing.T, dir string) (racy, clean, text, fileset string) {
+	t.Helper()
+	mk := func(w *workload.Workload) *trace.Trace {
+		r, err := sim.Run(w.Prog, sim.Config{Model: memmodel.WO, Seed: 1, InitMemory: w.InitMemory})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.FromExecution(r.Exec)
+	}
+	racyTr := mk(workload.Figure1a())
+	cleanTr := mk(workload.Figure1b())
+
+	racy = filepath.Join(dir, "racy.wrt")
+	if err := trace.WriteFile(racy, racyTr); err != nil {
+		t.Fatal(err)
+	}
+	clean = filepath.Join(dir, "clean.wrt")
+	if err := trace.WriteFile(clean, cleanTr); err != nil {
+		t.Fatal(err)
+	}
+	text = filepath.Join(dir, "racy.wrtx")
+	f, err := os.Create(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeText(f, racyTr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	fileset = filepath.Join(dir, "clean.d")
+	if err := trace.WriteFileSet(fileset, cleanTr); err != nil {
+		t.Fatal(err)
+	}
+	return racy, clean, text, fileset
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	racy, clean, text, fileset := writeTraces(t, dir)
+
+	cases := []struct {
+		name string
+		args []string
+		exit int
+		want string
+	}{
+		{"racy binary", []string{racy}, 1, "FIRST"},
+		{"clean binary", []string{clean}, 0, "NO DATA RACES"},
+		{"text format", []string{text}, 1, "FIRST"},
+		{"file set", []string{fileset}, 0, "NO DATA RACES"},
+		{"mixed", []string{clean, racy}, 1, "FIRST"},
+		{"graph flag", []string{"-graph", racy}, 1, "race↔"},
+		{"liberal pairing", []string{"-pairing", "liberal", clean}, 0, "NO DATA RACES"},
+		{"no args", nil, 2, ""},
+		{"bad pairing", []string{"-pairing", "nope", racy}, 2, ""},
+		{"missing file", []string{filepath.Join(dir, "absent.wrt")}, 2, ""},
+		{"bad flag", []string{"-bogus"}, 2, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if got := run(c.args, &out, &errb); got != c.exit {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", got, c.exit, errb.String())
+			}
+			if c.want != "" && !strings.Contains(out.String(), c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out.String())
+			}
+		})
+	}
+}
+
+func TestRunDOTOutput(t *testing.T) {
+	dir := t.TempDir()
+	racy, _, _, _ := writeTraces(t, dir)
+	dotPath := filepath.Join(dir, "g.dot")
+	var out, errb bytes.Buffer
+	if got := run([]string{"-dot", dotPath, racy}, &out, &errb); got != 1 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph hb1") {
+		t.Fatalf("DOT file wrong:\n%s", data)
+	}
+}
+
+func TestRunCorruptTrace(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.wrt")
+	if err := os.WriteFile(bad, []byte("WRT1 garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if got := run([]string{bad}, &out, &errb); got != 2 {
+		t.Fatalf("exit = %d, want 2", got)
+	}
+	if !strings.Contains(errb.String(), "racedetect:") {
+		t.Fatalf("stderr missing error: %s", errb.String())
+	}
+}

@@ -1,0 +1,91 @@
+// Command racehunt runs a detection campaign: many seeds of one workload
+// on a weak memory model, post-mortem analysis of every execution, and an
+// aggregated report of the static races found — how often each occurred,
+// how often it was a first-partition (root-cause) race, and a seed to
+// replay it with.
+//
+// Usage:
+//
+//	racehunt -workload buggy-counter -model WO -seeds 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"weakrace/internal/campaign"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/workload"
+)
+
+var workloads = map[string]func() *workload.Workload{
+	"figure-1a":         workload.Figure1a,
+	"figure-1b":         workload.Figure1b,
+	"figure-2":          workload.Figure2,
+	"locked-counter":    func() *workload.Workload { return workload.LockedCounter(4, 6, -1) },
+	"buggy-counter":     func() *workload.Workload { return workload.LockedCounter(4, 6, 1) },
+	"producer-consumer": func() *workload.Workload { return workload.ProducerConsumer(6, true) },
+	"buggy-prodcons":    func() *workload.Workload { return workload.ProducerConsumer(6, false) },
+	"race-chain":        func() *workload.Workload { return workload.RaceChain(4) },
+	"dekker":            func() *workload.Workload { return workload.Dekker(3) },
+	"random-racy": func() *workload.Workload {
+		return workload.Random(workload.RandomParams{Seed: 1, UnlockedFraction: 0.4})
+	},
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("racehunt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name       = fs.String("workload", "buggy-counter", "workload to hunt in")
+		modelName  = fs.String("model", "WO", "memory model")
+		seeds      = fs.Int("seeds", 200, "number of executions")
+		retireProb = fs.Float64("retire-prob", 0.15, "background retirement probability")
+		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		liberal    = fs.Bool("liberal-pairing", false, "treat Test&Set writes as releases")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ctor, ok := workloads[*name]
+	if !ok {
+		fmt.Fprintf(stderr, "racehunt: unknown workload %q\n", *name)
+		return 2
+	}
+	model, err := memmodel.Parse(*modelName)
+	if err != nil {
+		fmt.Fprintf(stderr, "racehunt: %v\n", err)
+		return 2
+	}
+	pairing := memmodel.ConservativePairing
+	if *liberal {
+		pairing = memmodel.LiberalPairing
+	}
+	rep, err := campaign.Run(campaign.Config{
+		Workload:   ctor(),
+		Model:      model,
+		Seeds:      *seeds,
+		RetireProb: *retireProb,
+		Pairing:    pairing,
+		Workers:    *workers,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "racehunt: %v\n", err)
+		return 2
+	}
+	if err := rep.Render(stdout); err != nil {
+		fmt.Fprintf(stderr, "racehunt: %v\n", err)
+		return 2
+	}
+	if !rep.RaceFree() {
+		return 1
+	}
+	return 0
+}

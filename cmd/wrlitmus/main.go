@@ -1,0 +1,115 @@
+// Command wrlitmus runs the litmus-test catalog against every memory
+// model and prints the allowed/observed matrix — executable documentation
+// of which relaxations each simulated model exhibits.
+//
+// Usage:
+//
+//	wrlitmus                 # full matrix, 400 seeds per cell
+//	wrlitmus -seeds 2000     # push harder on the rare outcomes
+//	wrlitmus -test SB        # one test only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"weakrace/internal/litmus"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wrlitmus", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seeds  = fs.Int("seeds", 400, "seeds per test/model cell")
+		only   = fs.String("test", "", "run a single test by name (e.g. SB, MP, IRIW)")
+		models = fs.Bool("models", false, "print the model property matrix and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *models {
+		tbl := report.NewTable("Memory model properties",
+			"model", "buffers data", "drains@acquire", "drains@release", "acq/rel distinct", "SC for all")
+		for _, m := range memmodel.All {
+			pr := memmodel.Describe(m)
+			tbl.AddRow(pr.Model, pr.BuffersData, pr.DrainsAtAcquire, pr.DrainsAtRelease,
+				pr.DistinguishesAcqRel, pr.GuaranteesSCForAll)
+		}
+		if err := tbl.Render(stdout); err != nil {
+			fmt.Fprintf(stderr, "wrlitmus: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, "\nAll models guarantee sequential consistency to data-race-free programs.")
+		return 0
+	}
+
+	tests := litmus.Catalog()
+	if *only != "" {
+		var filtered []*litmus.Test
+		for _, t := range tests {
+			if t.Name == *only {
+				filtered = append(filtered, t)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(stderr, "wrlitmus: unknown test %q\n", *only)
+			return 2
+		}
+		tests = filtered
+	}
+
+	header := []string{"test", "relaxed outcome"}
+	for _, m := range memmodel.All {
+		header = append(header, m.String())
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Litmus matrix (%d seeds per cell): relaxed outcome occurrences", *seeds),
+		header...)
+	failures := 0
+	for _, t := range tests {
+		cells := make([]any, 0, len(memmodel.All))
+		for _, model := range memmodel.All {
+			r, err := litmus.Run(t, model, *seeds)
+			if err != nil {
+				fmt.Fprintf(stderr, "wrlitmus: %v\n", err)
+				return 2
+			}
+			cell := fmt.Sprintf("%d", r.Relaxed)
+			if t.AllowedOn(model) {
+				cell += " (allowed)"
+			}
+			if r.Forbidden() {
+				cell += " FORBIDDEN!"
+				failures++
+			}
+			if r.MissedExpected() {
+				cell += " missing!"
+				failures++
+			}
+			cells = append(cells, cell)
+		}
+		tbl.AddRow(append([]any{t.Name, t.Relaxed}, cells...)...)
+	}
+	if err := tbl.Render(stdout); err != nil {
+		fmt.Fprintf(stderr, "wrlitmus: %v\n", err)
+		return 2
+	}
+	fmt.Fprintln(stdout)
+	for _, t := range tests {
+		fmt.Fprintf(stdout, "%-10s %s\n", t.Name, t.Description)
+	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "wrlitmus: %d cells violated their model's guarantee\n", failures)
+		return 1
+	}
+	return 0
+}

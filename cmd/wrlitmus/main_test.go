@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunModels(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-models"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	for _, want := range []string{"SC", "TSO", "drains@release"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("models output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSingleTest(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-test", "SB", "-seeds", "300"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	if !strings.Contains(out.String(), "SB") || !strings.Contains(out.String(), "(allowed)") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunFullMatrix(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-seeds", "1200"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	for _, want := range []string{"MP+sync", "IRIW", "WRC", "TAS"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("matrix missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-test", "NOPE"}, &out, &errb); got != 2 {
+		t.Fatalf("unknown test: exit = %d", got)
+	}
+	if got := run([]string{"-bogus"}, &out, &errb); got != 2 {
+		t.Fatalf("bad flag: exit = %d", got)
+	}
+}

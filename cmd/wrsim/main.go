@@ -1,0 +1,179 @@
+// Command wrsim runs a built-in workload (or an assembled .wrasm program)
+// on a chosen memory model and writes the instrumentation trace to a file
+// for post-mortem analysis with racedetect.
+//
+// Usage:
+//
+//	wrsim -workload figure-2 -model WO -seed 674 -o fig2.wrt
+//	wrsim -file myprog.wrasm -model RCsc
+//	wrsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/program"
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+// workloads maps CLI names to constructors; parameterized workloads use
+// representative defaults.
+var workloads = map[string]func() *workload.Workload{
+	"figure-1a":         workload.Figure1a,
+	"figure-1b":         workload.Figure1b,
+	"figure-2":          workload.Figure2,
+	"locked-counter":    func() *workload.Workload { return workload.LockedCounter(4, 6, -1) },
+	"buggy-counter":     func() *workload.Workload { return workload.LockedCounter(4, 6, 1) },
+	"producer-consumer": func() *workload.Workload { return workload.ProducerConsumer(6, true) },
+	"buggy-prodcons":    func() *workload.Workload { return workload.ProducerConsumer(6, false) },
+	"barrier":           func() *workload.Workload { return workload.BarrierPhases(4) },
+	"race-chain":        func() *workload.Workload { return workload.RaceChain(4) },
+	"dekker":            func() *workload.Workload { return workload.Dekker(3) },
+	"flag-handoff":      func() *workload.Workload { return workload.FlagHandoff(4) },
+	"tas-publish":       func() *workload.Workload { return workload.TasPublish(4) },
+	"write-burst":       func() *workload.Workload { return workload.WriteBurst(4, 12, 4) },
+	"random":            func() *workload.Workload { return workload.Random(workload.RandomParams{Seed: 1}) },
+	"random-racy": func() *workload.Workload {
+		return workload.Random(workload.RandomParams{Seed: 1, UnlockedFraction: 0.4})
+	},
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wrsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name       = fs.String("workload", "figure-2", "workload to run (see -list)")
+		file       = fs.String("file", "", "assemble and run a program file instead of a built-in workload")
+		modelName  = fs.String("model", "WO", "memory model: SC, WO, RCsc, DRF0, DRF1, TSO")
+		seed       = fs.Int64("seed", 0, "scheduler seed")
+		retireProb = fs.Float64("retire-prob", 0.3, "per-step probability of background retirement")
+		out        = fs.String("o", "", "trace output file (default: <workload>-<model>-<seed>.wrt)")
+		format     = fs.String("format", "binary", "trace file format: binary, text, or fileset (per-processor files in a directory)")
+		dump       = fs.Bool("dump", false, "also dump the trace in human-readable form to stdout")
+		disasm     = fs.Bool("disasm", false, "print the program disassembly and exit")
+		list       = fs.Bool("list", false, "list available workloads and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(formatStr string, a ...any) int {
+		fmt.Fprintf(stderr, "wrsim: "+formatStr+"\n", a...)
+		return 1
+	}
+
+	if *list {
+		names := make([]string, 0, len(workloads))
+		for n := range workloads {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(stdout, "%-18s %s\n", n, workloads[n]().Description)
+		}
+		return 0
+	}
+
+	var w *workload.Workload
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return fail("%v", err)
+		}
+		prog, initMem, err := program.Assemble(f)
+		f.Close()
+		if err != nil {
+			return fail("%v", err)
+		}
+		w = &workload.Workload{
+			Name:        prog.Name,
+			Description: fmt.Sprintf("assembled from %s", *file),
+			Prog:        prog,
+			InitMemory:  initMem,
+		}
+		*name = prog.Name
+	} else {
+		ctor, ok := workloads[*name]
+		if !ok {
+			return fail("unknown workload %q (use -list)", *name)
+		}
+		w = ctor()
+	}
+
+	if *disasm {
+		fmt.Fprint(stdout, w.Prog.Disassemble())
+		return 0
+	}
+
+	model, err := memmodel.Parse(*modelName)
+	if err != nil {
+		return fail("%v", err)
+	}
+	res, err := sim.Run(w.Prog, sim.Config{
+		Model: model, Seed: *seed, RetireProb: *retireProb,
+		InitMemory: w.InitMemory,
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+	if !res.Completed {
+		return fail("execution did not complete (spin loop starved?); try another seed")
+	}
+	tr := trace.FromExecution(res.Exec)
+
+	path := *out
+	if path == "" {
+		ext := "wrt"
+		switch *format {
+		case "text":
+			ext = "wrtx"
+		case "fileset":
+			ext = "d"
+		}
+		path = fmt.Sprintf("%s-%s-%d.%s", strings.ReplaceAll(*name, "/", "_"), model, *seed, ext)
+	}
+	switch *format {
+	case "fileset":
+		if err := trace.WriteFileSet(path, tr); err != nil {
+			return fail("%v", err)
+		}
+	case "binary":
+		if err := trace.WriteFile(path, tr); err != nil {
+			return fail("%v", err)
+		}
+	case "text":
+		f, err := os.Create(path)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := trace.EncodeText(f, tr); err != nil {
+			f.Close()
+			return fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			return fail("%v", err)
+		}
+	default:
+		return fail("unknown format %q (want binary, text or fileset)", *format)
+	}
+	fmt.Fprintf(stdout, "simulated %q on %s (seed %d): %d ops, %d events, makespan %d cycles\n",
+		w.Name, model, *seed, res.Exec.NumOps(), tr.NumEvents(), res.Makespan())
+	fmt.Fprintf(stdout, "trace written to %s\n", path)
+	if *dump {
+		if err := trace.Dump(stdout, tr); err != nil {
+			return fail("%v", err)
+		}
+	}
+	return 0
+}

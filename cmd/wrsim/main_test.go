@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"weakrace/internal/trace"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-list"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	for _, want := range []string{"figure-1a", "figure-2", "dekker", "write-burst"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSimulateFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, c := range []struct {
+		format string
+		check  func(path string) error
+	}{
+		{"binary", func(p string) error { _, err := trace.ReadFile(p); return err }},
+		{"text", func(p string) error {
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = trace.DecodeText(f)
+			return err
+		}},
+		{"fileset", func(p string) error { _, err := trace.ReadFileSet(p); return err }},
+	} {
+		t.Run(c.format, func(t *testing.T) {
+			path := filepath.Join(dir, "out-"+c.format)
+			var out, errb bytes.Buffer
+			args := []string{"-workload", "figure-1b", "-model", "RCsc", "-seed", "2",
+				"-format", c.format, "-o", path}
+			if got := run(args, &out, &errb); got != 0 {
+				t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+			}
+			if !strings.Contains(out.String(), "trace written to") {
+				t.Fatalf("output:\n%s", out.String())
+			}
+			if err := c.check(path); err != nil {
+				t.Fatalf("written trace unreadable: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunAssembledFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.wrasm")
+	if err := os.WriteFile(src, []byte(
+		"program \"mini\"\nlocations 1\nregisters 1\nthread T:\nwrite [0], #1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "mini.wrt")
+	var ob, eb bytes.Buffer
+	if got := run([]string{"-file", src, "-o", out}, &ob, &eb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, eb.String())
+	}
+	if !strings.Contains(ob.String(), `simulated "mini"`) {
+		t.Fatalf("output:\n%s", ob.String())
+	}
+}
+
+func TestRunDisasmAndDump(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-workload", "figure-1a", "-disasm"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d", got)
+	}
+	if !strings.Contains(out.String(), "thread 0 (P1):") {
+		t.Fatalf("disassembly missing:\n%s", out.String())
+	}
+	out.Reset()
+	path := filepath.Join(t.TempDir(), "d.wrt")
+	if got := run([]string{"-workload", "figure-1a", "-dump", "-o", path}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d", got)
+	}
+	if !strings.Contains(out.String(), "comp reads=") {
+		t.Fatalf("dump missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown workload", []string{"-workload", "nope"}},
+		{"unknown model", []string{"-model", "PSO"}},
+		{"unknown format", []string{"-format", "yaml", "-o", filepath.Join(t.TempDir(), "x")}},
+		{"missing file", []string{"-file", "/nonexistent.wrasm"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if got := run(c.args, &out, &errb); got == 0 {
+				t.Fatalf("exit = 0, want failure (stdout: %s)", out.String())
+			}
+			if errb.Len() == 0 {
+				t.Fatal("no error message")
+			}
+		})
+	}
+	var out, errb bytes.Buffer
+	if got := run([]string{"-bogus"}, &out, &errb); got != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", got)
+	}
+}

@@ -1,0 +1,125 @@
+package weakrace_test
+
+import (
+	"fmt"
+	"log"
+
+	"weakrace"
+)
+
+// The full pipeline on the paper's Figure 1a: simulate unsynchronized
+// message passing on weak ordering, trace it, and detect its races.
+func Example() {
+	w := weakrace.Figure1a()
+	res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{
+		Model: weakrace.WO, Seed: 1, InitMemory: w.InitMemory,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := weakrace.Detect(weakrace.TraceExecution(res.Exec), weakrace.DetectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("race-free:", a.RaceFree())
+	fmt.Println("first partitions:", len(a.FirstPartitions))
+	// Output:
+	// race-free: false
+	// first partitions: 1
+}
+
+// Race freedom certifies sequential consistency (Condition 3.4(1)): the
+// Figure 1b program is data-race-free, so every weak execution is SC.
+func ExampleDetect_raceFree() {
+	w := weakrace.Figure1b()
+	res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{
+		Model: weakrace.RCsc, Seed: 5, InitMemory: w.InitMemory,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := weakrace.Detect(weakrace.TraceExecution(res.Exec), weakrace.DetectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, decided := weakrace.VerifySC(res.Exec, 1<<20)
+	fmt.Println("race-free:", a.RaceFree())
+	fmt.Println("sequentially consistent:", sc && decided)
+	// Output:
+	// race-free: true
+	// sequentially consistent: true
+}
+
+// Building a program with the assembler.
+func ExampleAssembleString() {
+	prog, initMem, err := weakrace.AssembleString(`
+program "handoff"
+locations 2
+registers 1
+init [1] = 0
+
+thread producer:
+    write [0], #99
+    sync.write [1], #1
+
+thread consumer:
+wait:
+    sync.read r0, [1]
+    bz r0, wait
+    read r0, [0]
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := weakrace.Simulate(prog, weakrace.SimConfig{
+		Model: weakrace.WO, Seed: 3, InitMemory: initMem,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := weakrace.Detect(weakrace.TraceExecution(res.Exec), weakrace.DetectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("race-free:", a.RaceFree())
+	// Output:
+	// race-free: true
+}
+
+// Constructing the paper's Figure 2b anomaly deterministically with a
+// scheduler script, then reading the first partition.
+func ExampleRunFig2Stale() {
+	res, err := weakrace.RunFig2Stale(weakrace.WO, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := weakrace.Detect(weakrace.TraceExecution(res.Exec), weakrace.DetectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("partitions:", len(a.Partitions))
+	fmt.Println("first partitions:", len(a.FirstPartitions))
+	n, _ := weakrace.SCBoundary(res.Exec, 1<<20)
+	fmt.Printf("SC prefix: %d of %d ops\n", n, len(res.Exec.Ops))
+	// Output:
+	// partitions: 2
+	// first partitions: 1
+	// SC prefix: 3 of 17 ops
+}
+
+// A detection campaign aggregates races across many seeds.
+func ExampleRunCampaign() {
+	rep, err := weakrace.RunCampaign(weakrace.CampaignConfig{
+		Workload: weakrace.RaceChain(3),
+		Model:    weakrace.WO,
+		Seeds:    20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("racy executions:", rep.Racy)
+	fmt.Println("distinct races:", len(rep.Races))
+	// Output:
+	// racy executions: 20
+	// distinct races: 3
+}

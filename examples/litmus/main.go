@@ -1,0 +1,49 @@
+// Litmus: which relaxations does each memory model actually exhibit?
+//
+// Runs the classic litmus tests (store buffering, message passing, load
+// buffering, coherence, IRIW, Test&Set atomicity) on every model and
+// prints the matrix of relaxed-outcome frequencies — executable
+// documentation of the simulated hardware the detector runs against. The
+// MP row is the paper's Figure 1a; MP+sync is Figure 1b.
+//
+//	go run ./examples/litmus
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"weakrace"
+)
+
+func main() {
+	const seeds = 1500
+	fmt.Printf("%-10s %-26s", "test", "relaxed outcome")
+	for _, m := range weakrace.AllModels {
+		fmt.Printf(" %8s", m)
+	}
+	fmt.Println()
+
+	for _, test := range weakrace.LitmusCatalog() {
+		fmt.Printf("%-10s %-26s", test.Name, test.Relaxed)
+		for _, model := range weakrace.AllModels {
+			r, err := weakrace.RunLitmus(test, model, seeds)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cell := fmt.Sprintf("%d", r.Relaxed)
+			if test.AllowedOn(model) {
+				cell += "*"
+			}
+			if r.Forbidden() {
+				log.Fatalf("%s on %s: forbidden outcome observed!", test.Name, model)
+			}
+			fmt.Printf(" %8s", cell)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\n(* = the model allows the relaxed outcome; counts are out of %d seeds)\n", seeds)
+	fmt.Println("SB and MP separate SC from the weak models; everything else is forbidden")
+	fmt.Println("everywhere: the simulator buffers writes but never reorders reads,")
+	fmt.Println("speculates values, or breaks coherence / multi-copy atomicity.")
+}

@@ -1,0 +1,3 @@
+module weakrace
+
+go 1.22

@@ -1,0 +1,208 @@
+// Package campaign drives the detector the way a user hunts bugs with it:
+// run a program under many seeds on a weak model, analyze every execution
+// post-mortem, and aggregate the races across executions — how often each
+// static race occurred, how often it sat in a first partition, and which
+// executions to replay for debugging.
+//
+// Dynamic detection "provide[s] precise information about a single
+// execution [but] little information about other executions" (§1); a
+// campaign is the standard mitigation — rerun under many schedules and
+// union the evidence.
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"weakrace/internal/core"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+// Config describes a campaign.
+type Config struct {
+	// Workload is the program under test.
+	Workload *workload.Workload
+	// Model is the memory model to run on. Default WO.
+	Model memmodel.Model
+	// Seeds is the number of executions. Default 100.
+	Seeds int
+	// RetireProb forwards to the simulator (0 = simulator default).
+	RetireProb float64
+	// Pairing forwards to the detector.
+	Pairing memmodel.PairingPolicy
+	// Workers bounds parallelism. Default GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seeds == 0 {
+		c.Seeds = 100
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// RaceStat aggregates one static race across the campaign.
+type RaceStat struct {
+	// Race is the static identity.
+	Race core.LowerLevelRace
+	// Occurrences counts executions exhibiting the race.
+	Occurrences int
+	// FirstPartition counts executions where the race sat in a first
+	// partition — the executions worth debugging first.
+	FirstPartition int
+	// ExampleSeed is a seed exhibiting the race (smallest; in a first
+	// partition when possible), for replay.
+	ExampleSeed int64
+	exampleIsFP bool
+}
+
+// Report is the aggregated campaign outcome.
+type Report struct {
+	Config     Config
+	Executions int
+	// Racy counts executions with at least one data race.
+	Racy int
+	// Incomplete counts executions that hit MaxSteps (spin starvation).
+	Incomplete int
+	// Races lists the distinct static races, most frequent first.
+	Races []RaceStat
+}
+
+// RaceFree reports whether no execution exhibited a data race.
+func (r *Report) RaceFree() bool { return r.Racy == 0 }
+
+// Run executes the campaign, fanning executions across workers. The
+// report is deterministic for a given Config regardless of Workers.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("campaign: no workload")
+	}
+
+	type seedResult struct {
+		racy       bool
+		incomplete bool
+		races      map[core.LowerLevelRace]bool // race -> in first partition
+		firsts     map[core.LowerLevelRace]bool
+	}
+	results := make([]*seedResult, cfg.Seeds)
+	errs := make([]error, cfg.Seeds)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for seed := 0; seed < cfg.Seeds; seed++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(seed int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, err := sim.Run(cfg.Workload.Prog, sim.Config{
+				Model: cfg.Model, Seed: int64(seed),
+				RetireProb: cfg.RetireProb,
+				InitMemory: cfg.Workload.InitMemory,
+			})
+			if err != nil {
+				errs[seed] = err
+				return
+			}
+			res := &seedResult{
+				incomplete: !r.Completed,
+				races:      map[core.LowerLevelRace]bool{},
+				firsts:     map[core.LowerLevelRace]bool{},
+			}
+			a, err := core.Analyze(trace.FromExecution(r.Exec), core.Options{Pairing: cfg.Pairing})
+			if err != nil {
+				errs[seed] = err
+				return
+			}
+			res.racy = !a.RaceFree()
+			for _, ri := range a.DataRaces {
+				pi := a.RaceOfPartition(ri)
+				isFirst := pi >= 0 && a.Partitions[pi].First
+				for _, ll := range a.LowerLevel(a.Races[ri]) {
+					key := ll.Canonical()
+					res.races[key] = true
+					if isFirst {
+						res.firsts[key] = true
+					}
+				}
+			}
+			results[seed] = res
+		}(seed)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+	}
+
+	rep := &Report{Config: cfg, Executions: cfg.Seeds}
+	agg := map[core.LowerLevelRace]*RaceStat{}
+	for seed, res := range results {
+		if res.incomplete {
+			rep.Incomplete++
+		}
+		if res.racy {
+			rep.Racy++
+		}
+		for race := range res.races {
+			st := agg[race]
+			if st == nil {
+				st = &RaceStat{Race: race, ExampleSeed: int64(seed), exampleIsFP: res.firsts[race]}
+				agg[race] = st
+			}
+			st.Occurrences++
+			if res.firsts[race] {
+				st.FirstPartition++
+				if !st.exampleIsFP {
+					st.ExampleSeed = int64(seed)
+					st.exampleIsFP = true
+				}
+			}
+		}
+	}
+	for _, st := range agg {
+		rep.Races = append(rep.Races, *st)
+	}
+	sort.Slice(rep.Races, func(i, j int) bool {
+		a, b := rep.Races[i], rep.Races[j]
+		if a.Occurrences != b.Occurrences {
+			return a.Occurrences > b.Occurrences
+		}
+		return a.Race.String() < b.Race.String()
+	})
+	return rep, nil
+}
+
+// Render writes the campaign report.
+func (r *Report) Render(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "campaign: %s on %s, %d executions (%d racy, %d incomplete)\n",
+		r.Config.Workload.Name, r.Config.Model, r.Executions, r.Racy, r.Incomplete)
+	if err != nil {
+		return err
+	}
+	if r.RaceFree() {
+		_, err := fmt.Fprintf(w, "no data races in any execution: every run was sequentially consistent (Condition 3.4).\n")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-45s %6s %10s %8s\n", "race", "seen", "first-part", "replay"); err != nil {
+		return err
+	}
+	for _, st := range r.Races {
+		if _, err := fmt.Fprintf(w, "%-45s %6d %10d %8d\n",
+			st.Race, st.Occurrences, st.FirstPartition, st.ExampleSeed); err != nil {
+			return err
+		}
+	}
+	return nil
+}

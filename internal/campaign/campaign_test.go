@@ -1,0 +1,133 @@
+package campaign
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/workload"
+)
+
+func TestCampaignRaceFree(t *testing.T) {
+	rep, err := Run(Config{
+		Workload: workload.LockedCounter(3, 3, -1),
+		Model:    memmodel.WO,
+		Seeds:    30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RaceFree() || rep.Racy != 0 || len(rep.Races) != 0 {
+		t.Fatalf("clean campaign racy: %+v", rep)
+	}
+	if rep.Executions != 30 {
+		t.Fatalf("executions = %d", rep.Executions)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data races") {
+		t.Fatalf("report:\n%s", buf.String())
+	}
+}
+
+func TestCampaignFindsInjectedBug(t *testing.T) {
+	rep, err := Run(Config{
+		Workload: workload.LockedCounter(3, 4, 1),
+		Model:    memmodel.WO,
+		Seeds:    40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RaceFree() {
+		t.Fatal("buggy campaign race-free")
+	}
+	if len(rep.Races) == 0 {
+		t.Fatal("no aggregated races")
+	}
+	// Every aggregated race involves the counter (location 0).
+	for _, st := range rep.Races {
+		if st.Race.Loc != 0 {
+			t.Fatalf("unexpected race location: %v", st.Race)
+		}
+		if st.Occurrences <= 0 || st.Occurrences > rep.Executions {
+			t.Fatalf("bad occurrence count: %+v", st)
+		}
+		if st.FirstPartition > st.Occurrences {
+			t.Fatalf("first-partition count exceeds occurrences: %+v", st)
+		}
+		if st.ExampleSeed < 0 || st.ExampleSeed >= int64(rep.Executions) {
+			t.Fatalf("bad example seed: %+v", st)
+		}
+	}
+	// Sorted most frequent first.
+	for i := 1; i < len(rep.Races); i++ {
+		if rep.Races[i-1].Occurrences < rep.Races[i].Occurrences {
+			t.Fatal("races not sorted by occurrences")
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "replay") {
+		t.Fatalf("report:\n%s", buf.String())
+	}
+}
+
+// The report must not depend on worker parallelism.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	mk := func(workers int) *Report {
+		rep, err := Run(Config{
+			Workload: workload.ProducerConsumer(4, false),
+			Model:    memmodel.RCsc,
+			Seeds:    25,
+			Workers:  workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Config = Config{} // ignore config in comparison
+		return rep
+	}
+	a, b := mk(1), mk(8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("reports differ across worker counts:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil workload accepted")
+	}
+}
+
+func TestCampaignExampleSeedPrefersFirstPartition(t *testing.T) {
+	rep, err := Run(Config{
+		Workload: workload.RaceChain(3),
+		Model:    memmodel.WO,
+		Seeds:    20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stage-0 race is always in a first partition; its stats must say so.
+	found := false
+	for _, st := range rep.Races {
+		if st.Race.Loc == 0 {
+			found = true
+			if st.FirstPartition != st.Occurrences {
+				t.Fatalf("stage-0 race not always first: %+v", st)
+			}
+		} else if st.FirstPartition != 0 {
+			t.Fatalf("later stage race marked first: %+v", st)
+		}
+	}
+	if !found {
+		t.Fatal("stage-0 race missing")
+	}
+}

@@ -1,0 +1,439 @@
+// Package core implements the paper's contribution: post-mortem dynamic
+// data race detection from an execution trace, valid on weak memory
+// systems that satisfy Condition 3.4.
+//
+// Given a trace (per-processor event streams with synchronization pairing
+// and READ/WRITE access sets — internal/trace), the detector:
+//
+//  1. builds the happens-before-1 graph: one node per event, edges for
+//     program order (po) and paired release→acquire synchronization order
+//     (so1); hb1 = (po ∪ so1)+ (Definitions 2.2–2.3);
+//  2. finds the higher-level races: conflicting events not ordered by hb1
+//     (Definition 2.4 lifted to events, §4.1) — remembering that hb1 may
+//     contain cycles in a weak execution, so reachability runs on the SCC
+//     condensation;
+//  3. builds the augmented graph G′ by adding a doubly-directed edge
+//     between the two events of every race, so that a path A ⇝ C in G′
+//     captures "race 〈A,B〉 affects race 〈C,D〉" (Definition 3.3, §4.2);
+//  4. partitions the data races by the strongly connected components of G′
+//     and orders partitions by reachability (Definition 4.1);
+//  5. reports the FIRST partitions: those not preceded by any other
+//     partition containing a data race. By Theorem 4.1 there are no first
+//     partitions iff the execution was race-free (hence sequentially
+//     consistent, by Condition 3.4(1)); by Theorem 4.2 every first
+//     partition contains at least one race that also occurs in a
+//     sequentially consistent execution of the program.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"weakrace/internal/bitset"
+	"weakrace/internal/graph"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/program"
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+)
+
+// EventID is a dense global index over all events of a trace
+// (processor-major: all of P1's events, then P2's, ...).
+type EventID int
+
+// Options configures an analysis.
+type Options struct {
+	// Pairing selects which synchronization writes count as releases when
+	// constructing so1. The default, ConservativePairing, is the paper's
+	// classification (a Test&Set's write never pairs). LiberalPairing is
+	// sound on WO/DRF0-style hardware and yields fewer races.
+	Pairing memmodel.PairingPolicy
+	// SkipValidate skips trace validation (for traces already validated,
+	// e.g. straight from the decoder, on hot benchmark paths).
+	SkipValidate bool
+}
+
+// Race is a higher-level race between two events (§4.1): A and B access a
+// common location that at least one writes, and no hb1 path connects them.
+type Race struct {
+	// A and B are the racing events, A < B.
+	A, B EventID
+	// Locs is the set of locations on which A and B conflict.
+	Locs *bitset.Set
+	// Data reports whether this is a data race: at least one side is a
+	// computation event (all of whose accesses are data operations). A
+	// race between two synchronization events is a synchronization race
+	// and is never reported, but it still contributes edges to G′.
+	Data bool
+}
+
+// Partition is a set of data races whose events share one strongly
+// connected component of the augmented graph G′ (§4.2).
+type Partition struct {
+	// Component is the SCC id in the augmented graph.
+	Component int
+	// Races indexes Analysis.Races, listing this partition's data races.
+	Races []int
+	// Events lists the distinct events involved, sorted.
+	Events []EventID
+	// First reports whether no other partition containing a data race
+	// precedes this one in the partial order P (Definition 4.1): the
+	// partition is one the detector reports to the programmer.
+	First bool
+}
+
+// Analysis is the complete result of a post-mortem detection run.
+type Analysis struct {
+	// Trace is the input trace.
+	Trace *trace.Trace
+	// Options echoes the options used.
+	Options Options
+
+	// NumEvents is the number of events (hb1 graph nodes).
+	NumEvents int
+
+	// HB is the happens-before-1 graph (po ∪ so1 edges).
+	HB *graph.Digraph
+	// HBReach answers hb1 ordering queries.
+	HBReach *graph.Reachability
+	// Aug is the augmented graph G′: HB plus a doubly-directed edge per
+	// race.
+	Aug *graph.Digraph
+	// AugReach answers affect-ordering queries on G′.
+	AugReach *graph.Reachability
+
+	// Races lists every race (data and synchronization), sorted by (A, B).
+	Races []Race
+	// DataRaces indexes Races, listing the data races.
+	DataRaces []int
+	// Partitions lists the partitions containing at least one data race,
+	// in a deterministic order (by smallest event id).
+	Partitions []Partition
+	// FirstPartitions indexes Partitions, listing the first partitions —
+	// the detector's report.
+	FirstPartitions []int
+
+	base []int // base[c] = EventID of processor c's first event
+}
+
+// ID returns the EventID for an event reference.
+func (a *Analysis) ID(ref trace.EventRef) EventID {
+	return EventID(a.base[ref.CPU] + ref.Index)
+}
+
+// Ref returns the event reference for an EventID.
+func (a *Analysis) Ref(id EventID) trace.EventRef {
+	c := sort.Search(len(a.base), func(i int) bool { return a.base[i] > int(id) }) - 1
+	return trace.EventRef{CPU: c, Index: int(id) - a.base[c]}
+}
+
+// Event returns the trace event with the given id.
+func (a *Analysis) Event(id EventID) *trace.Event {
+	return a.Trace.Event(a.Ref(id))
+}
+
+// RaceFree reports whether the execution exhibited no data races. On
+// hardware satisfying Condition 3.4(1) this certifies that the execution
+// was sequentially consistent.
+func (a *Analysis) RaceFree() bool { return len(a.DataRaces) == 0 }
+
+// Analyze runs the full post-mortem detection pipeline on a trace.
+func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
+	if !opts.SkipValidate {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	a := &Analysis{Trace: t, Options: opts}
+
+	// Dense event numbering, processor-major.
+	a.base = make([]int, t.NumCPUs)
+	n := 0
+	for c, evs := range t.PerCPU {
+		a.base[c] = n
+		n += len(evs)
+	}
+	a.NumEvents = n
+
+	a.buildHB()
+	a.HBReach = graph.NewReachability(a.HB)
+	a.findRaces()
+	a.buildAugmented()
+	a.AugReach = graph.NewReachability(a.Aug)
+	a.partition()
+	return a, nil
+}
+
+// buildHB constructs the happens-before-1 graph: po edges between
+// consecutive events of each processor, so1 edges from each paired release
+// to its acquire (Definition 2.2), subject to the pairing policy.
+func (a *Analysis) buildHB() {
+	g := graph.New(a.NumEvents)
+	for c, evs := range a.Trace.PerCPU {
+		for i := range evs {
+			if i+1 < len(evs) {
+				g.AddEdge(a.base[c]+i, a.base[c]+i+1)
+			}
+			ev := evs[i]
+			if ev.Kind == trace.Sync && ev.Role == memmodel.RoleAcquire &&
+				ev.Observed.Valid() && a.Options.Pairing.CanPair(ev.ObservedRole) {
+				g.AddEdge(int(a.ID(ev.Observed)), a.base[c]+i)
+			}
+		}
+	}
+	a.HB = g
+}
+
+// access is one (event, location) access used during race detection.
+type access struct {
+	ev    EventID
+	cpu   int
+	write bool
+	sync  bool
+}
+
+// findRaces detects all races: conflicting, hb1-unordered event pairs.
+func (a *Analysis) findRaces() {
+	// Keyed by location, sparse: traces legitimately declare large address
+	// spaces while touching few locations, and the analyzer must not
+	// allocate proportionally to the declared size (robustness against
+	// decoded input).
+	perLoc := map[int][]access{}
+	addAccess := func(loc int, acc access) {
+		perLoc[loc] = append(perLoc[loc], acc)
+	}
+	for c, evs := range a.Trace.PerCPU {
+		for i, ev := range evs {
+			id := EventID(a.base[c] + i)
+			switch ev.Kind {
+			case trace.Comp:
+				// A location both read and written contributes a single
+				// write access (the write subsumes the read for conflict
+				// purposes).
+				ev.Writes.Range(func(loc int) bool {
+					addAccess(loc, access{ev: id, cpu: c, write: true})
+					return true
+				})
+				ev.Reads.Range(func(loc int) bool {
+					if !ev.Writes.Contains(loc) {
+						addAccess(loc, access{ev: id, cpu: c, write: false})
+					}
+					return true
+				})
+			case trace.Sync:
+				addAccess(int(ev.Loc), access{
+					ev: id, cpu: c, write: ev.IsWriteSync(), sync: true,
+				})
+			}
+		}
+	}
+
+	type pairKey struct{ a, b EventID }
+	pairs := map[pairKey]*Race{}
+	for loc, accs := range perLoc {
+		for i := 0; i < len(accs); i++ {
+			for j := i + 1; j < len(accs); j++ {
+				x, y := accs[i], accs[j]
+				if x.cpu == y.cpu {
+					continue // same processor: always po-ordered
+				}
+				if !x.write && !y.write {
+					continue // two reads never conflict
+				}
+				if a.HBReach.Ordered(int(x.ev), int(y.ev)) {
+					continue
+				}
+				lo, hi := x.ev, y.ev
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				key := pairKey{lo, hi}
+				r := pairs[key]
+				if r == nil {
+					r = &Race{A: lo, B: hi, Locs: bitset.New(0)}
+					pairs[key] = r
+				}
+				r.Locs.Add(loc)
+				if !x.sync || !y.sync {
+					r.Data = true
+				}
+			}
+		}
+	}
+
+	a.Races = make([]Race, 0, len(pairs))
+	for _, r := range pairs {
+		a.Races = append(a.Races, *r)
+	}
+	sort.Slice(a.Races, func(i, j int) bool {
+		if a.Races[i].A != a.Races[j].A {
+			return a.Races[i].A < a.Races[j].A
+		}
+		return a.Races[i].B < a.Races[j].B
+	})
+	for i, r := range a.Races {
+		if r.Data {
+			a.DataRaces = append(a.DataRaces, i)
+		}
+	}
+}
+
+// buildAugmented clones the hb1 graph and adds a doubly-directed edge for
+// every race (§4.2). All races contribute edges — the affects relation of
+// Definition 3.3 is defined over races generally — but only data races
+// form partitions.
+func (a *Analysis) buildAugmented() {
+	g := a.HB.Clone()
+	for _, r := range a.Races {
+		g.AddEdgeUnique(int(r.A), int(r.B))
+		g.AddEdgeUnique(int(r.B), int(r.A))
+	}
+	a.Aug = g
+}
+
+// partition groups the data races by the SCCs of G′ and computes the first
+// partitions under the partial order P of Definition 4.1.
+func (a *Analysis) partition() {
+	scc := a.AugReach.SCC()
+	byComp := map[int]*Partition{}
+	for _, ri := range a.DataRaces {
+		r := a.Races[ri]
+		// The doubly-directed race edge puts A and B on a common cycle, so
+		// both ends are always in the same component.
+		comp := scc.Comp[int(r.A)]
+		p := byComp[comp]
+		if p == nil {
+			p = &Partition{Component: comp}
+			byComp[comp] = p
+		}
+		p.Races = append(p.Races, ri)
+	}
+	for _, p := range byComp {
+		seen := map[EventID]bool{}
+		for _, ri := range p.Races {
+			for _, id := range []EventID{a.Races[ri].A, a.Races[ri].B} {
+				if !seen[id] {
+					seen[id] = true
+					p.Events = append(p.Events, id)
+				}
+			}
+		}
+		sort.Slice(p.Events, func(i, j int) bool { return p.Events[i] < p.Events[j] })
+	}
+
+	parts := make([]*Partition, 0, len(byComp))
+	for _, p := range byComp {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Events[0] < parts[j].Events[0] })
+
+	// A partition is first iff no OTHER data-race partition reaches it.
+	for i, p := range parts {
+		p.First = true
+		for j, q := range parts {
+			if i == j {
+				continue
+			}
+			if a.AugReach.ComponentReaches(q.Component, p.Component) {
+				p.First = false
+				break
+			}
+		}
+	}
+	a.Partitions = make([]Partition, len(parts))
+	for i, p := range parts {
+		a.Partitions[i] = *p
+		if p.First {
+			a.FirstPartitions = append(a.FirstPartitions, i)
+		}
+	}
+}
+
+// PartitionPrecedes reports whether partition i precedes partition j in
+// the order P: a path exists in G′ from an event of i to an event of j.
+func (a *Analysis) PartitionPrecedes(i, j int) bool {
+	return a.AugReach.ComponentReaches(a.Partitions[i].Component, a.Partitions[j].Component)
+}
+
+// LowerLevelRace describes one lower-level (operation-granularity) race
+// candidate underlying a higher-level race, reconstructed from the trace's
+// program-counter provenance. It identifies operations statically, the way
+// the paper identifies them (§2.1): by processor, program point, and
+// location.
+type LowerLevelRace struct {
+	Loc  program.Addr
+	X, Y sim.StaticOp
+	// XWrites/YWrites report each side's access mode on Loc.
+	XWrites, YWrites bool
+}
+
+// Canonical returns the race with sides ordered deterministically.
+func (l LowerLevelRace) Canonical() LowerLevelRace {
+	if l.X.CPU > l.Y.CPU || (l.X.CPU == l.Y.CPU && l.X.PC > l.Y.PC) {
+		l.X, l.Y = l.Y, l.X
+		l.XWrites, l.YWrites = l.YWrites, l.XWrites
+	}
+	return l
+}
+
+// String renders the lower-level race.
+func (l LowerLevelRace) String() string {
+	mode := func(w bool) string {
+		if w {
+			return "W"
+		}
+		return "R"
+	}
+	return fmt.Sprintf("⟨%s:%s, %s:%s⟩@%d",
+		mode(l.XWrites), l.X, mode(l.YWrites), l.Y, l.Loc)
+}
+
+// LowerLevel expands a higher-level race into its lower-level candidates,
+// one per conflicting (location, access-mode) combination.
+func (a *Analysis) LowerLevel(r Race) []LowerLevelRace {
+	var out []LowerLevelRace
+	evA, evB := a.Event(r.A), a.Event(r.B)
+	refA, refB := a.Ref(r.A), a.Ref(r.B)
+	r.Locs.Range(func(loc int) bool {
+		addr := program.Addr(loc)
+		for _, xa := range sideAccesses(evA, refA.CPU, addr) {
+			for _, ya := range sideAccesses(evB, refB.CPU, addr) {
+				if !xa.writes && !ya.writes {
+					continue
+				}
+				out = append(out, LowerLevelRace{
+					Loc:     addr,
+					X:       sim.StaticOp{CPU: refA.CPU, PC: xa.pc, Loc: addr},
+					Y:       sim.StaticOp{CPU: refB.CPU, PC: ya.pc, Loc: addr},
+					XWrites: xa.writes, YWrites: ya.writes,
+				}.Canonical())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+type sideAccess struct {
+	pc     int
+	writes bool
+}
+
+// sideAccesses lists an event's accesses to loc with their PC provenance.
+func sideAccesses(ev *trace.Event, cpu int, loc program.Addr) []sideAccess {
+	var out []sideAccess
+	switch ev.Kind {
+	case trace.Comp:
+		if ev.Writes.Contains(int(loc)) {
+			out = append(out, sideAccess{pc: ev.WritePC[loc], writes: true})
+		}
+		if ev.Reads.Contains(int(loc)) {
+			out = append(out, sideAccess{pc: ev.ReadPC[loc], writes: false})
+		}
+	case trace.Sync:
+		if ev.Loc == loc {
+			out = append(out, sideAccess{pc: ev.PC, writes: ev.IsWriteSync()})
+		}
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+// Package crosscheck contains no production code — only differential
+// tests that pit the repository's independent components against each
+// other on randomly generated workloads:
+//
+//   - the post-mortem detector vs the on-the-fly detector (same hb1
+//     semantics, entirely different algorithms and data structures);
+//   - the detector's race-free verdict vs the exact SC verifier (the DRF
+//     guarantee, Condition 3.4(1));
+//   - the simulator's conservative DefinitelySC witness vs the exact
+//     verifier;
+//   - the binary and text trace codecs vs each other and vs in-memory
+//     analysis.
+//
+// Any disagreement is a bug in one of the components; the random
+// generators make these tests a standing fuzzing harness.
+package crosscheck

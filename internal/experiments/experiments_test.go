@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+var quick = Config{Seeds: 4, GroundTruthSeeds: 50}
+
+func TestFigure1a(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure1a(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MATCHES PAPER") {
+		t.Fatalf("figure 1a output:\n%s", buf.String())
+	}
+}
+
+func TestFigure1b(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure1b(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "NO DATA RACES") {
+		t.Fatalf("figure 1b output:\n%s", buf.String())
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Figure2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"STALE", "sequentially consistent prefix", "MATCHES PAPER"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FIRST", "non-first", "race↔"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	tables := []struct {
+		name string
+		fn   func(io.Writer, Config) error
+		want []string
+	}{
+		{"T1", Table1, []string{"T1.", "SC", "WO", "RCsc", "DRF0", "DRF1"}},
+		{"T2", Table2, []string{"T2.", "overhead"}},
+		{"T3", Table3, []string{"T3.", "events"}},
+		{"T4", Table4, []string{"T4.", "Thm4.2"}},
+		{"T5", Table5, []string{"T5.", "unbounded"}},
+		{"T6", Table6, []string{"T6.", "honest", "pathological"}},
+		{"T7", Table7, []string{"T7.", "online first"}},
+		{"T8", Table8, []string{"T8.", "conservative", "liberal"}},
+		{"T9", Table9, []string{"T9.", "lockset"}},
+	}
+	for _, tc := range tables {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.fn(&buf, quick); err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(buf.String(), want) {
+					t.Fatalf("%s missing %q:\n%s", tc.name, want, buf.String())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,335 @@
+// Package graph implements the directed-graph machinery the detector needs:
+// adjacency-list digraphs, Tarjan's strongly-connected-components algorithm,
+// condensation, transitive reachability, and topological order.
+//
+// The happens-before-1 graph of a weak execution is NOT guaranteed to be
+// acyclic (paper §3.1: "the so1 relation and hence the hb1 relation may
+// contain cycles"), and the augmented graph G′ of §4.2 contains a cycle for
+// every race edge by construction. Everything here therefore works on
+// arbitrary digraphs: reachability is computed on the SCC condensation,
+// which is always a DAG.
+package graph
+
+import (
+	"fmt"
+
+	"weakrace/internal/bitset"
+)
+
+// Digraph is a directed graph over nodes 0..N-1 with adjacency lists.
+// Parallel edges are permitted (and harmless for reachability/SCC);
+// AddEdgeUnique suppresses them where the caller prefers.
+type Digraph struct {
+	adj  [][]int
+	nEdg int
+}
+
+// New returns a digraph with n nodes and no edges.
+func New(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: New(%d): negative size", n))
+	}
+	return &Digraph{adj: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Digraph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Digraph) M() int { return g.nEdg }
+
+func (g *Digraph) check(v int) {
+	if v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, len(g.adj)))
+	}
+}
+
+// AddEdge adds the directed edge u→v.
+func (g *Digraph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	g.adj[u] = append(g.adj[u], v)
+	g.nEdg++
+}
+
+// AddEdgeUnique adds u→v unless an identical edge already exists.
+// It is O(out-degree of u); use it for sparse augmentation edges.
+func (g *Digraph) AddEdgeUnique(u, v int) {
+	g.check(u)
+	g.check(v)
+	for _, w := range g.adj[u] {
+		if w == v {
+			return
+		}
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.nEdg++
+}
+
+// Succ returns the successor list of u. The slice is owned by the graph and
+// must not be mutated.
+func (g *Digraph) Succ(u int) []int {
+	g.check(u)
+	return g.adj[u]
+}
+
+// HasEdge reports whether the edge u→v exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the graph. The detector clones the
+// happens-before-1 graph before augmenting it with race edges so callers
+// keep an unaugmented view.
+func (g *Digraph) Clone() *Digraph {
+	c := &Digraph{adj: make([][]int, len(g.adj)), nEdg: g.nEdg}
+	for i, a := range g.adj {
+		if len(a) > 0 {
+			c.adj[i] = append([]int(nil), a...)
+		}
+	}
+	return c
+}
+
+// Reverse returns the graph with all edges flipped.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.N())
+	for u, a := range g.adj {
+		for _, v := range a {
+			r.AddEdge(v, u)
+		}
+	}
+	return r
+}
+
+// SCC holds the strongly connected components of a digraph: Comp[v] is the
+// component id of node v, and components are numbered in reverse
+// topological order of the condensation (Tarjan's property: a component is
+// assigned its id only after all components it can reach). Members lists
+// the nodes of each component.
+type SCC struct {
+	Comp    []int
+	Members [][]int
+}
+
+// NumComponents returns the number of strongly connected components.
+func (s *SCC) NumComponents() int { return len(s.Members) }
+
+// SameComponent reports whether u and v are in the same SCC — the paper's
+// test for two race events being in the same partition (§4.2).
+func (s *SCC) SameComponent(u, v int) bool { return s.Comp[u] == s.Comp[v] }
+
+// StronglyConnected computes the SCCs of g using an iterative Tarjan
+// algorithm (iterative so million-node traces cannot overflow the stack).
+func StronglyConnected(g *Digraph) *SCC {
+	n := g.N()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	comp := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var (
+		stack    []int // Tarjan's node stack
+		members  [][]int
+		nextIdx  int
+		callNode []int // explicit DFS stack: node
+		callEdge []int // explicit DFS stack: next successor index to visit
+	)
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callNode = append(callNode[:0], root)
+		callEdge = append(callEdge[:0], 0)
+		index[root] = nextIdx
+		low[root] = nextIdx
+		nextIdx++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callNode) > 0 {
+			v := callNode[len(callNode)-1]
+			ei := callEdge[len(callEdge)-1]
+			succ := g.adj[v]
+			if ei < len(succ) {
+				callEdge[len(callEdge)-1]++
+				w := succ[ei]
+				if index[w] == unvisited {
+					index[w] = nextIdx
+					low[w] = nextIdx
+					nextIdx++
+					stack = append(stack, w)
+					onStack[w] = true
+					callNode = append(callNode, w)
+					callEdge = append(callEdge, 0)
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// Finished v: pop the DFS frame, propagate lowlink, maybe
+			// close a component.
+			callNode = callNode[:len(callNode)-1]
+			callEdge = callEdge[:len(callEdge)-1]
+			if len(callNode) > 0 {
+				parent := callNode[len(callNode)-1]
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var ms []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(members)
+					ms = append(ms, w)
+					if w == v {
+						break
+					}
+				}
+				members = append(members, ms)
+			}
+		}
+	}
+	return &SCC{Comp: comp, Members: members}
+}
+
+// Condensation returns the DAG whose nodes are the SCCs of g, with an edge
+// c1→c2 whenever some edge of g crosses from component c1 to c2. Duplicate
+// cross edges are collapsed.
+func Condensation(g *Digraph, scc *SCC) *Digraph {
+	k := scc.NumComponents()
+	dag := New(k)
+	seen := make(map[[2]int]bool)
+	for u, a := range g.adj {
+		cu := scc.Comp[u]
+		for _, v := range a {
+			cv := scc.Comp[v]
+			if cu == cv {
+				continue
+			}
+			key := [2]int{cu, cv}
+			if !seen[key] {
+				seen[key] = true
+				dag.AddEdge(cu, cv)
+			}
+		}
+	}
+	return dag
+}
+
+// Reachability answers "is there a path u⇝v?" queries on an arbitrary
+// digraph in O(1) after O(N·M/64) precomputation, by computing the
+// transitive closure of the SCC condensation with bit-set rows.
+type Reachability struct {
+	scc  *SCC
+	rows []*bitset.Set // rows[c] = components reachable from component c (incl. itself)
+}
+
+// NewReachability precomputes reachability for g. The SCC numbering from
+// Tarjan is in reverse topological order, so processing components 0,1,...
+// visits every successor component before its predecessors.
+func NewReachability(g *Digraph) *Reachability {
+	scc := StronglyConnected(g)
+	dag := Condensation(g, scc)
+	k := scc.NumComponents()
+	rows := make([]*bitset.Set, k)
+	// Tarjan numbers components in reverse topological order: every edge of
+	// the condensation goes from a higher id to a lower id. Ascending order
+	// therefore processes all successors before their predecessors.
+	for c := 0; c < k; c++ {
+		row := bitset.New(k)
+		row.Add(c)
+		for _, d := range dag.Succ(c) {
+			row.Union(rows[d])
+		}
+		rows[c] = row
+	}
+	return &Reachability{scc: scc, rows: rows}
+}
+
+// SCC returns the component structure computed for the graph.
+func (r *Reachability) SCC() *SCC { return r.scc }
+
+// Reaches reports whether there is a (possibly empty) path from u to v.
+// Reaches(u, u) is always true.
+func (r *Reachability) Reaches(u, v int) bool {
+	return r.rows[r.scc.Comp[u]].Contains(r.scc.Comp[v])
+}
+
+// ReachesProper reports whether there is a non-trivial path from u to v:
+// u≠v on a path, or u and v lie on a common cycle.
+func (r *Reachability) ReachesProper(u, v int) bool {
+	if u == v {
+		// A proper path u⇝u exists iff u is on a cycle, i.e. its SCC has
+		// more than one node or a self-loop. Self-loops never occur in
+		// happens-before graphs, so component size is the test we need.
+		return len(r.scc.Members[r.scc.Comp[u]]) > 1
+	}
+	return r.Reaches(u, v)
+}
+
+// Ordered reports whether u and v are ordered either way — the negation of
+// the paper's "not ordered by the hb1 relation" race test.
+func (r *Reachability) Ordered(u, v int) bool {
+	return r.Reaches(u, v) || r.Reaches(v, u)
+}
+
+// ComponentReaches reports whether component c1 reaches component c2 in the
+// condensation (used for the partition order P of Definition 4.1).
+func (r *Reachability) ComponentReaches(c1, c2 int) bool {
+	return r.rows[c1].Contains(c2)
+}
+
+// TopologicalOrder returns a topological order of g's nodes, or an error if
+// g has a cycle. It is used by the SC-verifier to linearize candidate
+// prefixes.
+func TopologicalOrder(g *Digraph) ([]int, error) {
+	n := g.N()
+	indeg := make([]int, n)
+	for _, a := range g.adj {
+		for _, v := range a {
+			indeg[v]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range g.adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d nodes ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether g has no directed cycle.
+func IsAcyclic(g *Digraph) bool {
+	_, err := TopologicalOrder(g)
+	return err == nil
+}

@@ -1,0 +1,283 @@
+package litmus
+
+import (
+	"weakrace/internal/memmodel"
+	"weakrace/internal/program"
+	"weakrace/internal/workload"
+)
+
+func weakOnly(m memmodel.Model) bool { return m.Weak() }
+
+// storeReorderOnly admits the models whose store buffers retire out of
+// order — the paper's four weak models, but not TSO's FIFO buffer.
+func storeReorderOnly(m memmodel.Model) bool { return m.AllowsStoreReordering() }
+
+func never(memmodel.Model) bool { return false }
+
+func wl(name string, prog *program.Program, init map[program.Addr]int64) *workload.Workload {
+	return &workload.Workload{Name: name, Prog: prog, InitMemory: init}
+}
+
+// Catalog returns the litmus tests, each annotated with the outcomes the
+// simulator's models allow.
+func Catalog() []*Test {
+	return []*Test{
+		storeBuffering(),
+		messagePassing(),
+		messagePassingSynced(),
+		messagePassingFenced(),
+		loadBuffering(),
+		coherenceRR(),
+		coherenceWW(),
+		iriw(),
+		wrc(),
+		testAndSetAtomicity(),
+	}
+}
+
+// SB: store buffering. Both processors may read 0 when their own write is
+// still buffered — the signature relaxation of write buffering, allowed
+// on every weak model and forbidden under SC.
+func storeBuffering() *Test {
+	b := program.NewBuilder("litmus-sb", 2, 1)
+	b.Thread("P1").
+		Write(program.At(0), program.Imm(1)).
+		Read(0, program.At(1))
+	b.Thread("P2").
+		Write(program.At(1), program.Imm(1)).
+		Read(0, program.At(0))
+	return &Test{
+		Name:        "SB",
+		Description: "store buffering: Wx;Ry ∥ Wy;Rx — may both read 0?",
+		Workload:    wl("litmus-sb", b.MustBuild(), nil),
+		Observables: []Observable{
+			{Name: "r1", CPU: 0, Nth: 0},
+			{Name: "r2", CPU: 1, Nth: 0},
+		},
+		Relaxed:          "r1=0 r2=0",
+		AllowedOn:        weakOnly,
+		ExpectObservable: true,
+		RetireProb:       0.05,
+	}
+}
+
+// MP: message passing without synchronization (the paper's Figure 1a).
+// The reader may see the flag but stale data when the writer's buffer
+// retires out of order.
+func messagePassing() *Test {
+	w := workload.Figure1a()
+	return &Test{
+		Name:        "MP",
+		Description: "message passing, no sync: Wx;Wy ∥ Ry;Rx — flag without data?",
+		Workload:    w,
+		Observables: []Observable{
+			{Name: "ry", CPU: 1, Nth: 0},
+			{Name: "rx", CPU: 1, Nth: 1},
+		},
+		Relaxed:          "rx=0 ry=1",
+		AllowedOn:        storeReorderOnly, // TSO's FIFO buffer forbids it
+		ExpectObservable: true,
+		// Background retirement must commit y early while x stays
+		// buffered; the default retirement rate maximizes that window.
+		RetireProb: 0.3,
+	}
+}
+
+// MP+sync: the paper's Figure 1b. Proper Unset/Test&Set pairing forbids
+// the relaxed outcome on every model — the DRF guarantee.
+func messagePassingSynced() *Test {
+	w := workload.Figure1b()
+	return &Test{
+		Name:        "MP+sync",
+		Description: "message passing through Unset/Test&Set — stale data forbidden everywhere",
+		Workload:    w,
+		Observables: []Observable{
+			{Name: "ry", CPU: 1, Nth: 0},
+			{Name: "rx", CPU: 1, Nth: 1},
+		},
+		Relaxed:   "rx=0 ry=1",
+		AllowedOn: never,
+	}
+}
+
+// MP+fence: a fence between the writes drains the buffer, restoring the
+// write order; the simulator never reorders reads, so the reader needs no
+// fence. Forbidden on every model.
+func messagePassingFenced() *Test {
+	b := program.NewBuilder("litmus-mp-fence", 2, 2)
+	b.Thread("P1").
+		Write(program.At(0), program.Imm(1)).
+		Fence().
+		Write(program.At(1), program.Imm(1))
+	b.Thread("P2").
+		Read(0, program.At(1)).
+		Read(1, program.At(0))
+	return &Test{
+		Name:        "MP+fence",
+		Description: "message passing with a writer-side fence — stale data forbidden",
+		Workload:    wl("litmus-mp-fence", b.MustBuild(), nil),
+		Observables: []Observable{
+			{Name: "ry", CPU: 1, Nth: 0},
+			{Name: "rx", CPU: 1, Nth: 1},
+		},
+		Relaxed:   "rx=0 ry=1",
+		AllowedOn: never,
+	}
+}
+
+// LB: load buffering. Seeing each other's later writes would require read
+// speculation, which the simulator does not implement (its honest
+// configurations execute reads at issue). Forbidden on every model —
+// stronger than the WO specification requires, which is sound for the
+// DRF guarantee.
+func loadBuffering() *Test {
+	b := program.NewBuilder("litmus-lb", 2, 1)
+	b.Thread("P1").
+		Read(0, program.At(0)).
+		Write(program.At(1), program.Imm(1))
+	b.Thread("P2").
+		Read(0, program.At(1)).
+		Write(program.At(0), program.Imm(1))
+	return &Test{
+		Name:        "LB",
+		Description: "load buffering: Rx;Wy ∥ Ry;Wx — may both read 1?",
+		Workload:    wl("litmus-lb", b.MustBuild(), nil),
+		Observables: []Observable{
+			{Name: "r1", CPU: 0, Nth: 0},
+			{Name: "r2", CPU: 1, Nth: 0},
+		},
+		Relaxed:   "r1=1 r2=1",
+		AllowedOn: never,
+	}
+}
+
+// CoRR: coherence of read-read. Two reads of one location by one
+// processor never observe values moving backwards. Forbidden everywhere
+// (per-location write order is FIFO and reads execute in order).
+func coherenceRR() *Test {
+	b := program.NewBuilder("litmus-corr", 1, 2)
+	b.Thread("P1").
+		Write(program.At(0), program.Imm(1))
+	b.Thread("P2").
+		Read(0, program.At(0)).
+		Read(1, program.At(0))
+	return &Test{
+		Name:        "CoRR",
+		Description: "coherence: P2 reads x twice — new then old forbidden",
+		Workload:    wl("litmus-corr", b.MustBuild(), nil),
+		Observables: []Observable{
+			{Name: "ra", CPU: 1, Nth: 0},
+			{Name: "rb", CPU: 1, Nth: 1},
+		},
+		Relaxed:   "ra=1 rb=0",
+		AllowedOn: never,
+	}
+}
+
+// CoWW: coherence of write-write. A processor's two writes to one
+// location always commit in program order; a third party's final read
+// (after joining through sync) sees the second value. We check the final
+// memory indirectly through a reader synchronized by a release.
+func coherenceWW() *Test {
+	b := program.NewBuilder("litmus-coww", 3, 2)
+	b.Thread("P1").
+		Write(program.At(0), program.Imm(1)).
+		Write(program.At(0), program.Imm(2)).
+		Unset(program.At(1))
+	b.Thread("P2").
+		Label("spin").
+		TestAndSet(0, program.At(1)).
+		BranchNotZero(0, "spin").
+		Read(0, program.At(0))
+	return &Test{
+		Name:        "CoWW",
+		Description: "coherence: Wx=1;Wx=2;Unset ∥ acquire;Rx — reading 1 forbidden",
+		Workload:    wl("litmus-coww", b.MustBuild(), map[program.Addr]int64{1: 1}),
+		Observables: []Observable{
+			{Name: "rx", CPU: 1, Nth: 0},
+		},
+		Relaxed:   "rx=1",
+		AllowedOn: never,
+	}
+}
+
+// IRIW: independent reads of independent writes. Observing the two writes
+// in opposite orders requires non-multi-copy-atomic stores; the simulator
+// commits writes atomically to one shared memory, so this is forbidden on
+// every model.
+func iriw() *Test {
+	b := program.NewBuilder("litmus-iriw", 2, 2)
+	b.Thread("P1").Write(program.At(0), program.Imm(1))
+	b.Thread("P2").Write(program.At(1), program.Imm(1))
+	b.Thread("P3").
+		Read(0, program.At(0)).
+		Read(1, program.At(1))
+	b.Thread("P4").
+		Read(0, program.At(1)).
+		Read(1, program.At(0))
+	return &Test{
+		Name:        "IRIW",
+		Description: "independent reads of independent writes — opposite orders forbidden",
+		Workload:    wl("litmus-iriw", b.MustBuild(), nil),
+		Observables: []Observable{
+			{Name: "p3x", CPU: 2, Nth: 0},
+			{Name: "p3y", CPU: 2, Nth: 1},
+			{Name: "p4y", CPU: 3, Nth: 0},
+			{Name: "p4x", CPU: 3, Nth: 1},
+		},
+		Relaxed:   "p3x=1 p3y=0 p4x=0 p4y=1",
+		AllowedOn: never,
+	}
+}
+
+// WRC: write-to-read causality. P2 observes P1's write and then writes y;
+// P3 observes y and must then observe x (cumulativity). The simulator's
+// single shared memory with in-order reads forbids the relaxed outcome on
+// every model.
+func wrc() *Test {
+	b := program.NewBuilder("litmus-wrc", 2, 2)
+	b.Thread("P1").Write(program.At(0), program.Imm(1))
+	b.Thread("P2").
+		Read(0, program.At(0)).
+		Write(program.At(1), program.FromReg(0))
+	b.Thread("P3").
+		Read(0, program.At(1)).
+		Read(1, program.At(0))
+	return &Test{
+		Name:        "WRC",
+		Description: "write-to-read causality: P3 sees y=1 but x=0 forbidden",
+		Workload:    wl("litmus-wrc", b.MustBuild(), nil),
+		Observables: []Observable{
+			{Name: "ry", CPU: 2, Nth: 0},
+			{Name: "rx", CPU: 2, Nth: 1},
+		},
+		Relaxed:   "rx=0 ry=1",
+		AllowedOn: never,
+	}
+}
+
+// Test&Set atomicity: two competing Test&Sets on a free lock can never
+// both read 0. Each processor publishes what it read through a private
+// cell so the outcome is observable via data reads.
+func testAndSetAtomicity() *Test {
+	b := program.NewBuilder("litmus-tas", 3, 2)
+	b.Thread("P1").
+		TestAndSet(0, program.At(0)).
+		Write(program.At(1), program.FromReg(0)).
+		Read(1, program.At(1))
+	b.Thread("P2").
+		TestAndSet(0, program.At(0)).
+		Write(program.At(2), program.FromReg(0)).
+		Read(1, program.At(2))
+	return &Test{
+		Name:        "TAS",
+		Description: "Test&Set atomicity: both winning a free lock forbidden",
+		Workload:    wl("litmus-tas", b.MustBuild(), nil),
+		Observables: []Observable{
+			{Name: "w1", CPU: 0, Nth: 0},
+			{Name: "w2", CPU: 1, Nth: 0},
+		},
+		Relaxed:   "w1=0 w2=0",
+		AllowedOn: never,
+	}
+}

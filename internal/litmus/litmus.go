@@ -1,0 +1,154 @@
+// Package litmus validates the simulator's memory-model semantics with
+// the classic litmus tests (store buffering, message passing, coherence,
+// load buffering, IRIW, Test&Set atomicity). Each test names a relaxed
+// outcome and states, per model, whether the simulated hardware may
+// exhibit it; the catalog doubles as executable documentation of exactly
+// which relaxations the simulator implements (write buffering with
+// non-FIFO retirement and read bypassing) and which it does not (read
+// reordering, value speculation, non-multi-copy-atomic stores).
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/sim"
+	"weakrace/internal/workload"
+)
+
+// Observable names one read whose value is part of a test's outcome: the
+// nth data read executed by a processor.
+type Observable struct {
+	Name string // label used in outcome strings, e.g. "r1"
+	CPU  int
+	Nth  int // 0-based index among the processor's data reads
+}
+
+// Test is one litmus test.
+type Test struct {
+	Name        string
+	Description string
+	Workload    *workload.Workload
+	Observables []Observable
+	// Relaxed is the outcome (as produced by formatOutcome) that
+	// distinguishes weak behaviour from sequential consistency.
+	Relaxed string
+	// AllowedOn reports whether the simulated model may exhibit Relaxed.
+	AllowedOn func(memmodel.Model) bool
+	// ExpectObservable marks tests whose relaxed outcome should actually
+	// appear within the seed budget on every model that allows it (used
+	// to catch a simulator that is accidentally too strong).
+	ExpectObservable bool
+	// RetireProb tunes the run; 0 uses the default. Smaller values widen
+	// reordering windows.
+	RetireProb float64
+}
+
+// Result aggregates the outcomes of running one test on one model.
+type Result struct {
+	Test    *Test
+	Model   memmodel.Model
+	Seeds   int
+	Counts  map[string]int
+	Relaxed int // occurrences of the test's relaxed outcome
+}
+
+// Forbidden reports whether the relaxed outcome appeared even though the
+// model forbids it — a simulator soundness bug.
+func (r *Result) Forbidden() bool {
+	return r.Relaxed > 0 && !r.Test.AllowedOn(r.Model)
+}
+
+// MissedExpected reports whether an expected-observable relaxed outcome
+// never appeared on a model that allows it.
+func (r *Result) MissedExpected() bool {
+	return r.Relaxed == 0 && r.Test.AllowedOn(r.Model) && r.Test.ExpectObservable
+}
+
+// String summarizes the result as one line.
+func (r *Result) String() string {
+	verdict := "forbidden"
+	if r.Test.AllowedOn(r.Model) {
+		verdict = "allowed"
+	}
+	return fmt.Sprintf("%-14s %-5s relaxed %-9s observed %4d/%d",
+		r.Test.Name, r.Model, verdict, r.Relaxed, r.Seeds)
+}
+
+// Run executes the test on the model across seeds [0, seeds).
+func Run(t *Test, model memmodel.Model, seeds int) (*Result, error) {
+	res := &Result{Test: t, Model: model, Seeds: seeds, Counts: map[string]int{}}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		r, err := sim.Run(t.Workload.Prog, sim.Config{
+			Model: model, Seed: seed,
+			RetireProb: t.RetireProb,
+			InitMemory: t.Workload.InitMemory,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("litmus %s on %v seed %d: %w", t.Name, model, seed, err)
+		}
+		if !r.Completed {
+			continue
+		}
+		outcome, err := formatOutcome(t, r.Exec)
+		if err != nil {
+			return nil, fmt.Errorf("litmus %s on %v seed %d: %w", t.Name, model, seed, err)
+		}
+		res.Counts[outcome]++
+		if outcome == t.Relaxed {
+			res.Relaxed++
+		}
+	}
+	return res, nil
+}
+
+// formatOutcome renders the observables as "r1=0 r2=1" (sorted by name).
+func formatOutcome(t *Test, e *sim.Execution) (string, error) {
+	vals := make(map[string]int64, len(t.Observables))
+	for _, ob := range t.Observables {
+		n := 0
+		found := false
+		for _, op := range e.OpsOf(ob.CPU) {
+			if op.Kind != sim.OpDataRead {
+				continue
+			}
+			if n == ob.Nth {
+				vals[ob.Name] = op.Value
+				found = true
+				break
+			}
+			n++
+		}
+		if !found {
+			return "", fmt.Errorf("observable %s: P%d has no data read #%d", ob.Name, ob.CPU+1, ob.Nth)
+		}
+	}
+	names := make([]string, 0, len(vals))
+	for n := range vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, vals[n])
+	}
+	return strings.Join(parts, " "), nil
+}
+
+// RunAll runs every catalog test on every model and returns the results
+// in catalog × model order.
+func RunAll(seeds int) ([]*Result, error) {
+	var out []*Result
+	for _, t := range Catalog() {
+		for _, model := range memmodel.All {
+			r, err := Run(t, model, seeds)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"weakrace/internal/memmodel"
+)
+
+const seeds = 1000
+
+// The whole catalog, against every model: forbidden outcomes never
+// appear; expected-observable relaxed outcomes appear on every model that
+// allows them.
+func TestCatalogSoundAndComplete(t *testing.T) {
+	results, err := RunAll(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Catalog())*len(memmodel.All) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Forbidden() {
+			t.Errorf("%s on %v: forbidden relaxed outcome observed %d times (counts %v)",
+				r.Test.Name, r.Model, r.Relaxed, r.Counts)
+		}
+		if r.MissedExpected() {
+			t.Errorf("%s on %v: relaxed outcome allowed and expected but never observed in %d seeds",
+				r.Test.Name, r.Model, r.Seeds)
+		}
+		if r.String() == "" {
+			t.Error("empty result string")
+		}
+	}
+}
+
+// Sanity of the catalog itself: every test's relaxed outcome is a
+// well-formed outcome over its observables, and every workload validates.
+func TestCatalogWellFormed(t *testing.T) {
+	names := map[string]bool{}
+	for _, tc := range Catalog() {
+		if names[tc.Name] {
+			t.Errorf("duplicate test name %q", tc.Name)
+		}
+		names[tc.Name] = true
+		if err := tc.Workload.Prog.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.Name, err)
+		}
+		if len(tc.Observables) == 0 {
+			t.Errorf("%s: no observables", tc.Name)
+		}
+		for _, ob := range tc.Observables {
+			if !strings.Contains(tc.Relaxed, ob.Name+"=") {
+				t.Errorf("%s: relaxed outcome %q missing observable %s", tc.Name, tc.Relaxed, ob.Name)
+			}
+			if ob.CPU < 0 || ob.CPU >= tc.Workload.Prog.NumThreads() {
+				t.Errorf("%s: observable %s CPU out of range", tc.Name, ob.Name)
+			}
+		}
+	}
+}
+
+// SB on SC must be exactly the three SC-reachable outcomes.
+func TestStoreBufferingOutcomeSpaceUnderSC(t *testing.T) {
+	r, err := Run(storeBuffering(), memmodel.SC, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for outcome := range r.Counts {
+		if outcome == "r1=0 r2=0" {
+			t.Fatalf("SC produced the relaxed SB outcome")
+		}
+	}
+	// At least two of the three legal outcomes should show up in 400 seeds.
+	if len(r.Counts) < 2 {
+		t.Fatalf("suspiciously few SB outcomes under SC: %v", r.Counts)
+	}
+}
+
+// The observable extractor fails loudly when a read is missing.
+func TestMissingObservable(t *testing.T) {
+	tc := storeBuffering()
+	tc.Observables = []Observable{{Name: "rz", CPU: 0, Nth: 5}}
+	if _, err := Run(tc, memmodel.SC, 1); err == nil {
+		t.Fatal("missing observable not reported")
+	}
+}

@@ -1,0 +1,183 @@
+// Package lockset implements the Eraser-style lockset algorithm as a
+// second baseline detector. Where the paper's technique (and the
+// on-the-fly vector-clock baseline) reason about the happens-before-1
+// relation of ONE execution, lockset checking enforces a locking
+// discipline: every shared location must be consistently protected by
+// some lock. That makes it schedule-insensitive — a missing-lock bug is
+// flagged even in executions where the accesses happened to be ordered —
+// at the price of false positives on lock-free synchronization
+// (release/acquire flags, barriers), which the happens-before approach
+// handles exactly.
+//
+// The experiment table T9 quantifies this classic trade-off against the
+// paper's detector.
+package lockset
+
+import (
+	"sort"
+
+	"weakrace/internal/program"
+	"weakrace/internal/sim"
+)
+
+// state is the per-location Eraser state machine.
+type state int
+
+const (
+	virgin state = iota
+	exclusive
+	shared
+	sharedModified
+)
+
+// lockSet is a small set of lock locations.
+type lockSet map[program.Addr]bool
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for l := range s {
+		c[l] = true
+	}
+	return c
+}
+
+func (s lockSet) intersect(other lockSet) {
+	for l := range s {
+		if !other[l] {
+			delete(s, l)
+		}
+	}
+}
+
+// Finding is one location flagged by the lockset checker.
+type Finding struct {
+	// Loc is the unprotected shared location.
+	Loc program.Addr
+	// FirstUnprotected is the operation that emptied the candidate set.
+	FirstUnprotected sim.StaticOp
+	// State is the Eraser state at report time (always sharedModified:
+	// read-shared data with an empty set is not reported, matching
+	// Eraser's refinement).
+	State string
+}
+
+// Result is the checker's output.
+type Result struct {
+	// Findings lists flagged locations, by location.
+	Findings []Finding
+	// Checked counts data operations processed.
+	Checked int
+}
+
+// Flagged reports whether loc was flagged.
+func (r *Result) Flagged(loc program.Addr) bool {
+	for _, f := range r.Findings {
+		if f.Loc == loc {
+			return true
+		}
+	}
+	return false
+}
+
+// locState is the checker's per-location record.
+type locState struct {
+	st         state
+	owner      int     // owning CPU while exclusive
+	candidates lockSet // initialized on first shared access
+	reported   bool
+	finding    Finding
+}
+
+// Check runs the lockset discipline over an execution. Lock acquisition
+// is a successful Test&Set (an acquire read returning 0 followed by the
+// sync write); release is an Unset (a release write of 0 to a held lock).
+// Explicit SyncRead/SyncWrite flags are deliberately NOT treated as locks
+// — they do not protect regions — which is exactly where the lockset
+// discipline reports its characteristic false positives.
+func Check(e *sim.Execution) *Result {
+	held := make([]lockSet, e.NumCPUs)
+	for c := range held {
+		held[c] = lockSet{}
+	}
+	// A Test&Set's acquire-read is immediately followed by its sync-write
+	// (same processor, step, and pc); a standalone SyncRead is not. Only
+	// the former acquires a lock.
+	isTas := make(map[int]bool)
+	for c := 0; c < e.NumCPUs; c++ {
+		ops := e.OpsOf(c)
+		for i := 0; i+1 < len(ops); i++ {
+			if ops[i].Kind == sim.OpAcquireRead && ops[i+1].Kind == sim.OpSyncWriteOther &&
+				ops[i].Step == ops[i+1].Step && ops[i].PC == ops[i+1].PC {
+				isTas[ops[i].ID] = true
+			}
+		}
+	}
+	locs := map[program.Addr]*locState{}
+	res := &Result{}
+
+	for _, op := range e.Ops {
+		c := op.CPU
+		switch op.Kind {
+		case sim.OpAcquireRead:
+			// A Test&Set that read 0 wins the lock; a standalone SyncRead
+			// (flag synchronization) is not a lock — which is precisely
+			// where the lockset discipline produces its false positives.
+			if op.Value == 0 && isTas[op.ID] {
+				held[c][op.Loc] = true
+			}
+		case sim.OpReleaseWrite:
+			delete(held[c], op.Loc)
+		case sim.OpSyncWriteOther:
+			// The write half of a Test&Set: no lockset effect.
+		case sim.OpDataRead, sim.OpDataWrite:
+			res.Checked++
+			ls := locs[op.Loc]
+			if ls == nil {
+				ls = &locState{st: virgin}
+				locs[op.Loc] = ls
+			}
+			write := op.Kind == sim.OpDataWrite
+			switch ls.st {
+			case virgin:
+				ls.st = exclusive
+				ls.owner = c
+			case exclusive:
+				if c == ls.owner {
+					break
+				}
+				// Second thread: enter shared states and start refining.
+				ls.candidates = held[c].clone()
+				if write {
+					ls.st = sharedModified
+				} else {
+					ls.st = shared
+				}
+			case shared:
+				ls.candidates.intersect(held[c])
+				if write {
+					ls.st = sharedModified
+				}
+			case sharedModified:
+				ls.candidates.intersect(held[c])
+			}
+			if ls.st == sharedModified && len(ls.candidates) == 0 && !ls.reported {
+				ls.reported = true
+				ls.finding = Finding{
+					Loc:              op.Loc,
+					FirstUnprotected: op.Static(),
+					State:            "shared-modified",
+				}
+			}
+		}
+	}
+
+	for _, ls := range locs {
+		if ls.reported {
+			res.Findings = append(res.Findings, ls.finding)
+		}
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		return res.Findings[i].Loc < res.Findings[j].Loc
+	})
+	return res
+}

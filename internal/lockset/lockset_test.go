@@ -1,0 +1,140 @@
+package lockset
+
+import (
+	"testing"
+
+	"weakrace/internal/core"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/program"
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+func runExec(t *testing.T, w *workload.Workload, seed int64) *sim.Execution {
+	t.Helper()
+	r, err := sim.Run(w.Prog, sim.Config{Model: memmodel.WO, Seed: seed, InitMemory: w.InitMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Exec
+}
+
+func TestCleanLockingPasses(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		res := Check(runExec(t, workload.LockedCounter(3, 3, -1), seed))
+		if len(res.Findings) != 0 {
+			t.Fatalf("seed %d: clean locking flagged: %+v", seed, res.Findings)
+		}
+		if res.Checked == 0 {
+			t.Fatal("no data operations checked")
+		}
+	}
+}
+
+// The lockset discipline is schedule-insensitive: the missing-lock bug is
+// flagged on EVERY seed, including those where the happens-before
+// detector sees no race because the accesses happened to be ordered.
+func TestMissingLockFlaggedEverySeed(t *testing.T) {
+	w := workload.LockedCounter(3, 3, 1)
+	hbMissedSomewhere := false
+	for seed := int64(0); seed < 25; seed++ {
+		e := runExec(t, w, seed)
+		res := Check(e)
+		if !res.Flagged(0) {
+			t.Fatalf("seed %d: missing-lock bug not flagged", seed)
+		}
+		a, err := core.Analyze(trace.FromExecution(e), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.RaceFree() {
+			hbMissedSomewhere = true // the bug was masked by this schedule
+		}
+	}
+	if !hbMissedSomewhere {
+		t.Log("note: happens-before found the race on every seed too (schedule-dependent)")
+	}
+}
+
+// The classic lockset false positive: ownership handoff through a
+// release/acquire flag. P1 writes the buffer and publishes it; P2
+// acquires and then WRITES the buffer. Race-free under happens-before
+// (the flag orders everything), but no lock ever protects the buffer, so
+// the lockset discipline reports it.
+func TestFlagSynchronizationFalsePositive(t *testing.T) {
+	b := program.NewBuilder("handoff-write", 2, 1)
+	b.Thread("P1").
+		Write(program.At(0), program.Imm(1)).
+		SyncWrite(program.At(1), program.Imm(1))
+	b.Thread("P2").
+		Label("wait").
+		SyncRead(0, program.At(1)).
+		BranchZero(0, "wait").
+		Write(program.At(0), program.Imm(2)) // new owner writes the buffer
+	p := b.MustBuild()
+	r, err := sim.Run(p, sim.Config{Model: memmodel.WO, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(trace.FromExecution(r.Exec), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.RaceFree() {
+		t.Fatal("flag handoff racy under happens-before?")
+	}
+	res := Check(r.Exec)
+	if !res.Flagged(0) {
+		t.Fatalf("lockset did not produce its characteristic false positive: %+v", res.Findings)
+	}
+}
+
+// Single-writer flag pipelines do NOT false-positive: the consumer only
+// reads, so the location stays in the shared (read) state, which Eraser
+// deliberately does not report.
+func TestSingleWriterPipelineNotFlagged(t *testing.T) {
+	w := workload.ProducerConsumer(3, true)
+	res := Check(runExec(t, w, 1))
+	if len(res.Findings) != 0 {
+		t.Fatalf("single-writer pipeline flagged: %+v", res.Findings)
+	}
+}
+
+// Read-only sharing is never reported (the shared state does not report).
+func TestReadOnlySharingNotFlagged(t *testing.T) {
+	// Location 0 is preset and only ever read, by both threads.
+	b := program.NewBuilder("read-share", 1, 1)
+	b.Thread("P1").Read(0, program.At(0))
+	b.Thread("P2").Read(0, program.At(0))
+	p := b.MustBuild()
+	r, err := sim.Run(p, sim.Config{Model: memmodel.SC, Seed: 1,
+		InitMemory: map[program.Addr]int64{0: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Check(r.Exec)
+	if len(res.Findings) != 0 {
+		t.Fatalf("read-only sharing flagged: %+v", res.Findings)
+	}
+}
+
+func TestExclusiveThenSharedWrite(t *testing.T) {
+	// P1 writes x unlocked (exclusive), P2 then writes x unlocked →
+	// shared-modified with empty candidates → flagged.
+	b := program.NewBuilder("ww", 1, 1)
+	b.Thread("P1").Write(program.At(0), program.Imm(1))
+	b.Thread("P2").Write(program.At(0), program.Imm(2))
+	p := b.MustBuild()
+	r, err := sim.Run(p, sim.Config{Model: memmodel.SC, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Check(r.Exec)
+	if !res.Flagged(0) {
+		t.Fatal("unlocked write-write sharing not flagged")
+	}
+	if res.Findings[0].State != "shared-modified" {
+		t.Fatalf("state = %q", res.Findings[0].State)
+	}
+}

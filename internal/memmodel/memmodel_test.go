@@ -1,0 +1,188 @@
+package memmodel
+
+import "testing"
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	for _, m := range All {
+		got, err := Parse(m.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Fatalf("Parse(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+	if _, err := Parse("PC"); err == nil {
+		t.Fatal("Parse accepted unknown model")
+	}
+}
+
+func TestWeak(t *testing.T) {
+	if SC.Weak() {
+		t.Fatal("SC reported weak")
+	}
+	for _, m := range []Model{WO, RCsc, DRF0, DRF1, TSO} {
+		if !m.Weak() {
+			t.Fatalf("%v not reported weak", m)
+		}
+	}
+}
+
+func TestBuffersData(t *testing.T) {
+	if SC.BuffersData() {
+		t.Fatal("SC must not buffer data writes")
+	}
+	for _, m := range []Model{WO, RCsc, DRF0, DRF1, TSO} {
+		if !m.BuffersData() {
+			t.Fatalf("%v must buffer data writes", m)
+		}
+	}
+}
+
+func TestDrainsBefore(t *testing.T) {
+	cases := []struct {
+		m    Model
+		r    Role
+		want bool
+	}{
+		// SC: vacuous.
+		{SC, RoleAcquire, false},
+		{SC, RoleRelease, false},
+		// WO/DRF0: every sync op and fence drains.
+		{WO, RoleAcquire, true},
+		{WO, RoleRelease, true},
+		{WO, RoleSyncOther, true},
+		{WO, RoleFence, true},
+		{WO, RoleData, false},
+		{DRF0, RoleAcquire, true},
+		{DRF0, RoleSyncOther, true},
+		// RCsc/DRF1: only releases and fences drain; acquires do not.
+		{RCsc, RoleRelease, true},
+		{RCsc, RoleFence, true},
+		{RCsc, RoleAcquire, false},
+		{RCsc, RoleSyncOther, false},
+		{DRF1, RoleRelease, true},
+		{DRF1, RoleAcquire, false},
+		// TSO: releases, Test&Set writes and fences drain; acquires do not.
+		{TSO, RoleRelease, true},
+		{TSO, RoleSyncOther, true},
+		{TSO, RoleFence, true},
+		{TSO, RoleAcquire, false},
+		{TSO, RoleData, false},
+	}
+	for _, c := range cases {
+		if got := c.m.DrainsBefore(c.r); got != c.want {
+			t.Errorf("%v.DrainsBefore(%v) = %v, want %v", c.m, c.r, got, c.want)
+		}
+	}
+}
+
+func TestBlocksAfter(t *testing.T) {
+	if !SC.BlocksAfter(RoleData) {
+		t.Fatal("SC blocks after every operation")
+	}
+	if !WO.BlocksAfter(RoleAcquire) || !WO.BlocksAfter(RoleRelease) {
+		t.Fatal("WO blocks after every sync op")
+	}
+	if WO.BlocksAfter(RoleData) {
+		t.Fatal("WO does not block after data ops")
+	}
+	if !RCsc.BlocksAfter(RoleAcquire) {
+		t.Fatal("RCsc blocks after acquires")
+	}
+	if RCsc.BlocksAfter(RoleRelease) {
+		t.Fatal("RCsc does not block after releases")
+	}
+}
+
+func TestDistinguishesAcquireRelease(t *testing.T) {
+	for m, want := range map[Model]bool{SC: false, WO: false, DRF0: false, RCsc: true, DRF1: true, TSO: false} {
+		if got := m.DistinguishesAcquireRelease(); got != want {
+			t.Errorf("%v.DistinguishesAcquireRelease = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestRoleClassification(t *testing.T) {
+	for r, want := range map[Role]bool{
+		RoleData: false, RoleAcquire: true, RoleRelease: true,
+		RoleSyncOther: true, RoleFence: false,
+	} {
+		if got := r.IsSync(); got != want {
+			t.Errorf("%v.IsSync = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestPairingPolicy(t *testing.T) {
+	if !ConservativePairing.CanPair(RoleRelease) {
+		t.Fatal("conservative must pair releases")
+	}
+	if ConservativePairing.CanPair(RoleSyncOther) {
+		t.Fatal("conservative must not pair Test&Set writes (paper §2.1)")
+	}
+	if !LiberalPairing.CanPair(RoleSyncOther) {
+		t.Fatal("liberal should pair Test&Set writes")
+	}
+	if LiberalPairing.CanPair(RoleData) || ConservativePairing.CanPair(RoleAcquire) {
+		t.Fatal("only sync writes can be the release side of a pair")
+	}
+}
+
+func TestDefaultPairing(t *testing.T) {
+	for m, want := range map[Model]PairingPolicy{
+		SC: ConservativePairing, WO: LiberalPairing, DRF0: LiberalPairing,
+		RCsc: ConservativePairing, DRF1: ConservativePairing, TSO: LiberalPairing,
+	} {
+		if got := m.DefaultPairing(); got != want {
+			t.Errorf("%v.DefaultPairing = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	for _, m := range All {
+		pr := Describe(m)
+		if pr.Model != m {
+			t.Fatalf("Describe(%v).Model = %v", m, pr.Model)
+		}
+		if pr.BuffersData != m.BuffersData() ||
+			pr.DrainsAtAcquire != m.DrainsBefore(RoleAcquire) ||
+			pr.DrainsAtRelease != m.DrainsBefore(RoleRelease) ||
+			pr.DistinguishesAcqRel != m.DistinguishesAcquireRelease() {
+			t.Fatalf("Describe(%v) inconsistent: %+v", m, pr)
+		}
+		if !pr.GuaranteesSCForDRF {
+			t.Fatalf("%v must guarantee SC for DRF programs", m)
+		}
+		if pr.GuaranteesSCForAll != (m == SC) {
+			t.Fatalf("%v GuaranteesSCForAll wrong", m)
+		}
+	}
+}
+
+func TestFIFOAndStoreReordering(t *testing.T) {
+	for m, fifo := range map[Model]bool{
+		SC: false, WO: false, RCsc: false, DRF0: false, DRF1: false, TSO: true,
+	} {
+		if m.FIFOStoreBuffer() != fifo {
+			t.Errorf("%v.FIFOStoreBuffer = %v", m, m.FIFOStoreBuffer())
+		}
+	}
+	for m, reorder := range map[Model]bool{
+		SC: false, WO: true, RCsc: true, DRF0: true, DRF1: true, TSO: false,
+	} {
+		if m.AllowsStoreReordering() != reorder {
+			t.Errorf("%v.AllowsStoreReordering = %v", m, m.AllowsStoreReordering())
+		}
+	}
+}
+
+func TestRoleAndPolicyStrings(t *testing.T) {
+	if RoleAcquire.String() != "acquire" || RoleRelease.String() != "release" {
+		t.Fatal("role names wrong")
+	}
+	if ConservativePairing.String() != "conservative" || LiberalPairing.String() != "liberal" {
+		t.Fatal("policy names wrong")
+	}
+}

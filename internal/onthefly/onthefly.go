@@ -1,0 +1,166 @@
+// Package onthefly implements the on-the-fly race detection baseline the
+// paper compares against in §5: a vector-clock detector in the style of
+// Dinning–Schonberg that processes operations as they execute, keeping a
+// bounded per-location access history instead of trace files.
+//
+// The paper's observation is that on-the-fly methods save secondary
+// storage but "are typically less accurate and have higher run-time
+// overhead than post-mortem techniques", because bounding the in-memory
+// history drops accesses that still race. Options.HistoryLimit makes that
+// trade-off explicit: unbounded history is exact at operation granularity;
+// small limits lose races (experiment T5).
+package onthefly
+
+import (
+	"sort"
+
+	"weakrace/internal/core"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/sim"
+	"weakrace/internal/vclock"
+)
+
+// Options configures the detector.
+type Options struct {
+	// HistoryLimit bounds the per-location, per-kind (read/write) access
+	// history. 0 means unbounded. Bounded histories evict the oldest
+	// entry — the source of the accuracy loss discussed in §5.
+	HistoryLimit int
+	// Pairing selects which synchronization writes transfer vector clocks
+	// to acquires, mirroring the post-mortem detector's policy.
+	Pairing memmodel.PairingPolicy
+}
+
+// Result is the detector's output plus its cost counters.
+type Result struct {
+	// Races holds the detected lower-level data races by static identity.
+	Races map[core.LowerLevelRace]bool
+	// SyncRaces counts detected synchronization-only races (not reported).
+	SyncRaces int
+	// OpsProcessed counts memory operations consumed.
+	OpsProcessed int
+	// Comparisons counts history-entry comparisons (the run-time overhead
+	// proxy of §5).
+	Comparisons int
+	// Evictions counts history entries dropped because of HistoryLimit —
+	// each one is a potential missed race.
+	Evictions int
+}
+
+// histEntry is one remembered access to a location.
+type histEntry struct {
+	epoch vclock.Epoch
+	pc    int
+	write bool
+	sync  bool
+}
+
+// history is a bounded FIFO of access entries.
+type history struct {
+	entries []histEntry
+	limit   int
+}
+
+func (h *history) add(e histEntry) (evicted bool) {
+	if h.limit > 0 && len(h.entries) >= h.limit {
+		copy(h.entries, h.entries[1:])
+		h.entries[len(h.entries)-1] = e
+		return true
+	}
+	h.entries = append(h.entries, e)
+	return false
+}
+
+// Detect runs the on-the-fly algorithm over the execution's operations in
+// issue order (the order the instrumented processors would observe them).
+func Detect(e *sim.Execution, opts Options) *Result {
+	res := &Result{Races: map[core.LowerLevelRace]bool{}}
+	vcs := make([]vclock.VC, e.NumCPUs)
+	for c := range vcs {
+		vcs[c] = vclock.New(e.NumCPUs)
+	}
+	// releaseVC holds the clock published by each pairable sync write.
+	releaseVC := map[int]vclock.VC{}
+	reads := make([]history, e.NumLocations)
+	writes := make([]history, e.NumLocations)
+	for i := range reads {
+		reads[i].limit = opts.HistoryLimit
+		writes[i].limit = opts.HistoryLimit
+	}
+
+	// Operations in global issue order: IDs are already that order.
+	ops := make([]sim.MemOp, len(e.Ops))
+	copy(ops, e.Ops)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].ID < ops[j].ID })
+
+	for _, op := range ops {
+		c := op.CPU
+		res.OpsProcessed++
+
+		// Acquire: import the pairing release's clock before checking the
+		// acquire's own access.
+		if op.Kind == sim.OpAcquireRead && op.ObservedWrite >= 0 {
+			if vc, ok := releaseVC[op.ObservedWrite]; ok {
+				vcs[c].Join(vc)
+			}
+		}
+
+		// Race checks against the remembered accesses.
+		sync := op.Kind.IsSync()
+		check := func(h *history) {
+			for _, ent := range h.entries {
+				res.Comparisons++
+				if ent.epoch.P == c {
+					continue // same processor: program-ordered
+				}
+				if ent.epoch.Covered(vcs[c]) {
+					continue // ordered by hb1
+				}
+				if ent.sync && sync {
+					res.SyncRaces++
+					continue
+				}
+				res.Races[core.LowerLevelRace{
+					Loc:     op.Loc,
+					X:       sim.StaticOp{CPU: ent.epoch.P, PC: ent.pc, Loc: op.Loc},
+					Y:       sim.StaticOp{CPU: c, PC: op.PC, Loc: op.Loc},
+					XWrites: ent.write, YWrites: op.Kind.IsWrite(),
+				}.Canonical()] = true
+			}
+		}
+		if op.Kind.IsRead() {
+			check(&writes[op.Loc])
+		} else {
+			check(&writes[op.Loc])
+			check(&reads[op.Loc])
+		}
+
+		// Record this access.
+		ent := histEntry{
+			epoch: vclock.Epoch{P: c, C: vcs[c].Get(c) + 1},
+			pc:    op.PC,
+			write: op.Kind.IsWrite(),
+			sync:  sync,
+		}
+		var evicted bool
+		if op.Kind.IsRead() {
+			evicted = reads[op.Loc].add(ent)
+		} else {
+			evicted = writes[op.Loc].add(ent)
+		}
+		if evicted {
+			res.Evictions++
+		}
+
+		// Release: publish the clock covering everything up to and
+		// including this operation.
+		vcs[c].Tick(c)
+		if op.Kind.IsWrite() && op.Kind.IsSync() && opts.Pairing.CanPair(op.Kind.Role()) {
+			releaseVC[op.ID] = vcs[c].Clone()
+		}
+	}
+	return res
+}
+
+// RaceCount returns the number of distinct data races detected.
+func (r *Result) RaceCount() int { return len(r.Races) }

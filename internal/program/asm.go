@@ -1,0 +1,508 @@
+package program
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Assembly syntax. A program file looks like:
+//
+//	# the paper's Figure 1b
+//	program "fig1b"
+//	locations 3
+//	registers 2
+//	init [2] = 1
+//
+//	thread P1:
+//	    write [0], #1
+//	    write [1], #1
+//	    unset [2]
+//
+//	thread P2:
+//	spin:
+//	    test&set r0, [2]
+//	    bnz r0, spin
+//	    read r0, [1]
+//	    read r1, [0]
+//
+// Mnemonics and operand forms match the disassembler: `[5]` is a direct
+// address, `[r1]`/`[r1+3]` register-indexed, `r0` a register, `#42` an
+// immediate. Branch targets are labels or `@N` absolute indices, so
+// disassembler output re-assembles. `thread 0 (P1):` headers (the
+// disassembler's form) are accepted too. `init` directives preset shared
+// memory and are returned alongside the program.
+
+// Assemble parses assembly source into a validated program plus its
+// initial-memory directives.
+func Assemble(r io.Reader) (*Program, map[Addr]int64, error) {
+	p := &asmParser{
+		initMem: map[Addr]int64{},
+		sc:      bufio.NewScanner(r),
+	}
+	p.sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if err := p.run(); err != nil {
+		return nil, nil, err
+	}
+	prog, err := p.builder.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("asm: %w", err)
+	}
+	for a := range p.initMem {
+		if a < 0 || int(a) >= prog.NumLocations {
+			return nil, nil, fmt.Errorf("asm: init location %d out of range [0,%d)", a, prog.NumLocations)
+		}
+	}
+	return prog, p.initMem, nil
+}
+
+// AssembleString is Assemble over a string.
+func AssembleString(src string) (*Program, map[Addr]int64, error) {
+	return Assemble(strings.NewReader(src))
+}
+
+type asmParser struct {
+	sc      *bufio.Scanner
+	line    int
+	name    string
+	locs    int
+	regs    int
+	initMem map[Addr]int64
+	builder *Builder
+	thread  *ThreadBuilder
+}
+
+func (p *asmParser) errf(format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *asmParser) run() error {
+	for p.sc.Scan() {
+		p.line++
+		line := strings.TrimSpace(stripComment(p.sc.Text()))
+		if line == "" {
+			continue
+		}
+		if err := p.directive(line); err != nil {
+			return err
+		}
+	}
+	if err := p.sc.Err(); err != nil {
+		return fmt.Errorf("asm: %w", err)
+	}
+	if p.builder == nil {
+		return fmt.Errorf("asm: no threads (missing header directives?)")
+	}
+	return nil
+}
+
+// stripComment removes a trailing comment: a '#' that starts a token
+// (immediates like #42 are preceded by space/comma but followed by a
+// digit or '-', and comments conventionally have a space after '#' or
+// start the line; we treat '#' as a comment only when it is the first
+// character or is preceded by whitespace AND not followed by a digit/-).
+func stripComment(line string) string {
+	for i := 0; i < len(line); i++ {
+		if line[i] != '#' {
+			continue
+		}
+		atStart := i == 0 || line[i-1] == ' ' || line[i-1] == '\t'
+		immediate := i+1 < len(line) && (line[i+1] >= '0' && line[i+1] <= '9' || line[i+1] == '-')
+		if atStart && !immediate {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+func (p *asmParser) directive(line string) error {
+	key, rest, _ := strings.Cut(line, " ")
+	switch key {
+	case "program":
+		rest = strings.TrimSpace(rest)
+		// Accept the disassembler's one-line header:
+		//   program "x": 3 threads, 12 locations, 4 regs
+		if name, counts, found := strings.Cut(rest, ":"); found {
+			unq, err := strconv.Unquote(strings.TrimSpace(name))
+			if err != nil {
+				return p.errf("bad program name %s", name)
+			}
+			p.name = unq
+			for _, field := range strings.Split(counts, ",") {
+				parts := strings.Fields(field)
+				if len(parts) != 2 {
+					return p.errf("bad program header field %q", field)
+				}
+				n, err := strconv.Atoi(parts[0])
+				if err != nil {
+					return p.errf("bad program header count %q", parts[0])
+				}
+				switch parts[1] {
+				case "locations":
+					p.locs = n
+				case "regs", "registers":
+					p.regs = n
+				case "threads":
+					// informational
+				default:
+					return p.errf("bad program header field %q", field)
+				}
+			}
+			return nil
+		}
+		name, err := strconv.Unquote(rest)
+		if err != nil {
+			return p.errf("bad program name %s", rest)
+		}
+		p.name = name
+		return nil
+	case "locations":
+		n, err := strconv.Atoi(strings.TrimSpace(rest))
+		if err != nil || n <= 0 {
+			return p.errf("bad locations count %q", rest)
+		}
+		p.locs = n
+		return nil
+	case "registers":
+		n, err := strconv.Atoi(strings.TrimSpace(rest))
+		if err != nil || n <= 0 {
+			return p.errf("bad registers count %q", rest)
+		}
+		p.regs = n
+		return nil
+	case "init":
+		// init [loc] = value
+		parts := strings.SplitN(rest, "=", 2)
+		if len(parts) != 2 {
+			return p.errf("bad init directive %q", line)
+		}
+		addrExpr, err := p.parseAddr(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return err
+		}
+		if addrExpr.Indexed {
+			return p.errf("init requires a direct address")
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return p.errf("bad init value %q", parts[1])
+		}
+		p.initMem[addrExpr.Base] = v
+		return nil
+	case "thread":
+		if p.builder == nil {
+			if p.locs == 0 || p.regs == 0 {
+				return p.errf("thread before locations/registers directives")
+			}
+			if p.name == "" {
+				p.name = "asm"
+			}
+			p.builder = NewBuilder(p.name, p.locs, p.regs)
+		}
+		name := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest), ":"))
+		// Accept the disassembler's "thread 0 (P1):" form.
+		if i := strings.IndexByte(name, '('); i >= 0 && strings.HasSuffix(name, ")") {
+			name = strings.TrimSuffix(name[i+1:], ")")
+		}
+		p.thread = p.builder.Thread(name)
+		return nil
+	}
+
+	// Inside a thread: label or instruction.
+	if p.thread == nil {
+		return p.errf("instruction %q outside any thread", line)
+	}
+	if strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t,") {
+		p.thread.Label(strings.TrimSuffix(line, ":"))
+		return nil
+	}
+	// The disassembler prefixes instructions with "NNN:"; strip it.
+	if i := strings.Index(line, ": "); i > 0 {
+		if _, err := strconv.Atoi(strings.TrimSpace(line[:i])); err == nil {
+			line = strings.TrimSpace(line[i+2:])
+		}
+	}
+	return p.instruction(line)
+}
+
+func (p *asmParser) parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "r") {
+		return 0, p.errf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, p.errf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func (p *asmParser) parseAddr(s string) (AddrExpr, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return AddrExpr{}, p.errf("bad address %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	if strings.HasPrefix(inner, "r") {
+		regStr, offStr, hasOff := strings.Cut(inner, "+")
+		r, err := p.parseReg(regStr)
+		if err != nil {
+			return AddrExpr{}, err
+		}
+		off := int64(0)
+		if hasOff {
+			off, err = strconv.ParseInt(strings.TrimSpace(offStr), 10, 64)
+			if err != nil {
+				return AddrExpr{}, p.errf("bad address offset %q", offStr)
+			}
+		}
+		return AtReg(r, Addr(off)), nil
+	}
+	n, err := strconv.ParseInt(inner, 10, 64)
+	if err != nil || n < 0 {
+		return AddrExpr{}, p.errf("bad address %q", s)
+	}
+	return At(Addr(n)), nil
+}
+
+func (p *asmParser) parseVal(s string) (ValExpr, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "#") {
+		v, err := strconv.ParseInt(s[1:], 10, 64)
+		if err != nil {
+			return ValExpr{}, p.errf("bad immediate %q", s)
+		}
+		return Imm(v), nil
+	}
+	r, err := p.parseReg(s)
+	if err != nil {
+		return ValExpr{}, err
+	}
+	return FromReg(r), nil
+}
+
+func (p *asmParser) parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "#") {
+		return 0, p.errf("bad immediate %q", s)
+	}
+	v, err := strconv.ParseInt(s[1:], 10, 64)
+	if err != nil {
+		return 0, p.errf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// branch emits a branch to a label or `@N` absolute target.
+func (p *asmParser) branch(target string, emit func(label string), emitAbs func(target int)) error {
+	target = strings.TrimSpace(target)
+	if strings.HasPrefix(target, "@") {
+		n, err := strconv.Atoi(target[1:])
+		if err != nil || n < 0 {
+			return p.errf("bad branch target %q", target)
+		}
+		emitAbs(n)
+		return nil
+	}
+	if target == "" {
+		return p.errf("missing branch target")
+	}
+	emit(target)
+	return nil
+}
+
+func (p *asmParser) instruction(line string) error {
+	op, rest, _ := strings.Cut(line, " ")
+	args := splitArgs(rest)
+	need := func(n int) error {
+		if len(args) != n {
+			return p.errf("%s takes %d operand(s), got %d", op, n, len(args))
+		}
+		return nil
+	}
+	t := p.thread
+	switch op {
+	case "nop":
+		if err := need(0); err != nil {
+			return err
+		}
+		t.Nop()
+	case "halt":
+		if err := need(0); err != nil {
+			return err
+		}
+		t.Halt()
+	case "fence":
+		if err := need(0); err != nil {
+			return err
+		}
+		t.Fence()
+	case "read", "sync.read", "test&set":
+		if err := need(2); err != nil {
+			return err
+		}
+		dst, err := p.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		addr, err := p.parseAddr(args[1])
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "read":
+			t.Read(dst, addr)
+		case "sync.read":
+			t.SyncRead(dst, addr)
+		default:
+			t.TestAndSet(dst, addr)
+		}
+	case "write", "sync.write":
+		if err := need(2); err != nil {
+			return err
+		}
+		addr, err := p.parseAddr(args[0])
+		if err != nil {
+			return err
+		}
+		val, err := p.parseVal(args[1])
+		if err != nil {
+			return err
+		}
+		if op == "write" {
+			t.Write(addr, val)
+		} else {
+			t.SyncWrite(addr, val)
+		}
+	case "unset":
+		if err := need(1); err != nil {
+			return err
+		}
+		addr, err := p.parseAddr(args[0])
+		if err != nil {
+			return err
+		}
+		t.Unset(addr)
+	case "const":
+		if err := need(2); err != nil {
+			return err
+		}
+		dst, err := p.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := p.parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		t.Const(dst, v)
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		dst, err := p.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		src, err := p.parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		t.Mov(dst, src)
+	case "add", "sub":
+		if err := need(3); err != nil {
+			return err
+		}
+		dst, err := p.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		a, err := p.parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		b, err := p.parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		if op == "add" {
+			t.Add(dst, a, b)
+		} else {
+			t.Sub(dst, a, b)
+		}
+	case "addi":
+		if err := need(3); err != nil {
+			return err
+		}
+		dst, err := p.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		src, err := p.parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		v, err := p.parseImm(args[2])
+		if err != nil {
+			return err
+		}
+		t.AddImm(dst, src, v)
+	case "bz", "bnz":
+		if err := need(2); err != nil {
+			return err
+		}
+		src, err := p.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		emit := t.BranchZero
+		opc := OpBranchZero
+		if op == "bnz" {
+			emit = t.BranchNotZero
+			opc = OpBranchNotZero
+		}
+		return p.branch(args[1],
+			func(label string) { emit(src, label) },
+			func(target int) { t.emit(Instr{Op: opc, Src: src, Target: target}) })
+	case "blt":
+		if err := need(3); err != nil {
+			return err
+		}
+		a, err := p.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b, err := p.parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		return p.branch(args[2],
+			func(label string) { t.BranchLess(a, b, label) },
+			func(target int) { t.emit(Instr{Op: OpBranchLess, Src: a, Src2: b, Target: target}) })
+	case "jmp":
+		if err := need(1); err != nil {
+			return err
+		}
+		return p.branch(args[0],
+			func(label string) { t.Jump(label) },
+			func(target int) { t.emit(Instr{Op: OpJump, Target: target}) })
+	default:
+		return p.errf("unknown mnemonic %q", op)
+	}
+	return nil
+}
+
+// splitArgs splits "r0, [1+2], #3" into trimmed operands.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

@@ -1,0 +1,269 @@
+package program
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const fig1bAsm = `
+# the paper's Figure 1b
+program "fig1b"
+locations 3
+registers 2
+init [2] = 1
+
+thread P1:
+    write [0], #1
+    write [1], #1      # publish
+    unset [2]
+
+thread P2:
+spin:
+    test&set r0, [2]
+    bnz r0, spin
+    read r0, [1]
+    read r1, [0]
+`
+
+func TestAssembleFig1b(t *testing.T) {
+	p, initMem, err := AssembleString(fig1bAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "fig1b" || p.NumLocations != 3 || p.NumRegs != 2 {
+		t.Fatalf("header wrong: %+v", p)
+	}
+	if len(initMem) != 1 || initMem[2] != 1 {
+		t.Fatalf("init memory = %v", initMem)
+	}
+	if p.NumThreads() != 2 {
+		t.Fatalf("threads = %d", p.NumThreads())
+	}
+	p1 := p.Threads[0]
+	if p1.Name != "P1" || len(p1.Instrs) != 3 {
+		t.Fatalf("P1 = %+v", p1)
+	}
+	if p1.Instrs[0].Op != OpWrite || p1.Instrs[2].Op != OpUnset {
+		t.Fatalf("P1 opcodes wrong: %v", p1.Instrs)
+	}
+	p2 := p.Threads[1]
+	if p2.Instrs[0].Op != OpTestAndSet || p2.Instrs[1].Op != OpBranchNotZero {
+		t.Fatalf("P2 opcodes wrong: %v", p2.Instrs)
+	}
+	if p2.Instrs[1].Target != 0 {
+		t.Fatalf("spin label resolved to %d, want 0", p2.Instrs[1].Target)
+	}
+}
+
+func TestAssembleAllMnemonics(t *testing.T) {
+	src := `
+program "all"
+locations 8
+registers 4
+thread T:
+    nop
+    read r1, [3]
+    write [r1+2], r0
+    test&set r2, [7]
+    unset [7]
+    sync.read r0, [6]
+    sync.write [6], #5
+    fence
+    const r3, #42
+    mov r0, r3
+    add r0, r1, r2
+    sub r0, r1, r2
+    addi r0, r0, #-100
+    bz r0, done
+    bnz r0, done
+    blt r1, r2, done
+    jmp done
+    halt
+done:
+`
+	p, _, err := AssembleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := p.Threads[0].Instrs
+	wantOps := []Opcode{
+		OpNop, OpRead, OpWrite, OpTestAndSet, OpUnset, OpSyncRead,
+		OpSyncWrite, OpFence, OpConst, OpMov, OpAdd, OpSub, OpAddImm,
+		OpBranchZero, OpBranchNotZero, OpBranchLess, OpJump, OpHalt,
+	}
+	if len(ins) != len(wantOps) {
+		t.Fatalf("instructions = %d, want %d", len(ins), len(wantOps))
+	}
+	for i, want := range wantOps {
+		if ins[i].Op != want {
+			t.Fatalf("instr %d = %v, want %v", i, ins[i].Op, want)
+		}
+	}
+	if ins[12].Imm != -100 {
+		t.Fatalf("addi immediate = %d", ins[12].Imm)
+	}
+	if ins[2].Addr != AtReg(1, 2) {
+		t.Fatalf("indexed address = %v", ins[2].Addr)
+	}
+}
+
+// Disassembler output reassembles to the identical instruction streams.
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	p1, initMem, err := AssembleString(fig1bAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = initMem // disassembly does not carry init memory
+	p2, _, err := AssembleString(p1.Disassemble())
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v\n%s", err, p1.Disassemble())
+	}
+	if p1.Name != p2.Name || p1.NumLocations != p2.NumLocations || p1.NumRegs != p2.NumRegs {
+		t.Fatalf("headers differ: %+v vs %+v", p1, p2)
+	}
+	if !reflect.DeepEqual(p1.Threads, p2.Threads) {
+		t.Fatalf("instruction streams differ:\n%s\nvs\n%s", p1.Disassemble(), p2.Disassemble())
+	}
+}
+
+func TestAssembleNumericTargets(t *testing.T) {
+	src := `
+program "abs"
+locations 1
+registers 1
+thread T:
+    bz r0, @2
+    write [0], #1
+    halt
+`
+	p, _, err := AssembleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Threads[0].Instrs[0].Target != 2 {
+		t.Fatalf("target = %d", p.Threads[0].Instrs[0].Target)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	header := "program \"x\"\nlocations 2\nregisters 2\nthread T:\n"
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no threads", "program \"x\"\n", "no threads"},
+		{"thread before header", "thread T:\n", "before locations"},
+		{"instruction outside thread", "program \"x\"\nlocations 1\nregisters 1\nnop\n", "outside any thread"},
+		{"unknown mnemonic", header + "frobnicate r0\n", "unknown mnemonic"},
+		{"bad register", header + "read rx, [0]\n", "bad register"},
+		{"bad address", header + "read r0, 5\n", "bad address"},
+		{"bad immediate", header + "const r0, 42\n", "bad immediate"},
+		{"wrong arity", header + "read r0\n", "takes 2 operand"},
+		{"undefined label", header + "jmp nowhere\n", "undefined label"},
+		{"bad init", "program \"x\"\nlocations 2\nregisters 1\ninit [0] oops\nthread T:\nnop\n", "bad init"},
+		{"init out of range", "program \"x\"\nlocations 2\nregisters 1\ninit [9] = 1\nthread T:\nnop\n", "out of range"},
+		{"bad locations", "locations -3\n", "bad locations"},
+		{"bad target", header + "jmp @-1\n", "bad branch target"},
+	}
+	for _, c := range cases {
+		_, _, err := AssembleString(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// Property: any valid program round-trips through the disassembler and
+// assembler unchanged.
+func TestQuickDisassembleAssembleRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randomProgram(seed)
+		p2, _, err := AssembleString(p.Disassemble())
+		if err != nil {
+			t.Logf("reassembly failed: %v\n%s", err, p.Disassemble())
+			return false
+		}
+		return reflect.DeepEqual(p.Threads, p2.Threads) &&
+			p.Name == p2.Name && p.NumLocations == p2.NumLocations && p.NumRegs == p2.NumRegs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomProgram builds a random but valid program.
+func randomProgram(seed int64) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	nLocs := 2 + rng.Intn(6)
+	nRegs := 1 + rng.Intn(3)
+	b := NewBuilder("rnd", nLocs, nRegs)
+	for ti := 0; ti < 1+rng.Intn(3); ti++ {
+		// Named threads: the disassembler prints default names for unnamed
+		// threads, which would spoil the round-trip comparison.
+		tb := b.Thread(fmt.Sprintf("P%d", ti+1))
+		n := 1 + rng.Intn(10)
+		reg := func() Reg { return Reg(rng.Intn(nRegs)) }
+		addr := func() AddrExpr {
+			if rng.Intn(3) == 0 {
+				return AtReg(reg(), Addr(rng.Intn(3)))
+			}
+			return At(Addr(rng.Intn(nLocs)))
+		}
+		val := func() ValExpr {
+			if rng.Intn(2) == 0 {
+				return Imm(rng.Int63n(100) - 50)
+			}
+			return FromReg(reg())
+		}
+		for i := 0; i < n; i++ {
+			switch rng.Intn(12) {
+			case 0:
+				tb.Read(reg(), addr())
+			case 1:
+				tb.Write(addr(), val())
+			case 2:
+				tb.TestAndSet(reg(), addr())
+			case 3:
+				tb.Unset(addr())
+			case 4:
+				tb.SyncRead(reg(), addr())
+			case 5:
+				tb.SyncWrite(addr(), val())
+			case 6:
+				tb.Fence()
+			case 7:
+				tb.Const(reg(), rng.Int63n(100))
+			case 8:
+				tb.Add(reg(), reg(), reg())
+			case 9:
+				tb.AddImm(reg(), reg(), rng.Int63n(20)-10)
+			case 10:
+				// Forward branch to the end (always valid).
+				tb.emit(Instr{Op: OpBranchZero, Src: reg(), Target: n})
+			default:
+				tb.Nop()
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestStripComment(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"# whole line", ""},
+		{"write [0], #1", "write [0], #1"},
+		{"write [0], #1 # trailing", "write [0], #1"},
+		{"addi r0, r0, #-3 # negative", "addi r0, r0, #-3"},
+		{"nop", "nop"},
+	}
+	for _, c := range cases {
+		if got := strings.TrimSpace(stripComment(c.in)); got != c.want {
+			t.Errorf("stripComment(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

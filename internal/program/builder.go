@@ -1,0 +1,190 @@
+package program
+
+import "fmt"
+
+// Builder assembles a Program from per-thread instruction streams with
+// symbolic labels. Typical use:
+//
+//	b := program.NewBuilder("fig1a", 8, 4)
+//	p1 := b.Thread("P1")
+//	p1.Write(program.At(x), program.Imm(1))
+//	p1.Write(program.At(y), program.Imm(1))
+//	p2 := b.Thread("P2")
+//	p2.Read(0, program.At(y))
+//	p2.Read(1, program.At(x))
+//	prog, err := b.Build()
+type Builder struct {
+	name    string
+	numLocs int
+	numRegs int
+	threads []*ThreadBuilder
+}
+
+// NewBuilder starts a program with the given shared-location and register
+// counts.
+func NewBuilder(name string, numLocations, numRegs int) *Builder {
+	return &Builder{name: name, numLocs: numLocations, numRegs: numRegs}
+}
+
+// Thread adds a new thread and returns its builder.
+func (b *Builder) Thread(name string) *ThreadBuilder {
+	tb := &ThreadBuilder{name: name, labels: map[string]int{}}
+	b.threads = append(b.threads, tb)
+	return tb
+}
+
+// Build resolves labels, validates, and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	p := &Program{
+		Name:         b.name,
+		NumLocations: b.numLocs,
+		NumRegs:      b.numRegs,
+	}
+	for ti, tb := range b.threads {
+		instrs, err := tb.resolve()
+		if err != nil {
+			return nil, fmt.Errorf("program %q thread %d (%s): %w", b.name, ti, tb.name, err)
+		}
+		p.Threads = append(p.Threads, Thread{Name: tb.name, Instrs: instrs})
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for statically known programs
+// (the paper-figure workloads and tests).
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// pendingBranch records a branch whose label is not yet resolved.
+type pendingBranch struct {
+	pc    int
+	label string
+}
+
+// ThreadBuilder accumulates one thread's instructions.
+type ThreadBuilder struct {
+	name    string
+	instrs  []Instr
+	labels  map[string]int
+	pending []pendingBranch
+}
+
+func (t *ThreadBuilder) emit(in Instr) *ThreadBuilder {
+	t.instrs = append(t.instrs, in)
+	return t
+}
+
+// Label binds name to the next instruction's index. Labels may be bound
+// after the branches that use them (forward branches).
+func (t *ThreadBuilder) Label(name string) *ThreadBuilder {
+	t.labels[name] = len(t.instrs)
+	return t
+}
+
+// Read appends a data read: dst = mem[addr].
+func (t *ThreadBuilder) Read(dst Reg, addr AddrExpr) *ThreadBuilder {
+	return t.emit(Instr{Op: OpRead, Dst: dst, Addr: addr})
+}
+
+// Write appends a data write: mem[addr] = val.
+func (t *ThreadBuilder) Write(addr AddrExpr, val ValExpr) *ThreadBuilder {
+	return t.emit(Instr{Op: OpWrite, Addr: addr, Val: val})
+}
+
+// TestAndSet appends an atomic test-and-set: dst = mem[addr]; mem[addr] = 1.
+func (t *ThreadBuilder) TestAndSet(dst Reg, addr AddrExpr) *ThreadBuilder {
+	return t.emit(Instr{Op: OpTestAndSet, Dst: dst, Addr: addr})
+}
+
+// Unset appends a release write of 0 to addr.
+func (t *ThreadBuilder) Unset(addr AddrExpr) *ThreadBuilder {
+	return t.emit(Instr{Op: OpUnset, Addr: addr})
+}
+
+// SyncRead appends an explicit acquire read.
+func (t *ThreadBuilder) SyncRead(dst Reg, addr AddrExpr) *ThreadBuilder {
+	return t.emit(Instr{Op: OpSyncRead, Dst: dst, Addr: addr})
+}
+
+// SyncWrite appends an explicit release write.
+func (t *ThreadBuilder) SyncWrite(addr AddrExpr, val ValExpr) *ThreadBuilder {
+	return t.emit(Instr{Op: OpSyncWrite, Addr: addr, Val: val})
+}
+
+// Fence appends a full memory fence.
+func (t *ThreadBuilder) Fence() *ThreadBuilder { return t.emit(Instr{Op: OpFence}) }
+
+// Const appends dst = imm.
+func (t *ThreadBuilder) Const(dst Reg, imm int64) *ThreadBuilder {
+	return t.emit(Instr{Op: OpConst, Dst: dst, Imm: imm})
+}
+
+// Mov appends dst = src.
+func (t *ThreadBuilder) Mov(dst, src Reg) *ThreadBuilder {
+	return t.emit(Instr{Op: OpMov, Dst: dst, Src: src})
+}
+
+// Add appends dst = a + b.
+func (t *ThreadBuilder) Add(dst, a, b Reg) *ThreadBuilder {
+	return t.emit(Instr{Op: OpAdd, Dst: dst, Src: a, Src2: b})
+}
+
+// Sub appends dst = a - b.
+func (t *ThreadBuilder) Sub(dst, a, b Reg) *ThreadBuilder {
+	return t.emit(Instr{Op: OpSub, Dst: dst, Src: a, Src2: b})
+}
+
+// AddImm appends dst = src + imm.
+func (t *ThreadBuilder) AddImm(dst, src Reg, imm int64) *ThreadBuilder {
+	return t.emit(Instr{Op: OpAddImm, Dst: dst, Src: src, Imm: imm})
+}
+
+// BranchZero appends "if src == 0 goto label".
+func (t *ThreadBuilder) BranchZero(src Reg, label string) *ThreadBuilder {
+	t.pending = append(t.pending, pendingBranch{pc: len(t.instrs), label: label})
+	return t.emit(Instr{Op: OpBranchZero, Src: src})
+}
+
+// BranchNotZero appends "if src != 0 goto label".
+func (t *ThreadBuilder) BranchNotZero(src Reg, label string) *ThreadBuilder {
+	t.pending = append(t.pending, pendingBranch{pc: len(t.instrs), label: label})
+	return t.emit(Instr{Op: OpBranchNotZero, Src: src})
+}
+
+// BranchLess appends "if a < b goto label".
+func (t *ThreadBuilder) BranchLess(a, b Reg, label string) *ThreadBuilder {
+	t.pending = append(t.pending, pendingBranch{pc: len(t.instrs), label: label})
+	return t.emit(Instr{Op: OpBranchLess, Src: a, Src2: b})
+}
+
+// Jump appends an unconditional jump to label.
+func (t *ThreadBuilder) Jump(label string) *ThreadBuilder {
+	t.pending = append(t.pending, pendingBranch{pc: len(t.instrs), label: label})
+	return t.emit(Instr{Op: OpJump})
+}
+
+// Nop appends a no-op.
+func (t *ThreadBuilder) Nop() *ThreadBuilder { return t.emit(Instr{Op: OpNop}) }
+
+// Halt appends an explicit halt.
+func (t *ThreadBuilder) Halt() *ThreadBuilder { return t.emit(Instr{Op: OpHalt}) }
+
+func (t *ThreadBuilder) resolve() ([]Instr, error) {
+	out := append([]Instr(nil), t.instrs...)
+	for _, pb := range t.pending {
+		target, ok := t.labels[pb.label]
+		if !ok {
+			return nil, fmt.Errorf("pc %d: undefined label %q", pb.pc, pb.label)
+		}
+		out[pb.pc].Target = target
+	}
+	return out, nil
+}

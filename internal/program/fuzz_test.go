@@ -1,0 +1,27 @@
+package program
+
+import "testing"
+
+// FuzzAssemble: arbitrary source must never panic the assembler, and any
+// program it accepts must validate.
+func FuzzAssemble(f *testing.F) {
+	f.Add(fig1bAsm)
+	f.Add("program \"x\"\nlocations 2\nregisters 1\nthread T:\nnop\n")
+	f.Add("")
+	f.Add("thread:\n")
+	f.Add("program \"x\": 2 threads, 3 locations, 1 regs\nthread 0 (P1):\n  0: nop\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, initMem, err := AssembleString(src)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Assemble accepted an invalid program: %v", err)
+		}
+		for a := range initMem {
+			if a < 0 || int(a) >= p.NumLocations {
+				t.Fatalf("Assemble accepted out-of-range init location %d", a)
+			}
+		}
+	})
+}

@@ -1,0 +1,311 @@
+// Package program defines the register-machine programs that the weakrace
+// simulator executes.
+//
+// The paper's formal model (§2.1) distinguishes data operations from
+// synchronization operations that the hardware recognizes, and its examples
+// are built from Read/Write data operations and Test&Set/Unset
+// synchronization instructions. The ISA here provides exactly those, plus
+// explicit release/acquire instructions (for RCsc-style programs), a fence,
+// and enough ALU/branch support to express the paper's Figure 2 work-queue
+// fragment and the synthetic workloads of the benchmark harness.
+//
+// A Program is pure data: a fixed set of threads, each a straight sequence
+// of instructions with resolved branch targets. Construction goes through
+// Builder, which handles labels and validates the result.
+package program
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Addr identifies a shared-memory location. Locations are a dense range
+// [0, Program.NumLocations).
+type Addr int
+
+// Reg identifies a per-thread register. Registers are a dense range
+// [0, Program.NumRegs) and are private to a thread (never shared).
+type Reg int
+
+// Opcode enumerates the instruction set.
+type Opcode int
+
+const (
+	// OpNop does nothing.
+	OpNop Opcode = iota
+
+	// OpRead is a data read: Dst = mem[addr].
+	OpRead
+	// OpWrite is a data write: mem[addr] = value.
+	OpWrite
+
+	// OpTestAndSet atomically performs Dst = mem[addr]; mem[addr] = 1.
+	// Its read is an acquire; per the paper (§2.1) its write is a
+	// synchronization operation but NOT a release.
+	OpTestAndSet
+	// OpUnset performs mem[addr] = 0. It is a release write.
+	OpUnset
+	// OpSyncRead is an explicit acquire read: Dst = mem[addr].
+	OpSyncRead
+	// OpSyncWrite is an explicit release write: mem[addr] = value.
+	OpSyncWrite
+
+	// OpFence orders all prior memory operations of the thread before all
+	// later ones. It performs no memory access.
+	OpFence
+
+	// OpConst sets Dst = Imm.
+	OpConst
+	// OpMov sets Dst = Src.
+	OpMov
+	// OpAdd sets Dst = Src + Src2.
+	OpAdd
+	// OpSub sets Dst = Src - Src2.
+	OpSub
+	// OpAddImm sets Dst = Src + Imm.
+	OpAddImm
+
+	// OpBranchZero jumps to Target when Src == 0.
+	OpBranchZero
+	// OpBranchNotZero jumps to Target when Src != 0.
+	OpBranchNotZero
+	// OpBranchLess jumps to Target when Src < Src2.
+	OpBranchLess
+	// OpJump jumps unconditionally to Target.
+	OpJump
+
+	// OpHalt stops the thread.
+	OpHalt
+)
+
+var opcodeNames = map[Opcode]string{
+	OpNop: "nop", OpRead: "read", OpWrite: "write",
+	OpTestAndSet: "test&set", OpUnset: "unset",
+	OpSyncRead: "sync.read", OpSyncWrite: "sync.write",
+	OpFence: "fence", OpConst: "const", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpAddImm: "addi",
+	OpBranchZero: "bz", OpBranchNotZero: "bnz", OpBranchLess: "blt",
+	OpJump: "jmp", OpHalt: "halt",
+}
+
+// String returns the mnemonic of the opcode.
+func (op Opcode) String() string {
+	if s, ok := opcodeNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// IsMemory reports whether the opcode touches shared memory.
+func (op Opcode) IsMemory() bool {
+	switch op {
+	case OpRead, OpWrite, OpTestAndSet, OpUnset, OpSyncRead, OpSyncWrite:
+		return true
+	}
+	return false
+}
+
+// IsSync reports whether the opcode is recognized by the hardware as a
+// synchronization operation (paper §2.1).
+func (op Opcode) IsSync() bool {
+	switch op {
+	case OpTestAndSet, OpUnset, OpSyncRead, OpSyncWrite:
+		return true
+	}
+	return false
+}
+
+// AddrExpr is an address operand: a fixed location, optionally indexed by a
+// register (base + reg + offset), so the Figure 2 workloads can write to
+// computed regions.
+type AddrExpr struct {
+	Base    Addr
+	Index   Reg
+	Indexed bool
+}
+
+// At addresses the fixed location a.
+func At(a Addr) AddrExpr { return AddrExpr{Base: a} }
+
+// AtReg addresses location (register value + offset).
+func AtReg(r Reg, offset Addr) AddrExpr {
+	return AddrExpr{Base: offset, Index: r, Indexed: true}
+}
+
+// String renders the address expression.
+func (a AddrExpr) String() string {
+	if a.Indexed {
+		if a.Base != 0 {
+			return fmt.Sprintf("[r%d+%d]", a.Index, a.Base)
+		}
+		return fmt.Sprintf("[r%d]", a.Index)
+	}
+	return fmt.Sprintf("[%d]", a.Base)
+}
+
+// ValExpr is a value operand: either an immediate or a register.
+type ValExpr struct {
+	Imm   int64
+	Reg   Reg
+	IsReg bool
+}
+
+// Imm is an immediate value operand.
+func Imm(v int64) ValExpr { return ValExpr{Imm: v} }
+
+// FromReg is a register value operand.
+func FromReg(r Reg) ValExpr { return ValExpr{Reg: r, IsReg: true} }
+
+// String renders the value expression.
+func (v ValExpr) String() string {
+	if v.IsReg {
+		return fmt.Sprintf("r%d", v.Reg)
+	}
+	return fmt.Sprintf("#%d", v.Imm)
+}
+
+// Instr is one machine instruction. Which fields are meaningful depends on
+// Op; Validate enforces the invariants.
+type Instr struct {
+	Op     Opcode
+	Dst    Reg      // destination register (reads, ALU)
+	Src    Reg      // first source register (ALU, branches)
+	Src2   Reg      // second source register (ALU, blt)
+	Imm    int64    // immediate (const, addi)
+	Addr   AddrExpr // memory operand
+	Val    ValExpr  // value operand for writes
+	Target int      // resolved branch target (instruction index)
+}
+
+// String disassembles the instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpRead, OpSyncRead:
+		return fmt.Sprintf("%s r%d, %s", in.Op, in.Dst, in.Addr)
+	case OpWrite, OpSyncWrite:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Addr, in.Val)
+	case OpTestAndSet:
+		return fmt.Sprintf("%s r%d, %s", in.Op, in.Dst, in.Addr)
+	case OpUnset:
+		return fmt.Sprintf("%s %s", in.Op, in.Addr)
+	case OpConst:
+		return fmt.Sprintf("%s r%d, #%d", in.Op, in.Dst, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Dst, in.Src)
+	case OpAdd, OpSub:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Dst, in.Src, in.Src2)
+	case OpAddImm:
+		return fmt.Sprintf("%s r%d, r%d, #%d", in.Op, in.Dst, in.Src, in.Imm)
+	case OpBranchZero, OpBranchNotZero:
+		return fmt.Sprintf("%s r%d, @%d", in.Op, in.Src, in.Target)
+	case OpBranchLess:
+		return fmt.Sprintf("%s r%d, r%d, @%d", in.Op, in.Src, in.Src2, in.Target)
+	case OpJump:
+		return fmt.Sprintf("%s @%d", in.Op, in.Target)
+	default:
+		return in.Op.String()
+	}
+}
+
+// Thread is a straight-line instruction sequence with resolved branches.
+type Thread struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Program is an immutable multi-threaded program plus the size of its
+// shared address space and register file.
+type Program struct {
+	Name         string
+	Threads      []Thread
+	NumLocations int // shared locations are [0, NumLocations)
+	NumRegs      int // registers are [0, NumRegs) in every thread
+}
+
+// NumThreads returns the number of threads (processors) in the program.
+func (p *Program) NumThreads() int { return len(p.Threads) }
+
+// Validate checks structural invariants: at least one thread, all register
+// and direct-address operands in range, and all branch targets within the
+// owning thread (a target equal to len(instrs) means "fall off the end",
+// which is allowed and halts).
+func (p *Program) Validate() error {
+	if len(p.Threads) == 0 {
+		return fmt.Errorf("program %q: no threads", p.Name)
+	}
+	if p.NumLocations <= 0 {
+		return fmt.Errorf("program %q: NumLocations = %d, must be positive", p.Name, p.NumLocations)
+	}
+	if p.NumRegs <= 0 {
+		return fmt.Errorf("program %q: NumRegs = %d, must be positive", p.Name, p.NumRegs)
+	}
+	regOK := func(r Reg) bool { return r >= 0 && int(r) < p.NumRegs }
+	for ti, th := range p.Threads {
+		for pc, in := range th.Instrs {
+			where := func(msg string, args ...any) error {
+				return fmt.Errorf("program %q thread %d pc %d (%s): %s",
+					p.Name, ti, pc, in, fmt.Sprintf(msg, args...))
+			}
+			if in.Op.IsMemory() {
+				if in.Addr.Indexed {
+					if !regOK(in.Addr.Index) {
+						return where("address index register out of range")
+					}
+				} else if in.Addr.Base < 0 || int(in.Addr.Base) >= p.NumLocations {
+					return where("address %d out of range [0,%d)", in.Addr.Base, p.NumLocations)
+				}
+			}
+			switch in.Op {
+			case OpRead, OpSyncRead, OpTestAndSet, OpConst:
+				if !regOK(in.Dst) {
+					return where("destination register out of range")
+				}
+			case OpWrite, OpSyncWrite:
+				if in.Val.IsReg && !regOK(in.Val.Reg) {
+					return where("value register out of range")
+				}
+			case OpMov, OpAddImm:
+				if !regOK(in.Dst) || !regOK(in.Src) {
+					return where("register out of range")
+				}
+			case OpAdd, OpSub:
+				if !regOK(in.Dst) || !regOK(in.Src) || !regOK(in.Src2) {
+					return where("register out of range")
+				}
+			case OpBranchZero, OpBranchNotZero:
+				if !regOK(in.Src) {
+					return where("branch register out of range")
+				}
+			case OpBranchLess:
+				if !regOK(in.Src) || !regOK(in.Src2) {
+					return where("branch register out of range")
+				}
+			}
+			switch in.Op {
+			case OpBranchZero, OpBranchNotZero, OpBranchLess, OpJump:
+				if in.Target < 0 || in.Target > len(th.Instrs) {
+					return where("branch target %d out of range [0,%d]", in.Target, len(th.Instrs))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the whole program, one thread per section.
+func (p *Program) Disassemble() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %q: %d threads, %d locations, %d regs\n",
+		p.Name, len(p.Threads), p.NumLocations, p.NumRegs)
+	for ti, th := range p.Threads {
+		name := th.Name
+		if name == "" {
+			name = fmt.Sprintf("P%d", ti+1)
+		}
+		fmt.Fprintf(&sb, "thread %d (%s):\n", ti, name)
+		for pc, in := range th.Instrs {
+			fmt.Fprintf(&sb, "  %3d: %s\n", pc, in)
+		}
+	}
+	return sb.String()
+}

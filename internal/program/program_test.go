@@ -1,0 +1,226 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeClassification(t *testing.T) {
+	memOps := []Opcode{OpRead, OpWrite, OpTestAndSet, OpUnset, OpSyncRead, OpSyncWrite}
+	for _, op := range memOps {
+		if !op.IsMemory() {
+			t.Errorf("%v should be a memory op", op)
+		}
+	}
+	syncOps := []Opcode{OpTestAndSet, OpUnset, OpSyncRead, OpSyncWrite}
+	for _, op := range syncOps {
+		if !op.IsSync() {
+			t.Errorf("%v should be a sync op", op)
+		}
+	}
+	for _, op := range []Opcode{OpRead, OpWrite, OpFence, OpAdd, OpJump, OpNop} {
+		if op.IsSync() {
+			t.Errorf("%v should not be a sync op", op)
+		}
+	}
+	for _, op := range []Opcode{OpFence, OpConst, OpBranchZero, OpHalt} {
+		if op.IsMemory() {
+			t.Errorf("%v should not be a memory op", op)
+		}
+	}
+}
+
+func TestBuilderSimpleProgram(t *testing.T) {
+	b := NewBuilder("two-writers", 4, 2)
+	p1 := b.Thread("P1")
+	p1.Write(At(0), Imm(1)).Write(At(1), Imm(2))
+	p2 := b.Thread("P2")
+	p2.Read(0, At(1)).Read(1, At(0))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumThreads() != 2 {
+		t.Fatalf("NumThreads = %d", p.NumThreads())
+	}
+	if got := len(p.Threads[0].Instrs); got != 2 {
+		t.Fatalf("thread 0 has %d instrs", got)
+	}
+	if p.Threads[0].Instrs[0].Op != OpWrite || p.Threads[1].Instrs[0].Op != OpRead {
+		t.Fatal("opcodes wrong")
+	}
+}
+
+func TestBuilderLabelsForwardAndBackward(t *testing.T) {
+	b := NewBuilder("looper", 2, 2)
+	tb := b.Thread("T")
+	tb.Const(0, 3).
+		Label("loop").
+		AddImm(0, 0, -1).
+		BranchNotZero(0, "loop").
+		Jump("end").
+		Write(At(0), Imm(99)). // skipped
+		Label("end")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := p.Threads[0].Instrs
+	if ins[2].Target != 1 {
+		t.Fatalf("backward branch target = %d, want 1", ins[2].Target)
+	}
+	if ins[3].Target != 5 {
+		t.Fatalf("forward jump target = %d, want 5", ins[3].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad", 2, 2)
+	b.Thread("T").Jump("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("err = %v, want undefined label", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+		want string
+	}{
+		{
+			"no threads",
+			&Program{Name: "x", NumLocations: 1, NumRegs: 1},
+			"no threads",
+		},
+		{
+			"bad locations",
+			&Program{Name: "x", NumLocations: 0, NumRegs: 1, Threads: []Thread{{}}},
+			"NumLocations",
+		},
+		{
+			"bad regs",
+			&Program{Name: "x", NumLocations: 1, NumRegs: 0, Threads: []Thread{{}}},
+			"NumRegs",
+		},
+		{
+			"address out of range",
+			&Program{Name: "x", NumLocations: 2, NumRegs: 1, Threads: []Thread{
+				{Instrs: []Instr{{Op: OpRead, Dst: 0, Addr: At(5)}}},
+			}},
+			"address",
+		},
+		{
+			"register out of range",
+			&Program{Name: "x", NumLocations: 2, NumRegs: 1, Threads: []Thread{
+				{Instrs: []Instr{{Op: OpRead, Dst: 3, Addr: At(0)}}},
+			}},
+			"register",
+		},
+		{
+			"value register out of range",
+			&Program{Name: "x", NumLocations: 2, NumRegs: 1, Threads: []Thread{
+				{Instrs: []Instr{{Op: OpWrite, Addr: At(0), Val: FromReg(9)}}},
+			}},
+			"register",
+		},
+		{
+			"branch target out of range",
+			&Program{Name: "x", NumLocations: 2, NumRegs: 1, Threads: []Thread{
+				{Instrs: []Instr{{Op: OpJump, Target: 7}}},
+			}},
+			"target",
+		},
+		{
+			"index register out of range",
+			&Program{Name: "x", NumLocations: 2, NumRegs: 1, Threads: []Thread{
+				{Instrs: []Instr{{Op: OpWrite, Addr: AtReg(4, 0), Val: Imm(1)}}},
+			}},
+			"index register",
+		},
+	}
+	for _, c := range cases {
+		err := c.prog.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateAcceptsFallOffEndTarget(t *testing.T) {
+	p := &Program{Name: "x", NumLocations: 1, NumRegs: 1, Threads: []Thread{
+		{Instrs: []Instr{{Op: OpJump, Target: 1}}},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("target == len(instrs) should be legal: %v", err)
+	}
+}
+
+func TestDisassembleShapes(t *testing.T) {
+	b := NewBuilder("fig", 8, 4)
+	tb := b.Thread("P1")
+	tb.Read(1, At(3)).
+		Write(AtReg(1, 2), FromReg(0)).
+		TestAndSet(2, At(7)).
+		Unset(At(7)).
+		SyncRead(0, At(6)).
+		SyncWrite(At(6), Imm(5)).
+		Fence().
+		Const(3, 42).
+		Mov(0, 3).
+		Add(0, 1, 2).
+		Sub(0, 1, 2).
+		AddImm(0, 0, 100).
+		BranchZero(0, "done").
+		BranchLess(1, 2, "done").
+		Nop().
+		Halt().
+		Label("done")
+	p := b.MustBuild()
+	dis := p.Disassemble()
+	for _, want := range []string{
+		"read r1, [3]",
+		"write [r1+2], r0",
+		"test&set r2, [7]",
+		"unset [7]",
+		"sync.read r0, [6]",
+		"sync.write [6], #5",
+		"fence",
+		"const r3, #42",
+		"mov r0, r3",
+		"add r0, r1, r2",
+		"sub r0, r1, r2",
+		"addi r0, r0, #100",
+		"bz r0, @16",
+		"blt r1, r2, @16",
+		"nop",
+		"halt",
+	} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestAddrExprString(t *testing.T) {
+	if got := At(5).String(); got != "[5]" {
+		t.Errorf("At(5) = %q", got)
+	}
+	if got := AtReg(2, 0).String(); got != "[r2]" {
+		t.Errorf("AtReg(2,0) = %q", got)
+	}
+	if got := AtReg(2, 7).String(); got != "[r2+7]" {
+		t.Errorf("AtReg(2,7) = %q", got)
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	b := NewBuilder("bad", 1, 1)
+	b.Thread("T").Jump("missing")
+	b.MustBuild()
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"weakrace/internal/core"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+func TestRenderDOTFigure2(t *testing.T) {
+	r, err := workload.RunFig2Stale(memmodel.WO, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(trace.FromExecution(r.Exec), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderDOT(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph hb1 {",
+		"subgraph cluster_p0",
+		"subgraph cluster_p2",
+		"dir=both, color=red",   // race edges
+		"fillcolor=\"#ffd6d6\"", // first-partition events highlighted
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Balanced braces (cheap well-formedness check).
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatal("unbalanced braces in DOT output")
+	}
+}
+
+func TestRenderDOTRaceFree(t *testing.T) {
+	a := analyzeWorkload(t, workload.Figure1b(), 1)
+	var buf bytes.Buffer
+	if err := RenderDOT(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "dir=both") {
+		t.Fatal("race edges in race-free DOT")
+	}
+	if !strings.Contains(out, "style=dashed, label=\"so1\"") {
+		t.Fatal("so1 edge missing")
+	}
+}

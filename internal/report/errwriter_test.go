@@ -1,0 +1,54 @@
+package report
+
+import (
+	"errors"
+	"testing"
+
+	"weakrace/internal/workload"
+)
+
+// failWriter fails after n successful writes, exercising the error
+// propagation paths of the renderers.
+type failWriter struct{ n int }
+
+var errSink = errors.New("sink full")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errSink
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestRenderersPropagateWriteErrors(t *testing.T) {
+	a := analyzeWorkload(t, workload.Figure1a(), 1)
+	clean := analyzeWorkload(t, workload.Figure1b(), 1)
+
+	renders := []struct {
+		name string
+		fn   func() error
+	}{
+		{"RenderAnalysis racy", func() error { return RenderAnalysis(&failWriter{}, a) }},
+		{"RenderAnalysis racy mid", func() error { return RenderAnalysis(&failWriter{n: 2}, a) }},
+		{"RenderAnalysis clean", func() error { return RenderAnalysis(&failWriter{n: 1}, clean) }},
+		{"RenderGraph", func() error { return RenderGraph(&failWriter{}, a) }},
+		{"RenderGraph mid", func() error { return RenderGraph(&failWriter{n: 2}, a) }},
+		{"RenderDOT", func() error { return RenderDOT(&failWriter{}, a) }},
+		{"Table", func() error {
+			tb := NewTable("t", "a", "b")
+			tb.AddRow(1, 2)
+			return tb.Render(&failWriter{})
+		}},
+		{"Table mid", func() error {
+			tb := NewTable("t", "a", "b")
+			tb.AddRow(1, 2)
+			return tb.Render(&failWriter{n: 2})
+		}},
+	}
+	for _, r := range renders {
+		if err := r.fn(); err == nil {
+			t.Errorf("%s: write error swallowed", r.name)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package scp
+
+import (
+	"fmt"
+	"strings"
+
+	"weakrace/internal/core"
+	"weakrace/internal/sim"
+)
+
+// Condition34Report records the outcome of validating the paper's
+// Condition 3.4 guarantees on one execution:
+//
+//	(1) if the detector found no data races, the execution must be
+//	    sequentially consistent (so the programmer may reason under SC);
+//	(2) if it found data races, every reported FIRST partition must
+//	    contain at least one data race that occurs in some sequentially
+//	    consistent execution of the program (Theorem 4.2).
+type Condition34Report struct {
+	// RaceFree is the detector's verdict.
+	RaceFree bool
+
+	// ExecutionSC / SCDecided: the exact verifier's verdict on the whole
+	// execution, checked only in the race-free case.
+	ExecutionSC bool
+	SCDecided   bool
+
+	// FirstPartitionHasSCRace[i] reports, for the i-th first partition,
+	// whether one of its races is in the ground-truth SC race set.
+	FirstPartitionHasSCRace []bool
+
+	// GroundTruthComplete echoes whether the SC race set was exhaustive.
+	// When it is not, a false entry above may be a sampling artifact
+	// rather than a genuine violation.
+	GroundTruthComplete bool
+}
+
+// OK reports whether every checked guarantee held.
+func (r *Condition34Report) OK() bool {
+	if r.RaceFree {
+		return r.ExecutionSC && r.SCDecided
+	}
+	for _, ok := range r.FirstPartitionHasSCRace {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the report.
+func (r *Condition34Report) String() string {
+	var sb strings.Builder
+	if r.RaceFree {
+		fmt.Fprintf(&sb, "race-free: execution SC=%v (decided=%v)", r.ExecutionSC, r.SCDecided)
+	} else {
+		ok := 0
+		for _, b := range r.FirstPartitionHasSCRace {
+			if b {
+				ok++
+			}
+		}
+		fmt.Fprintf(&sb, "racy: %d/%d first partitions contain a ground-truth SC race (ground truth complete=%v)",
+			ok, len(r.FirstPartitionHasSCRace), r.GroundTruthComplete)
+	}
+	return sb.String()
+}
+
+// CheckCondition34 validates the Condition 3.4 guarantees for one
+// execution: a is the detector's analysis of the execution's trace, e is
+// the execution itself, scRaces is the ground-truth SC race set for the
+// program (EnumerateSC or SampleSC), and scBudget bounds the exact SC
+// verifier.
+func CheckCondition34(a *core.Analysis, e *sim.Execution, gt *GroundTruth, scBudget int) *Condition34Report {
+	rep := &Condition34Report{
+		RaceFree:            a.RaceFree(),
+		GroundTruthComplete: gt.Complete(),
+	}
+	if rep.RaceFree {
+		rep.ExecutionSC, rep.SCDecided = VerifySC(e, scBudget)
+		return rep
+	}
+	for _, pi := range a.FirstPartitions {
+		p := a.Partitions[pi]
+		has := false
+		for _, ri := range p.Races {
+			for _, ll := range a.LowerLevel(a.Races[ri]) {
+				if gt.Races.Contains(ll) {
+					has = true
+					break
+				}
+			}
+			if has {
+				break
+			}
+		}
+		rep.FirstPartitionHasSCRace = append(rep.FirstPartitionHasSCRace, has)
+	}
+	return rep
+}

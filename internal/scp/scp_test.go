@@ -1,0 +1,347 @@
+package scp
+
+import (
+	"testing"
+
+	"weakrace/internal/core"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/program"
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+const budget = 1 << 20
+
+func mustRun(t *testing.T, w *workload.Workload, cfg sim.Config) *sim.Result {
+	t.Helper()
+	cfg.InitMemory = w.InitMemory
+	r, err := sim.Run(w.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustAnalyze(t *testing.T, e *sim.Execution) *core.Analysis {
+	t.Helper()
+	a, err := core.Analyze(trace.FromExecution(e), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// Every SC-model execution must verify as sequentially consistent.
+func TestVerifySCAcceptsSCExecutions(t *testing.T) {
+	workloads := []*workload.Workload{
+		workload.Figure1a(),
+		workload.Figure1b(),
+		workload.Figure2(),
+		workload.LockedCounter(3, 3, -1),
+		workload.ProducerConsumer(3, true),
+	}
+	for _, w := range workloads {
+		for seed := int64(0); seed < 10; seed++ {
+			r := mustRun(t, w, sim.Config{Model: memmodel.SC, Seed: seed})
+			sc, decided := VerifySC(r.Exec, budget)
+			if !decided {
+				t.Fatalf("%s seed %d: verifier ran out of budget", w.Name, seed)
+			}
+			if !sc {
+				t.Fatalf("%s seed %d: SC execution rejected", w.Name, seed)
+			}
+		}
+	}
+}
+
+// The DRF theorem, checked end to end: race-free programs produce
+// sequentially consistent executions on weak models, and the exact
+// verifier agrees.
+func TestVerifySCAcceptsRaceFreeWeakExecutions(t *testing.T) {
+	workloads := []*workload.Workload{
+		workload.Figure1b(),
+		workload.LockedCounter(3, 2, -1),
+		workload.ProducerConsumer(3, true),
+		workload.BarrierPhases(2),
+	}
+	for _, w := range workloads {
+		for _, model := range []memmodel.Model{memmodel.WO, memmodel.RCsc} {
+			for seed := int64(0); seed < 5; seed++ {
+				r := mustRun(t, w, sim.Config{Model: model, Seed: seed})
+				sc, decided := VerifySC(r.Exec, budget)
+				if !decided {
+					t.Fatalf("%s %v seed %d: verifier ran out of budget", w.Name, model, seed)
+				}
+				if !sc {
+					t.Fatalf("%s %v seed %d: race-free weak execution rejected as non-SC", w.Name, model, seed)
+				}
+			}
+		}
+	}
+}
+
+// The Figure 2b stale-dequeue execution is not sequentially consistent:
+// P2 read QEmpty's new value but Q's old one, and P1 wrote Q first.
+func TestVerifySCRejectsFig2Anomaly(t *testing.T) {
+	r, err := workload.RunFig2Stale(memmodel.WO, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, decided := VerifySC(r.Exec, budget)
+	if !decided {
+		t.Fatal("verifier ran out of budget")
+	}
+	if sc {
+		t.Fatal("stale-dequeue execution accepted as SC")
+	}
+}
+
+// The store-buffer litmus outcome (both readers see 0) is not SC.
+func TestVerifySCRejectsSBLitmus(t *testing.T) {
+	b := program.NewBuilder("sb", 2, 2)
+	b.Thread("P1").
+		Write(program.At(0), program.Imm(1)).
+		Read(0, program.At(1))
+	b.Thread("P2").
+		Write(program.At(1), program.Imm(1)).
+		Read(0, program.At(0))
+	p := b.MustBuild()
+	found := false
+	for seed := int64(0); seed < 500 && !found; seed++ {
+		r, err := sim.Run(p, sim.Config{Model: memmodel.WO, Seed: seed, RetireProb: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 := r.Exec.OpsOf(0)[1].Value
+		r2 := r.Exec.OpsOf(1)[1].Value
+		if r1 == 0 && r2 == 0 {
+			found = true
+			sc, decided := VerifySC(r.Exec, budget)
+			if !decided {
+				t.Fatal("verifier ran out of budget on a 6-op execution")
+			}
+			if sc {
+				t.Fatal("SB litmus outcome accepted as SC")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("SB litmus outcome never produced in 500 seeds")
+	}
+}
+
+func TestSCBoundary(t *testing.T) {
+	// On an SC execution the boundary is the whole execution.
+	r := mustRun(t, workload.Figure2(), sim.Config{Model: memmodel.SC, Seed: 3})
+	n, decided := SCBoundary(r.Exec, budget)
+	if !decided || n != len(r.Exec.Ops) {
+		t.Fatalf("SC execution boundary = %d (decided=%v), want %d", n, decided, len(r.Exec.Ops))
+	}
+	// On the Figure 2b anomaly it is a strict prefix, and not empty (the
+	// execution starts SC).
+	stale, err := workload.RunFig2Stale(memmodel.WO, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, decided = SCBoundary(stale.Exec, budget)
+	if !decided {
+		t.Fatal("boundary search ran out of budget")
+	}
+	if n == 0 || n >= len(stale.Exec.Ops) {
+		t.Fatalf("boundary = %d of %d, want a proper non-empty prefix",
+			n, len(stale.Exec.Ops))
+	}
+}
+
+func TestEnumerateSCFigure1a(t *testing.T) {
+	w := workload.Figure1a()
+	gt, err := EnumerateSC(w.Prog, w.InitMemory, EnumLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gt.Complete() {
+		t.Fatalf("figure 1a enumeration truncated: %+v", gt)
+	}
+	// 2+2 independent ops: C(4,2) = 6 interleavings.
+	if gt.Executions != 6 {
+		t.Fatalf("executions = %d, want 6", gt.Executions)
+	}
+	// Exactly two lower-level data races: (P1 W x, P2 R x) and (P1 W y, P2 R y).
+	if len(gt.Races) != 2 {
+		t.Fatalf("ground-truth races = %d, want 2: %v", len(gt.Races), gt.Races)
+	}
+	wantX := core.LowerLevelRace{
+		Loc: workload.Fig1X,
+		X:   sim.StaticOp{CPU: 0, PC: 0, Loc: workload.Fig1X}, XWrites: true,
+		Y: sim.StaticOp{CPU: 1, PC: 1, Loc: workload.Fig1X}, YWrites: false,
+	}
+	wantY := core.LowerLevelRace{
+		Loc: workload.Fig1Y,
+		X:   sim.StaticOp{CPU: 0, PC: 1, Loc: workload.Fig1Y}, XWrites: true,
+		Y: sim.StaticOp{CPU: 1, PC: 0, Loc: workload.Fig1Y}, YWrites: false,
+	}
+	if !gt.Races.Contains(wantX) || !gt.Races.Contains(wantY) {
+		t.Fatalf("ground truth missing expected races: %v", gt.Races)
+	}
+}
+
+func TestEnumerateSCRaceFreeProgram(t *testing.T) {
+	// Figure 1b has a spin loop: enumeration truncates unfair schedules
+	// but must never find a data race.
+	w := workload.Figure1b()
+	gt, err := EnumerateSC(w.Prog, w.InitMemory, EnumLimits{MaxExecutions: 3000, MaxStepsPerPath: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Executions == 0 {
+		t.Fatal("no executions completed")
+	}
+	if len(gt.Races) != 0 {
+		t.Fatalf("race-free program has ground-truth races: %v", gt.Races)
+	}
+}
+
+func TestSampleSCFigure2(t *testing.T) {
+	w := workload.Figure2()
+	gt, err := SampleSC(w.Prog, w.InitMemory, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Complete() {
+		t.Fatal("sampling must report incompleteness")
+	}
+	if gt.Executions != 400 {
+		t.Fatalf("executions = %d, want 400", gt.Executions)
+	}
+	// The queue races occur under SC; the region races never do.
+	sawQueue := false
+	for r := range gt.Races {
+		if r.Loc == workload.Fig2Q || r.Loc == workload.Fig2QEmpty {
+			sawQueue = true
+		}
+		if r.Loc >= workload.Fig2RegionP3 {
+			t.Fatalf("region race in SC ground truth: %v", r)
+		}
+	}
+	if !sawQueue {
+		t.Fatal("queue races never observed in 400 SC samples")
+	}
+}
+
+// The paper's central guarantee, end to end: on the Figure 2b anomaly,
+// the first partition contains a race that occurs under SC.
+func TestCondition34OnFigure2Anomaly(t *testing.T) {
+	stale, err := workload.RunFig2Stale(memmodel.WO, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustAnalyze(t, stale.Exec)
+	if a.RaceFree() {
+		t.Fatal("anomaly execution reported race-free")
+	}
+	w := workload.Figure2()
+	gt, err := SampleSC(w.Prog, w.InitMemory, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckCondition34(a, stale.Exec, gt, budget)
+	if !rep.OK() {
+		t.Fatalf("Condition 3.4 violated: %s", rep)
+	}
+	if rep.RaceFree {
+		t.Fatal("report claims race-free")
+	}
+}
+
+// Race-free weak executions: the detector reports no races and the
+// verifier confirms sequential consistency (Condition 3.4(1)).
+func TestCondition34OnRaceFreeExecution(t *testing.T) {
+	w := workload.Figure1b()
+	r := mustRun(t, w, sim.Config{Model: memmodel.WO, Seed: 5})
+	a := mustAnalyze(t, r.Exec)
+	gt := &GroundTruth{Races: RaceSet{}}
+	rep := CheckCondition34(a, r.Exec, gt, budget)
+	if !rep.OK() || !rep.RaceFree || !rep.ExecutionSC {
+		t.Fatalf("race-free check failed: %s", rep)
+	}
+}
+
+// The Theorem 3.5 ablation: pathological hardware (value speculation)
+// violates Condition 3.4(1) — a race-free execution that is not SC.
+func TestCondition34AblationPathological(t *testing.T) {
+	b := program.NewBuilder("patho", 1, 2)
+	tb := b.Thread("P1")
+	for i := 0; i < 30; i++ {
+		tb.Write(program.At(0), program.Imm(int64(i+1))).Fence().Read(0, program.At(0))
+	}
+	p := b.MustBuild()
+	violated := false
+	for seed := int64(0); seed < 60 && !violated; seed++ {
+		r, err := sim.Run(p, sim.Config{
+			Model: memmodel.WO, Seed: seed,
+			Pathological: true, PathologicalProb: 0.3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Exec.SpeculativeReads == 0 {
+			continue
+		}
+		a := mustAnalyze(t, r.Exec)
+		if !a.RaceFree() {
+			t.Fatal("single-threaded program reported racy")
+		}
+		rep := CheckCondition34(a, r.Exec, &GroundTruth{Races: RaceSet{}}, budget)
+		if !rep.SCDecided {
+			continue
+		}
+		if !rep.ExecutionSC {
+			violated = true
+			if rep.OK() {
+				t.Fatal("report.OK() true despite non-SC race-free execution")
+			}
+		}
+	}
+	if !violated {
+		t.Fatal("pathological hardware never produced a detectable Condition 3.4(1) violation")
+	}
+}
+
+func TestRaceSetCanonicalization(t *testing.T) {
+	s := RaceSet{}
+	r := core.LowerLevelRace{
+		Loc: 3,
+		X:   sim.StaticOp{CPU: 1, PC: 5, Loc: 3}, XWrites: false,
+		Y: sim.StaticOp{CPU: 0, PC: 2, Loc: 3}, YWrites: true,
+	}
+	s.Add(r)
+	flipped := core.LowerLevelRace{
+		Loc: 3,
+		X:   sim.StaticOp{CPU: 0, PC: 2, Loc: 3}, XWrites: true,
+		Y: sim.StaticOp{CPU: 1, PC: 5, Loc: 3}, YWrites: false,
+	}
+	if !s.Contains(flipped) {
+		t.Fatal("canonicalization failed: flipped race not found")
+	}
+	other := RaceSet{}
+	other.Add(core.LowerLevelRace{Loc: 9})
+	s.Union(other)
+	if len(s) != 2 {
+		t.Fatalf("union size = %d, want 2", len(s))
+	}
+}
+
+func TestCondition34ReportString(t *testing.T) {
+	rep := &Condition34Report{RaceFree: true, ExecutionSC: true, SCDecided: true}
+	if rep.String() == "" || !rep.OK() {
+		t.Fatal("race-free report broken")
+	}
+	rep = &Condition34Report{FirstPartitionHasSCRace: []bool{true, false}}
+	if rep.OK() {
+		t.Fatal("report with failing partition must not be OK")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,259 @@
+// Package scp implements the sequential-consistency machinery around the
+// paper's Condition 3.4: an exact (exponential, budgeted) verifier that
+// decides whether a recorded execution is sequentially consistent, the
+// computation of a sequentially consistent prefix boundary (the "End of
+// SCP" marker of Figure 2b), ground-truth enumeration and sampling of the
+// data races that occur in sequentially consistent executions of a
+// program, and the checker that validates Condition 3.4 / Theorem 4.2 on
+// a simulated execution.
+//
+// Verifying that an execution is sequentially consistent is NP-hard in
+// general; every entry point takes an explicit state budget and reports
+// whether it decided the question within it.
+package scp
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"weakrace/internal/sim"
+)
+
+// atom is a maximal group of operations that execute indivisibly: a single
+// operation, or the read+write halves of a Test&Set.
+type atom struct {
+	cpu int
+	ops []sim.MemOp
+}
+
+// atomize groups each processor's operations into atoms, pairing a
+// Test&Set's acquire-read with its sync-write (same processor, same PC,
+// same scheduler step).
+func atomize(e *sim.Execution) [][]atom {
+	out := make([][]atom, e.NumCPUs)
+	for c := 0; c < e.NumCPUs; c++ {
+		ops := e.OpsOf(c)
+		for i := 0; i < len(ops); i++ {
+			if i+1 < len(ops) &&
+				ops[i].Kind == sim.OpAcquireRead &&
+				ops[i+1].Kind == sim.OpSyncWriteOther &&
+				ops[i].Step == ops[i+1].Step && ops[i].PC == ops[i+1].PC {
+				out[c] = append(out[c], atom{cpu: c, ops: []sim.MemOp{ops[i], ops[i+1]}})
+				i++
+				continue
+			}
+			out[c] = append(out[c], atom{cpu: c, ops: []sim.MemOp{ops[i]}})
+		}
+	}
+	return out
+}
+
+// verifier is the backtracking state for one SC-consistency query.
+type verifier struct {
+	atoms   [][]atom
+	mem     []int64
+	idx     []int
+	visited map[string]bool
+	budget  int
+	blown   bool
+}
+
+func (v *verifier) key() string {
+	var sb strings.Builder
+	for _, i := range v.idx {
+		sb.WriteString(strconv.Itoa(i))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('|')
+	for _, m := range v.mem {
+		sb.WriteString(strconv.FormatInt(m, 36))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// enabled reports whether processor c's next atom can execute now: every
+// read in the atom must return exactly the value it returned in the
+// recorded execution (applying the atom's writes as it goes).
+func (v *verifier) enabled(c int) bool {
+	a := v.atoms[c][v.idx[c]]
+	// Test&Set atoms: the read happens before the write, and the write
+	// cannot invalidate the read, so checking reads against current memory
+	// with writes applied in order is exact.
+	saved := make([]int64, 0, 2)
+	savedLoc := make([]int, 0, 2)
+	ok := true
+	for _, op := range a.ops {
+		if op.Kind.IsRead() {
+			if v.mem[op.Loc] != op.Value {
+				ok = false
+				break
+			}
+		} else {
+			savedLoc = append(savedLoc, int(op.Loc))
+			saved = append(saved, v.mem[op.Loc])
+			v.mem[op.Loc] = op.Value
+		}
+	}
+	// Roll back the trial writes.
+	for i := len(saved) - 1; i >= 0; i-- {
+		v.mem[savedLoc[i]] = saved[i]
+	}
+	return ok
+}
+
+func (v *verifier) apply(c int) (undoLocs []int, undoVals []int64) {
+	a := v.atoms[c][v.idx[c]]
+	for _, op := range a.ops {
+		if op.Kind.IsWrite() {
+			undoLocs = append(undoLocs, int(op.Loc))
+			undoVals = append(undoVals, v.mem[op.Loc])
+			v.mem[op.Loc] = op.Value
+		}
+	}
+	v.idx[c]++
+	return undoLocs, undoVals
+}
+
+func (v *verifier) undo(c int, locs []int, vals []int64) {
+	v.idx[c]--
+	for i := len(locs) - 1; i >= 0; i-- {
+		v.mem[locs[i]] = vals[i]
+	}
+}
+
+func (v *verifier) search() bool {
+	done := true
+	for c := range v.atoms {
+		if v.idx[c] < len(v.atoms[c]) {
+			done = false
+			break
+		}
+	}
+	if done {
+		return true
+	}
+	if v.blown {
+		return false
+	}
+	k := v.key()
+	if v.visited[k] {
+		return false
+	}
+	if len(v.visited) >= v.budget {
+		v.blown = true
+		return false
+	}
+	v.visited[k] = true
+	for c := range v.atoms {
+		if v.idx[c] >= len(v.atoms[c]) || !v.enabled(c) {
+			continue
+		}
+		locs, vals := v.apply(c)
+		if v.search() {
+			return true
+		}
+		v.undo(c, locs, vals)
+		if v.blown {
+			return false
+		}
+	}
+	return false
+}
+
+// VerifySC reports whether the execution is sequentially consistent: some
+// total order of its operations, consistent with each processor's program
+// order and with Test&Set atomicity, in which every read returns the value
+// of the most recent write to its location (or the initial value).
+//
+// budget bounds the number of distinct search states; decided is false if
+// the search exhausted the budget without an answer (sc is then false).
+func VerifySC(e *sim.Execution, budget int) (sc, decided bool) {
+	return verifyAtoms(atomize(e), e.InitMemory, e.NumLocations, budget)
+}
+
+func verifyAtoms(atoms [][]atom, initMemory []int64, numLocs, budget int) (sc, decided bool) {
+	if budget <= 0 {
+		budget = 1 << 20
+	}
+	mem := make([]int64, numLocs)
+	copy(mem, initMemory)
+	v := &verifier{
+		atoms:   atoms,
+		mem:     mem,
+		idx:     make([]int, len(atoms)),
+		visited: make(map[string]bool),
+		budget:  budget,
+	}
+	ok := v.search()
+	if ok {
+		return true, true
+	}
+	return false, !v.blown
+}
+
+// SCBoundary returns the length (in operations, by global issue order) of
+// the longest prefix of the execution that is sequentially consistent —
+// the paper's "End of SCP" marker. Prefixes by issue order are closed
+// under program order and pairing, and SC-consistency of such prefixes is
+// monotone (a restriction of a valid witness order remains valid), so the
+// boundary is found by binary search.
+//
+// decided is false if any probed prefix exhausted the budget; n is then a
+// lower bound.
+func SCBoundary(e *sim.Execution, budget int) (n int, decided bool) {
+	total := len(e.Ops)
+	check := func(n int) (bool, bool) {
+		pre := prefixExecution(e, n)
+		return VerifySC(pre, budget)
+	}
+	decided = true
+	lo, hi := 0, total // invariant: prefix lo is SC (empty prefix trivially is)
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		ok, dec := check(mid)
+		if !dec {
+			decided = false
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, decided
+}
+
+// prefixExecution restricts e to its first n operations by issue order.
+// Atomic Test&Set pairs are never split: if the cut would separate them,
+// the read half is excluded too.
+func prefixExecution(e *sim.Execution, n int) *sim.Execution {
+	if n > len(e.Ops) {
+		n = len(e.Ops)
+	}
+	// Avoid splitting a Test&Set atom.
+	if n > 0 && n < len(e.Ops) {
+		last := e.Ops[n-1]
+		next := e.Ops[n]
+		if last.Kind == sim.OpAcquireRead && next.Kind == sim.OpSyncWriteOther &&
+			last.CPU == next.CPU && last.Step == next.Step && last.PC == next.PC {
+			n--
+		}
+	}
+	pre := &sim.Execution{
+		ProgramName:  e.ProgramName,
+		Model:        e.Model,
+		Seed:         e.Seed,
+		NumCPUs:      e.NumCPUs,
+		NumLocations: e.NumLocations,
+		InitMemory:   e.InitMemory,
+		Ops:          e.Ops[:n],
+		PerCPU:       make([][]int, e.NumCPUs),
+	}
+	for c, ids := range e.PerCPU {
+		cut := sort.SearchInts(ids, n)
+		pre.PerCPU[c] = ids[:cut]
+	}
+	return pre
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+
+	"weakrace/internal/program"
+)
+
+// Decision is one scripted scheduler step: either "processor CPU executes
+// its next instruction" or "retire processor CPU's oldest buffered write
+// to Loc".
+type Decision struct {
+	Retire bool
+	CPU    int
+	Loc    program.Addr // retirement target; ignored for execution steps
+}
+
+// String renders the decision.
+func (d Decision) String() string {
+	if d.Retire {
+		return fmt.Sprintf("retire P%d loc %d", d.CPU+1, d.Loc)
+	}
+	return fmt.Sprintf("exec P%d", d.CPU+1)
+}
+
+// Exec returns an execution decision for the processor.
+func Exec(cpu int) Decision { return Decision{CPU: cpu} }
+
+// Retire returns a retirement decision for the processor's oldest
+// buffered write to loc.
+func Retire(cpu int, loc program.Addr) Decision {
+	return Decision{Retire: true, CPU: cpu, Loc: loc}
+}
+
+// applyScripted performs one scripted decision. It returns an error when
+// the decision is inapplicable (halted processor, or no buffered write to
+// the named location) so tests constructing specific interleavings fail
+// loudly rather than silently diverging.
+func (m *machine) applyScripted(d Decision) error {
+	if d.CPU < 0 || d.CPU >= len(m.cpus) {
+		return fmt.Errorf("scripted decision %v: no such processor", d)
+	}
+	if d.Retire {
+		i := m.oldestFor(d.CPU, d.Loc)
+		if i < 0 {
+			return fmt.Errorf("scripted decision %v: no buffered write to location %d", d, d.Loc)
+		}
+		if m.cfg.Model.FIFOStoreBuffer() && i != 0 {
+			return fmt.Errorf("scripted decision %v: %v retires stores in FIFO order and an older write is pending",
+				d, m.cfg.Model)
+		}
+		m.retireIdx(d.CPU, i)
+		return nil
+	}
+	if m.cpus[d.CPU].halted {
+		return fmt.Errorf("scripted decision %v: processor halted", d)
+	}
+	m.execInstr(d.CPU)
+	return m.err
+}

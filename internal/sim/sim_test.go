@@ -1,0 +1,482 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/program"
+)
+
+// messagePassing builds the paper's Figure 1a shape: P1 writes x then y;
+// P2 reads y into r0 then x into r1. No synchronization.
+func messagePassing() *program.Program {
+	const x, y = 0, 1
+	b := program.NewBuilder("fig1a", 2, 2)
+	b.Thread("P1").
+		Write(program.At(x), program.Imm(1)).
+		Write(program.At(y), program.Imm(1))
+	b.Thread("P2").
+		Read(0, program.At(y)).
+		Read(1, program.At(x))
+	return b.MustBuild()
+}
+
+// syncedMessagePassing builds the Figure 1b shape: P1 writes x and y then
+// releases s; P2 spins on Test&Set(s) and then reads y and x. Location s
+// starts locked (1).
+func syncedMessagePassing() *program.Program {
+	const x, y, s = 0, 1, 2
+	b := program.NewBuilder("fig1b", 3, 2)
+	b.Thread("P1").
+		Write(program.At(x), program.Imm(1)).
+		Write(program.At(y), program.Imm(1)).
+		Unset(program.At(s))
+	b.Thread("P2").
+		Label("spin").
+		TestAndSet(0, program.At(s)).
+		BranchNotZero(0, "spin").
+		Read(0, program.At(y)).
+		Read(1, program.At(x))
+	return b.MustBuild()
+}
+
+// lockedCounter builds nCPU threads that each increment a shared counter
+// iters times under a Test&Set/Unset lock.
+func lockedCounter(nCPU, iters int) *program.Program {
+	const counter, lock = 0, 1
+	b := program.NewBuilder("locked-counter", 2, 3)
+	for i := 0; i < nCPU; i++ {
+		t := b.Thread("")
+		t.Const(2, int64(iters)).
+			Label("loop").
+			Label("spin").
+			TestAndSet(0, program.At(lock)).
+			BranchNotZero(0, "spin").
+			Read(0, program.At(counter)).
+			AddImm(0, 0, 1).
+			Write(program.At(counter), program.FromReg(0)).
+			Unset(program.At(lock)).
+			AddImm(2, 2, -1).
+			BranchNotZero(2, "loop")
+	}
+	return b.MustBuild()
+}
+
+// lastRead returns the value register r0/r1 ended with, via the recorded
+// execution: the value of the nth read op of the cpu.
+func readValues(e *Execution, cpu int) []int64 {
+	var vals []int64
+	for _, op := range e.OpsOf(cpu) {
+		if op.Kind == OpDataRead {
+			vals = append(vals, op.Value)
+		}
+	}
+	return vals
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	p := lockedCounter(3, 4)
+	for _, model := range memmodel.All {
+		a, err := Run(p, Config{Model: model, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(p, Config{Model: model, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Exec.Ops, b.Exec.Ops) {
+			t.Fatalf("%v: same seed produced different executions", model)
+		}
+		if !reflect.DeepEqual(a.FinalMemory, b.FinalMemory) {
+			t.Fatalf("%v: same seed produced different final memory", model)
+		}
+	}
+}
+
+func TestSCNeverReorders(t *testing.T) {
+	p := messagePassing()
+	for seed := int64(0); seed < 300; seed++ {
+		r, err := Run(p, Config{Model: memmodel.SC, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := readValues(r.Exec, 1)
+		if vals[0] == 1 && vals[1] == 0 {
+			t.Fatalf("seed %d: SC execution saw y=1, x=0", seed)
+		}
+		if !r.Exec.DefinitelySC() {
+			t.Fatalf("seed %d: SC run not DefinitelySC", seed)
+		}
+		if r.Exec.StaleReads != 0 || r.Exec.ForwardedReads != 0 || r.Exec.BypassReads != 0 {
+			t.Fatalf("seed %d: SC run used the store buffer", seed)
+		}
+	}
+}
+
+func TestWeakModelsCanReorder(t *testing.T) {
+	p := messagePassing()
+	for _, model := range []memmodel.Model{memmodel.WO, memmodel.RCsc, memmodel.DRF0, memmodel.DRF1} {
+		found := false
+		for seed := int64(0); seed < 500 && !found; seed++ {
+			r, err := Run(p, Config{Model: model, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals := readValues(r.Exec, 1)
+			if vals[0] == 1 && vals[1] == 0 {
+				found = true
+				if r.Exec.StaleReads == 0 {
+					t.Fatalf("%v seed %d: reordered outcome without a stale-read witness", model, seed)
+				}
+				if r.Exec.FirstStaleObservation < 0 {
+					t.Fatalf("%v seed %d: FirstStaleObservation not set", model, seed)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%v: no seed in [0,500) produced the reordered outcome y=1,x=0", model)
+		}
+	}
+}
+
+// The DRF guarantee: a data-race-free program behaves sequentially
+// consistently on every weak model, whatever the seed.
+func TestRaceFreeProgramIsSCOnWeakModels(t *testing.T) {
+	p := syncedMessagePassing()
+	for _, model := range memmodel.All {
+		for seed := int64(0); seed < 200; seed++ {
+			r, err := Run(p, Config{
+				Model: model, Seed: seed,
+				InitMemory: map[program.Addr]int64{2: 1}, // lock starts held
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Completed {
+				t.Fatalf("%v seed %d: did not complete", model, seed)
+			}
+			vals := readValues(r.Exec, 1)
+			if len(vals) != 2 || vals[0] != 1 || vals[1] != 1 {
+				t.Fatalf("%v seed %d: P2 read y=%v — DRF guarantee violated", model, seed, vals)
+			}
+			if r.Exec.StaleReads != 0 {
+				t.Fatalf("%v seed %d: race-free run recorded a stale read", model, seed)
+			}
+		}
+	}
+}
+
+func TestLockedCounterCorrectOnAllModels(t *testing.T) {
+	const nCPU, iters = 3, 5
+	p := lockedCounter(nCPU, iters)
+	for _, model := range memmodel.All {
+		for seed := int64(0); seed < 50; seed++ {
+			r, err := Run(p, Config{Model: model, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Completed {
+				t.Fatalf("%v seed %d: did not complete in %d steps", model, seed, r.Steps)
+			}
+			if got := r.FinalMemory[0]; got != nCPU*iters {
+				t.Fatalf("%v seed %d: counter = %d, want %d", model, seed, got, nCPU*iters)
+			}
+		}
+	}
+}
+
+// Per-location coherence: two writes to the same location by one processor
+// always commit in program order, so the final value is the second write.
+func TestSameLocationWritesStayOrdered(t *testing.T) {
+	b := program.NewBuilder("coherence", 1, 1)
+	b.Thread("P1").
+		Write(program.At(0), program.Imm(1)).
+		Write(program.At(0), program.Imm(2))
+	p := b.MustBuild()
+	for _, model := range memmodel.All {
+		for seed := int64(0); seed < 100; seed++ {
+			r, err := Run(p, Config{Model: model, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.FinalMemory[0] != 2 {
+				t.Fatalf("%v seed %d: final = %d, want 2", model, seed, r.FinalMemory[0])
+			}
+		}
+	}
+}
+
+func TestStoreForwarding(t *testing.T) {
+	b := program.NewBuilder("forward", 1, 1)
+	b.Thread("P1").
+		Write(program.At(0), program.Imm(7)).
+		Read(0, program.At(0))
+	p := b.MustBuild()
+	// RetireProb 0 keeps the write buffered until the read, forcing
+	// forwarding on weak models.
+	r, err := Run(p, Config{Model: memmodel.WO, Seed: 1, RetireProb: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := readValues(r.Exec, 0)
+	if vals[0] != 7 {
+		t.Fatalf("forwarded read = %d, want 7", vals[0])
+	}
+}
+
+func TestReleasePairingRecorded(t *testing.T) {
+	p := syncedMessagePassing()
+	r, err := Run(p, Config{
+		Model: memmodel.WO, Seed: 3,
+		InitMemory: map[program.Addr]int64{2: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find P1's release and the P2 acquire that read 0: the acquire's
+	// ObservedWrite must be the release's op ID.
+	var releaseID = -1
+	for _, op := range r.Exec.OpsOf(0) {
+		if op.Kind == OpReleaseWrite {
+			releaseID = op.ID
+		}
+	}
+	if releaseID < 0 {
+		t.Fatal("no release recorded for P1")
+	}
+	foundPairedAcquire := false
+	for _, op := range r.Exec.OpsOf(1) {
+		if op.Kind == OpAcquireRead && op.Value == 0 {
+			if op.ObservedWrite != releaseID {
+				t.Fatalf("winning acquire observed op %d, want release %d", op.ObservedWrite, releaseID)
+			}
+			foundPairedAcquire = true
+		}
+	}
+	if !foundPairedAcquire {
+		t.Fatal("no acquire read the released value")
+	}
+}
+
+func TestSyncSeqPerLocation(t *testing.T) {
+	p := syncedMessagePassing()
+	r, err := Run(p, Config{
+		Model: memmodel.WO, Seed: 5,
+		InitMemory: map[program.Addr]int64{2: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All sync ops are on location 2; their SyncSeq values must be exactly
+	// 0..n-1 in commit order, and data ops must have SyncSeq -1.
+	seen := map[int]bool{}
+	n := 0
+	for _, op := range r.Exec.Ops {
+		if op.Kind.IsSync() {
+			if op.Loc != 2 {
+				t.Fatalf("unexpected sync location %d", op.Loc)
+			}
+			if seen[op.SyncSeq] {
+				t.Fatalf("duplicate SyncSeq %d", op.SyncSeq)
+			}
+			seen[op.SyncSeq] = true
+			n++
+		} else if op.SyncSeq != -1 {
+			t.Fatalf("data op with SyncSeq %d", op.SyncSeq)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			t.Fatalf("SyncSeq %d missing (have %d sync ops)", i, n)
+		}
+	}
+}
+
+func TestMaxStepsSpin(t *testing.T) {
+	// Lock starts held and nobody releases: the spinner must hit MaxSteps.
+	b := program.NewBuilder("deadlock", 1, 1)
+	b.Thread("P1").
+		Label("spin").
+		TestAndSet(0, program.At(0)).
+		BranchNotZero(0, "spin")
+	p := b.MustBuild()
+	r, err := Run(p, Config{
+		Model: memmodel.WO, Seed: 1, MaxSteps: 1000,
+		InitMemory: map[program.Addr]int64{0: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed {
+		t.Fatal("spin loop reported completion")
+	}
+}
+
+func TestPathologicalSpeculation(t *testing.T) {
+	// A single-threaded, trivially race-free program: write then read the
+	// same location after retirement. Pathological mode must eventually
+	// return the stale previous value, violating Condition 3.4(1).
+	b := program.NewBuilder("patho", 1, 2)
+	tb := b.Thread("P1")
+	for i := 0; i < 40; i++ {
+		tb.Write(program.At(0), program.Imm(int64(i+1))).Fence().Read(0, program.At(0))
+	}
+	p := b.MustBuild()
+	sawStale := false
+	for seed := int64(0); seed < 50 && !sawStale; seed++ {
+		r, err := Run(p, Config{
+			Model: memmodel.WO, Seed: seed,
+			Pathological: true, PathologicalProb: 0.3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Exec.SpeculativeReads > 0 {
+			sawStale = true
+			if r.Exec.DefinitelySC() {
+				t.Fatal("speculative execution reported DefinitelySC")
+			}
+		}
+	}
+	if !sawStale {
+		t.Fatal("pathological mode never speculated")
+	}
+}
+
+func TestInitMemoryValidation(t *testing.T) {
+	p := messagePassing()
+	if _, err := Run(p, Config{InitMemory: map[program.Addr]int64{99: 1}}); err == nil {
+		t.Fatal("out-of-range InitMemory accepted")
+	}
+}
+
+func TestIndexedAddressOutOfRange(t *testing.T) {
+	b := program.NewBuilder("oob", 2, 1)
+	b.Thread("P1").
+		Const(0, 100).
+		Write(program.AtReg(0, 0), program.Imm(1))
+	p := b.MustBuild()
+	if _, err := Run(p, Config{Model: memmodel.SC, Seed: 1}); err == nil {
+		t.Fatal("out-of-range indexed address accepted")
+	}
+}
+
+func TestBufferCapForcesRetirement(t *testing.T) {
+	b := program.NewBuilder("burst", 64, 1)
+	tb := b.Thread("P1")
+	for i := 0; i < 32; i++ {
+		tb.Write(program.At(program.Addr(i)), program.Imm(int64(i)))
+	}
+	p := b.MustBuild()
+	r, err := Run(p, Config{Model: memmodel.WO, Seed: 1, BufferCap: 4, RetireProb: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if r.FinalMemory[i] != int64(i) {
+			t.Fatalf("mem[%d] = %d, want %d", i, r.FinalMemory[i], i)
+		}
+	}
+}
+
+// Every read's ObservedWrite must be consistent: the value read equals the
+// value of the observed write (or the initial value).
+func TestObservedWriteConsistency(t *testing.T) {
+	p := lockedCounter(3, 4)
+	for _, model := range memmodel.All {
+		for seed := int64(0); seed < 20; seed++ {
+			r, err := Run(p, Config{Model: model, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, op := range r.Exec.Ops {
+				if !op.Kind.IsRead() {
+					continue
+				}
+				if op.ObservedWrite == InitialWrite {
+					if op.Value != 0 {
+						t.Fatalf("%v seed %d: initial read of loc %d = %d", model, seed, op.Loc, op.Value)
+					}
+					continue
+				}
+				w := r.Exec.Ops[op.ObservedWrite]
+				if !w.Kind.IsWrite() {
+					t.Fatalf("%v seed %d: read observed non-write op %v", model, seed, w)
+				}
+				if w.Loc != op.Loc || w.Value != op.Value {
+					t.Fatalf("%v seed %d: read %v inconsistent with observed write %v", model, seed, op, w)
+				}
+			}
+		}
+	}
+}
+
+// The cycle cost model: a write-heavy race-free program must be cheaper
+// (smaller makespan) on every weak model than on SC, because buffered
+// writes retire in the background instead of stalling.
+func TestCycleModelWeakBeatsSC(t *testing.T) {
+	b := program.NewBuilder("write-heavy", 32, 2)
+	for c := 0; c < 2; c++ {
+		tb := b.Thread("")
+		for i := 0; i < 12; i++ {
+			tb.Write(program.At(program.Addr(c*16+i)), program.Imm(int64(i)))
+		}
+		tb.Unset(program.At(program.Addr(c*16 + 15)))
+	}
+	p := b.MustBuild()
+	var scTotal, weakTotal int64
+	for seed := int64(0); seed < 30; seed++ {
+		rSC, err := Run(p, Config{Model: memmodel.SC, Seed: seed, RetireProb: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rWO, err := Run(p, Config{Model: memmodel.WO, Seed: seed, RetireProb: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scTotal += rSC.Makespan()
+		weakTotal += rWO.Makespan()
+	}
+	if weakTotal >= scTotal {
+		t.Fatalf("WO makespan %d not below SC %d", weakTotal, scTotal)
+	}
+}
+
+func TestCyclesAccumulate(t *testing.T) {
+	p := lockedCounter(2, 2)
+	r, err := Run(p, Config{Model: memmodel.WO, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.CyclesPerCPU) != 2 {
+		t.Fatalf("CyclesPerCPU = %v", r.CyclesPerCPU)
+	}
+	for c, cy := range r.CyclesPerCPU {
+		if cy <= 0 {
+			t.Fatalf("cpu %d has %d cycles", c, cy)
+		}
+	}
+	if r.Makespan() < r.CyclesPerCPU[0] || r.Makespan() < r.CyclesPerCPU[1] {
+		t.Fatal("Makespan below a per-CPU count")
+	}
+}
+
+func TestOpKindClassification(t *testing.T) {
+	if !OpAcquireRead.IsRead() || !OpDataRead.IsRead() || OpDataWrite.IsRead() {
+		t.Fatal("IsRead wrong")
+	}
+	if !OpDataWrite.IsWrite() || !OpReleaseWrite.IsWrite() || !OpSyncWriteOther.IsWrite() || OpAcquireRead.IsWrite() {
+		t.Fatal("IsWrite wrong")
+	}
+	if OpDataRead.IsSync() || !OpAcquireRead.IsSync() || !OpSyncWriteOther.IsSync() {
+		t.Fatal("IsSync wrong")
+	}
+	if OpAcquireRead.Role() != memmodel.RoleAcquire ||
+		OpReleaseWrite.Role() != memmodel.RoleRelease ||
+		OpSyncWriteOther.Role() != memmodel.RoleSyncOther ||
+		OpDataRead.Role() != memmodel.RoleData {
+		t.Fatal("Role mapping wrong")
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/program"
+)
+
+// Stepper is a caller-controlled sequentially consistent interpreter: the
+// caller, not a random scheduler, decides which processor executes the next
+// instruction. It exists for the exhaustive enumeration of sequentially
+// consistent executions (internal/scp), which provides ground truth for
+// the paper's Theorem 4.2 — every first partition contains a race that
+// occurs in SOME sequentially consistent execution.
+//
+// The Stepper is restricted to the SC model: under SC there are no store
+// buffers, so a schedule is fully determined by the sequence of processor
+// choices and Clone can snapshot the machine exactly.
+type Stepper struct {
+	m *machine
+}
+
+// NewStepper builds a stepper for the program under SC with the given
+// initial memory.
+func NewStepper(p *program.Program, initMemory map[program.Addr]int64) (*Stepper, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: stepper: %w", err)
+	}
+	cfg := Config{Model: memmodel.SC}.withDefaults()
+	m := &machine{
+		prog:    p,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(0)), // never consulted under SC
+		mem:     make([]memCell, p.NumLocations),
+		prev:    make([]memCell, p.NumLocations),
+		cpus:    make([]cpuState, p.NumThreads()),
+		syncSeq: make([]int, p.NumLocations),
+		cycles:  make([]int64, p.NumThreads()),
+		exec: &Execution{
+			ProgramName:           p.Name,
+			Model:                 memmodel.SC,
+			NumCPUs:               p.NumThreads(),
+			NumLocations:          p.NumLocations,
+			PerCPU:                make([][]int, p.NumThreads()),
+			FirstStaleObservation: -1,
+		},
+	}
+	for i := range m.mem {
+		m.mem[i].writer = InitialWrite
+		m.prev[i].writer = InitialWrite
+	}
+	for a, v := range initMemory {
+		if a < 0 || int(a) >= p.NumLocations {
+			return nil, fmt.Errorf("sim: stepper: initial memory location %d out of range [0,%d)", a, p.NumLocations)
+		}
+		m.mem[a].val = v
+		m.prev[a].val = v
+	}
+	m.exec.InitMemory = make([]int64, p.NumLocations)
+	for i := range m.mem {
+		m.exec.InitMemory[i] = m.mem[i].val
+	}
+	for c := range m.cpus {
+		m.cpus[c].regs = make([]int64, p.NumRegs)
+	}
+	return &Stepper{m: m}, nil
+}
+
+// Runnable returns the processors that can execute an instruction.
+func (s *Stepper) Runnable() []int {
+	var out []int
+	for c := range s.m.cpus {
+		if !s.m.cpus[c].halted {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Done reports whether every processor has halted.
+func (s *Stepper) Done() bool { return len(s.Runnable()) == 0 }
+
+// Step executes one instruction on processor c. Stepping a halted
+// processor is a no-op.
+func (s *Stepper) Step(c int) error {
+	s.m.execInstr(c)
+	s.m.step++
+	if s.m.err != nil {
+		return fmt.Errorf("sim: stepper: %w", s.m.err)
+	}
+	return nil
+}
+
+// Steps returns the number of instructions executed so far.
+func (s *Stepper) Steps() int { return s.m.step }
+
+// Execution returns the execution recorded so far. The returned value
+// aliases the stepper's internal state; callers that keep stepping should
+// not retain it.
+func (s *Stepper) Execution() *Execution { return s.m.exec }
+
+// Memory returns a copy of the current shared memory values.
+func (s *Stepper) Memory() []int64 {
+	out := make([]int64, len(s.m.mem))
+	for i, cell := range s.m.mem {
+		out[i] = cell.val
+	}
+	return out
+}
+
+// Clone returns an independent deep copy of the stepper, so a depth-first
+// enumeration can branch on scheduler choices.
+func (s *Stepper) Clone() *Stepper {
+	src := s.m
+	dst := &machine{
+		prog:    src.prog,
+		cfg:     src.cfg,
+		rng:     rand.New(rand.NewSource(0)),
+		mem:     append([]memCell(nil), src.mem...),
+		prev:    append([]memCell(nil), src.prev...),
+		cpus:    make([]cpuState, len(src.cpus)),
+		syncSeq: append([]int(nil), src.syncSeq...),
+		cycles:  append([]int64(nil), src.cycles...),
+		step:    src.step,
+		exec: &Execution{
+			ProgramName:           src.exec.ProgramName,
+			Model:                 src.exec.Model,
+			Seed:                  src.exec.Seed,
+			NumCPUs:               src.exec.NumCPUs,
+			NumLocations:          src.exec.NumLocations,
+			InitMemory:            src.exec.InitMemory,
+			Ops:                   append([]MemOp(nil), src.exec.Ops...),
+			PerCPU:                make([][]int, len(src.exec.PerCPU)),
+			FirstStaleObservation: src.exec.FirstStaleObservation,
+			StaleReads:            src.exec.StaleReads,
+			ForwardedReads:        src.exec.ForwardedReads,
+			BypassReads:           src.exec.BypassReads,
+			SpeculativeReads:      src.exec.SpeculativeReads,
+		},
+	}
+	for c := range src.cpus {
+		dst.cpus[c] = cpuState{
+			regs:   append([]int64(nil), src.cpus[c].regs...),
+			pc:     src.cpus[c].pc,
+			halted: src.cpus[c].halted,
+			buf:    append([]bufEntry(nil), src.cpus[c].buf...),
+		}
+	}
+	for c := range src.exec.PerCPU {
+		dst.exec.PerCPU[c] = append([]int(nil), src.exec.PerCPU[c]...)
+	}
+	return &Stepper{m: dst}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"testing"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/program"
+)
+
+func TestStepperBasics(t *testing.T) {
+	b := program.NewBuilder("step", 2, 2)
+	b.Thread("P1").
+		Const(0, 5).
+		Mov(1, 0).
+		Sub(1, 1, 0).
+		Write(program.At(0), program.FromReg(0)).
+		Nop().
+		Halt()
+	b.Thread("P2").
+		Read(0, program.At(0)).
+		BranchLess(1, 0, "end"). // r1(0) < r0(5): branch taken, write skipped
+		Write(program.At(1), program.Imm(1)).
+		Label("end")
+	p := b.MustBuild()
+
+	s, err := NewStepper(p, map[program.Addr]int64{1: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Done() {
+		t.Fatal("fresh stepper done")
+	}
+	if got := s.Runnable(); len(got) != 2 {
+		t.Fatalf("runnable = %v", got)
+	}
+	// Drive P1 to completion, then P2.
+	for !s.Done() {
+		r := s.Runnable()
+		if err := s.Step(r[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Steps() == 0 {
+		t.Fatal("no steps counted")
+	}
+	mem := s.Memory()
+	if mem[0] != 5 || mem[1] != 7 {
+		t.Fatalf("memory = %v", mem)
+	}
+	e := s.Execution()
+	if e.NumOps() == 0 {
+		t.Fatal("no ops recorded")
+	}
+	// Exercise the exec-record string helpers.
+	op := e.Ops[0]
+	if op.String() == "" || op.Static().String() == "" {
+		t.Fatal("empty op strings")
+	}
+	if op.Kind.String() == "" {
+		t.Fatal("empty kind string")
+	}
+}
+
+func TestStepperCloneIsolation(t *testing.T) {
+	w := messagePassing()
+	s, err := NewStepper(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(0); err != nil { // P1 writes x
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if err := c.Step(0); err != nil { // clone: P1 writes y
+		t.Fatal(err)
+	}
+	if s.Execution().NumOps() == c.Execution().NumOps() {
+		t.Fatal("clone shares op log with original")
+	}
+	if s.Memory()[1] == c.Memory()[1] {
+		t.Fatal("clone shares memory with original")
+	}
+}
+
+func TestStepperRejectsBadProgram(t *testing.T) {
+	bad := &program.Program{Name: "x"}
+	if _, err := NewStepper(bad, nil); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+	good := messagePassing()
+	if _, err := NewStepper(good, map[program.Addr]int64{99: 1}); err == nil {
+		t.Fatal("out-of-range init memory accepted")
+	}
+}
+
+func TestStepperHaltedStepIsNoop(t *testing.T) {
+	b := program.NewBuilder("one", 1, 1)
+	b.Thread("P1").Nop()
+	s, err := NewStepper(b.MustBuild(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		t.Fatal("not done after sole instruction")
+	}
+	if err := s.Step(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJumpAndHaltOpcodes(t *testing.T) {
+	b := program.NewBuilder("jump", 1, 1)
+	b.Thread("P1").
+		Jump("skip").
+		Write(program.At(0), program.Imm(99)). // skipped
+		Label("skip").
+		Write(program.At(0), program.Imm(1)).
+		Halt().
+		Write(program.At(0), program.Imm(2)) // never reached
+	p := b.MustBuild()
+	for _, model := range []memmodel.Model{memmodel.SC, memmodel.WO} {
+		r, err := Run(p, Config{Model: model, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.FinalMemory[0] != 1 {
+			t.Fatalf("%v: mem[0] = %d, want 1", model, r.FinalMemory[0])
+		}
+	}
+}
+
+func TestSyncReadWriteOpcodes(t *testing.T) {
+	b := program.NewBuilder("syncops", 2, 1)
+	b.Thread("P1").
+		SyncWrite(program.At(0), program.Imm(5)).
+		SyncRead(0, program.At(0)).
+		Write(program.At(1), program.FromReg(0))
+	p := b.MustBuild()
+	r, err := Run(p, Config{Model: memmodel.RCsc, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalMemory[1] != 5 {
+		t.Fatalf("sync read saw %d, want 5", r.FinalMemory[1])
+	}
+	// Two sync ops on loc 0 recorded with correct kinds.
+	ops := r.Exec.OpsOf(0)
+	if ops[0].Kind != OpReleaseWrite || ops[1].Kind != OpAcquireRead {
+		t.Fatalf("sync op kinds: %v %v", ops[0].Kind, ops[1].Kind)
+	}
+	// The acquire observed the release.
+	if ops[1].ObservedWrite != ops[0].ID {
+		t.Fatalf("acquire observed %d, want %d", ops[1].ObservedWrite, ops[0].ID)
+	}
+}

@@ -1,0 +1,89 @@
+// Package stats provides the small set of summary statistics the
+// experiment tables report: mean, standard deviation, min/max, and
+// percentiles over float64 samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample set.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	return s
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 1) of an ascending
+// sorted sample, with linear interpolation between ranks.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p90=%.2f max=%.2f",
+		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P90, s.Max)
+}
+
+// Ratio safely divides a by b, returning NaN when b is zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/sim"
+	"weakrace/internal/workload"
+)
+
+func TestFileSetRoundTrip(t *testing.T) {
+	for _, w := range []*workload.Workload{
+		workload.Figure1b(),
+		workload.Figure2(),
+		workload.LockedCounter(3, 2, 1),
+	} {
+		r, err := sim.Run(w.Prog, sim.Config{Model: memmodel.WO, Seed: 4, InitMemory: w.InitMemory})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := FromExecution(r.Exec)
+		dir := filepath.Join(t.TempDir(), "set")
+		if err := WriteFileSet(dir, want); err != nil {
+			t.Fatal(err)
+		}
+		// One file per processor plus the manifest.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != want.NumCPUs+1 {
+			t.Fatalf("%s: %d entries, want %d", w.Name, len(entries), want.NumCPUs+1)
+		}
+		got, err := ReadFileSet(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTracesEqual(t, want, got)
+	}
+}
+
+func TestFileSetMissingFile(t *testing.T) {
+	tr := traceFor(t, workload.Figure1b(), 1)
+	dir := filepath.Join(t.TempDir(), "set")
+	if err := WriteFileSet(dir, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "cpu-1.wrt")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFileSet(dir); err == nil {
+		t.Fatal("missing per-processor file not reported")
+	}
+}
+
+func TestFileSetManifestErrors(t *testing.T) {
+	tr := traceFor(t, workload.Figure1b(), 1)
+	write := func(t *testing.T, mutate func(string) string) string {
+		t.Helper()
+		dir := filepath.Join(t.TempDir(), "set")
+		if err := WriteFileSet(dir, tr); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, manifestName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(mutate(string(data))), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(string) string
+		want   string
+	}{
+		{"bad header", func(s string) string {
+			return strings.Replace(s, "weakrace-manifest 1", "nope", 1)
+		}, "header"},
+		{"bad model", func(s string) string {
+			return strings.Replace(s, "model WO", "model PSO", 1)
+		}, "unknown model"},
+		{"path escape", func(s string) string {
+			return strings.Replace(s, "cpu-0.wrt", "../evil.wrt", 1)
+		}, "escapes"},
+		{"missing entry", func(s string) string {
+			return strings.Replace(s, "file 1 cpu-1.wrt\n", "", 1)
+		}, "files for"},
+		{"unknown directive", func(s string) string {
+			return s + "banana split\n"
+		}, "unknown directive"},
+	}
+	for _, c := range cases {
+		dir := write(t, c.mutate)
+		_, err := ReadFileSet(dir)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestFileSetRejectsForeignEvents(t *testing.T) {
+	// A per-processor file carrying another processor's events is corrupt.
+	tr := traceFor(t, workload.Figure1b(), 1)
+	dir := filepath.Join(t.TempDir(), "set")
+	if err := WriteFileSet(dir, tr); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite cpu-0's file with the full trace (which has P2 events too).
+	f, err := os.Create(filepath.Join(dir, "cpu-0.wrt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := ReadFileSet(dir); err == nil || !strings.Contains(err.Error(), "carries events") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"weakrace/internal/core"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+// seedCorpus returns encoded traces to seed the fuzzers.
+func seedCorpus(tb testing.TB) [][]byte {
+	tb.Helper()
+	var out [][]byte
+	for _, w := range []*workload.Workload{
+		workload.Figure1a(), workload.Figure1b(), workload.Figure2(),
+	} {
+		r, err := sim.Run(w.Prog, sim.Config{Model: memmodel.WO, Seed: 1, InitMemory: w.InitMemory})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.Encode(&buf, trace.FromExecution(r.Exec)); err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out
+}
+
+// FuzzDecode: arbitrary bytes must never panic the binary decoder, and
+// anything it accepts must survive validation and analysis.
+func FuzzDecode(f *testing.F) {
+	for _, seed := range seedCorpus(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte("WRT1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid trace: %v", err)
+		}
+		if _, err := core.Analyze(tr, core.Options{SkipValidate: true}); err != nil {
+			t.Fatalf("analysis failed on decoded trace: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeText: same contract for the text codec.
+func FuzzDecodeText(f *testing.F) {
+	for _, w := range []*workload.Workload{workload.Figure1b(), workload.Figure2()} {
+		r, err := sim.Run(w.Prog, sim.Config{Model: memmodel.WO, Seed: 1, InitMemory: w.InitMemory})
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.EncodeText(&buf, trace.FromExecution(r.Exec)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+	f.Add("weakrace-trace 1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := trace.DecodeText(bytes.NewReader([]byte(src)))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("DecodeText accepted an invalid trace: %v", err)
+		}
+	})
+}

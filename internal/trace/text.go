@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"weakrace/internal/program"
+)
+
+// Dump writes a human-readable rendering of the trace — the debugging view
+// of what the instrumentation recorded. The binary codec is authoritative;
+// this format is not parsed back.
+func Dump(w io.Writer, t *Trace) error {
+	if _, err := fmt.Fprintf(w, "trace %q model=%s seed=%d cpus=%d locations=%d events=%d\n",
+		t.ProgramName, t.Model, t.Seed, t.NumCPUs, t.NumLocations, t.NumEvents()); err != nil {
+		return err
+	}
+	for c, evs := range t.PerCPU {
+		if _, err := fmt.Fprintf(w, "P%d:\n", c+1); err != nil {
+			return err
+		}
+		for i, ev := range evs {
+			var err error
+			switch ev.Kind {
+			case Sync:
+				_, err = fmt.Fprintf(w, "  %3d: %s\n", i, ev)
+			case Comp:
+				_, err = fmt.Fprintf(w, "  %3d: comp reads=%s writes=%s%s\n",
+					i, ev.Reads, ev.Writes, pcAnnotations(ev))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func pcAnnotations(ev *Event) string {
+	if len(ev.ReadPC) == 0 && len(ev.WritePC) == 0 {
+		return ""
+	}
+	type kv struct {
+		loc program.Addr
+		pc  int
+		rw  byte
+	}
+	var items []kv
+	for loc, pc := range ev.ReadPC {
+		items = append(items, kv{loc, pc, 'r'})
+	}
+	for loc, pc := range ev.WritePC {
+		items = append(items, kv{loc, pc, 'w'})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].loc != items[j].loc {
+			return items[i].loc < items[j].loc
+		}
+		return items[i].rw < items[j].rw
+	})
+	s := " pcs["
+	for i, it := range items {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%c%d@%d", it.rw, it.loc, it.pc)
+	}
+	return s + "]"
+}

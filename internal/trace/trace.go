@@ -1,0 +1,336 @@
+// Package trace implements the instrumentation layer of the paper (§4.1).
+//
+// A trace records exactly the three things the paper's instrumentation
+// produces, and nothing else:
+//
+//  1. the execution order of events issued by the same processor,
+//  2. the relative execution order of synchronization events involving the
+//     same location (plus, for acquires, which synchronization write
+//     supplied the value — the pairing of Definition 2.1), and
+//  3. the READ and WRITE sets of each computation event, as bit-vectors.
+//
+// An event is either a single synchronization operation (a synchronization
+// event) or a maximal group of consecutively executed data operations (a
+// computation event). The values read and written by data operations are
+// deliberately NOT part of a trace: the detector must work from access
+// sets alone, exactly as the paper prescribes.
+//
+// Traces are produced from a simulator execution (FromExecution — the
+// "trusted instrumentation"), serialized with a binary codec, and consumed
+// post-mortem by internal/core.
+package trace
+
+import (
+	"fmt"
+
+	"weakrace/internal/bitset"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/program"
+	"weakrace/internal/sim"
+)
+
+// EventKind distinguishes computation events from synchronization events.
+type EventKind int
+
+const (
+	// Comp is a computation event: consecutive data operations.
+	Comp EventKind = iota
+	// Sync is a synchronization event: one synchronization operation.
+	Sync
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	if k == Sync {
+		return "sync"
+	}
+	return "comp"
+}
+
+// EventRef names an event by processor and position in that processor's
+// event stream.
+type EventRef struct {
+	CPU   int
+	Index int
+}
+
+// NoEvent is the zero EventRef used when a reference is absent.
+var NoEvent = EventRef{CPU: -1, Index: -1}
+
+// Valid reports whether the reference points at an event.
+func (r EventRef) Valid() bool { return r.CPU >= 0 }
+
+// String renders the reference as Pc.e.
+func (r EventRef) String() string {
+	if !r.Valid() {
+		return "-"
+	}
+	return fmt.Sprintf("P%d.%d", r.CPU+1, r.Index)
+}
+
+// Event is one node of a processor's event stream.
+type Event struct {
+	Kind EventKind
+
+	// Computation events.
+
+	// Reads and Writes are the event's access sets (locations).
+	Reads, Writes *bitset.Set
+	// ReadPC and WritePC record, per location, the program counter of the
+	// first data operation in this event that read/wrote it. Pure
+	// provenance for race reports; the detector never consults them.
+	ReadPC, WritePC map[program.Addr]int
+
+	// Synchronization events.
+
+	// Role is the operation's classification: acquire, release, or
+	// sync-other (a Test&Set's write half).
+	Role memmodel.Role
+	// Loc is the synchronization location.
+	Loc program.Addr
+	// SyncSeq is the event's position in the global order of
+	// synchronization operations on Loc.
+	SyncSeq int
+	// PC is the issuing instruction's program counter.
+	PC int
+	// Observed is the synchronization write event whose value this
+	// acquire returned, when the value came from a synchronization write;
+	// NoEvent otherwise (data write or initial value). Pairing policy is
+	// applied at detection time, using ObservedRole.
+	Observed EventRef
+	// ObservedRole is the role of the observed synchronization write.
+	ObservedRole memmodel.Role
+}
+
+// IsWriteSync reports whether a sync event writes its location.
+func (e *Event) IsWriteSync() bool {
+	return e.Kind == Sync && (e.Role == memmodel.RoleRelease || e.Role == memmodel.RoleSyncOther)
+}
+
+// IsReadSync reports whether a sync event reads its location.
+func (e *Event) IsReadSync() bool {
+	return e.Kind == Sync && e.Role == memmodel.RoleAcquire
+}
+
+// String renders the event compactly.
+func (e *Event) String() string {
+	if e.Kind == Sync {
+		s := fmt.Sprintf("sync %s loc=%d seq=%d pc=%d", e.Role, e.Loc, e.SyncSeq, e.PC)
+		if e.Observed.Valid() {
+			s += fmt.Sprintf(" paired=%s", e.Observed)
+		}
+		return s
+	}
+	return fmt.Sprintf("comp reads=%s writes=%s", e.Reads, e.Writes)
+}
+
+// Trace is a complete post-mortem trace of one execution.
+type Trace struct {
+	ProgramName  string
+	Model        memmodel.Model
+	Seed         int64
+	NumCPUs      int
+	NumLocations int
+	// PerCPU[c] is processor c's event stream in execution order.
+	PerCPU [][]*Event
+}
+
+// NumEvents returns the total number of events.
+func (t *Trace) NumEvents() int {
+	n := 0
+	for _, evs := range t.PerCPU {
+		n += len(evs)
+	}
+	return n
+}
+
+// Event returns the event named by ref, or nil if out of range.
+func (t *Trace) Event(ref EventRef) *Event {
+	if !ref.Valid() || ref.CPU >= len(t.PerCPU) || ref.Index >= len(t.PerCPU[ref.CPU]) {
+		return nil
+	}
+	return t.PerCPU[ref.CPU][ref.Index]
+}
+
+// FromExecution instruments an execution: it groups each processor's
+// consecutive data operations into computation events, emits one
+// synchronization event per synchronization operation, and resolves
+// acquire pairing references.
+func FromExecution(e *sim.Execution) *Trace {
+	t := &Trace{
+		ProgramName:  e.ProgramName,
+		Model:        e.Model,
+		Seed:         e.Seed,
+		NumCPUs:      e.NumCPUs,
+		NumLocations: e.NumLocations,
+		PerCPU:       make([][]*Event, e.NumCPUs),
+	}
+	// opEvent[id] is the event that contains operation id (filled for sync
+	// writes; used to resolve acquire pairings in the second pass).
+	opEvent := make(map[int]EventRef, len(e.Ops))
+	opRole := make(map[int]memmodel.Role, len(e.Ops))
+
+	for c := 0; c < e.NumCPUs; c++ {
+		var cur *Event // open computation event, if any
+		flush := func() {
+			if cur != nil {
+				t.PerCPU[c] = append(t.PerCPU[c], cur)
+				cur = nil
+			}
+		}
+		for _, op := range e.OpsOf(c) {
+			if op.Kind.IsSync() {
+				flush()
+				ev := &Event{
+					Kind:     Sync,
+					Role:     op.Kind.Role(),
+					Loc:      op.Loc,
+					SyncSeq:  op.SyncSeq,
+					PC:       op.PC,
+					Observed: NoEvent,
+				}
+				ref := EventRef{CPU: c, Index: len(t.PerCPU[c])}
+				t.PerCPU[c] = append(t.PerCPU[c], ev)
+				if op.Kind.IsWrite() {
+					opEvent[op.ID] = ref
+					opRole[op.ID] = op.Kind.Role()
+				}
+				continue
+			}
+			if cur == nil {
+				cur = &Event{
+					Kind:     Comp,
+					Reads:    bitset.New(e.NumLocations),
+					Writes:   bitset.New(e.NumLocations),
+					ReadPC:   map[program.Addr]int{},
+					WritePC:  map[program.Addr]int{},
+					SyncSeq:  -1,
+					Observed: NoEvent,
+				}
+			}
+			if op.Kind.IsRead() {
+				if !cur.Reads.Contains(int(op.Loc)) {
+					cur.ReadPC[op.Loc] = op.PC
+				}
+				cur.Reads.Add(int(op.Loc))
+			} else {
+				if !cur.Writes.Contains(int(op.Loc)) {
+					cur.WritePC[op.Loc] = op.PC
+				}
+				cur.Writes.Add(int(op.Loc))
+			}
+		}
+		flush()
+	}
+
+	// Second pass: resolve acquire pairings from observed write ops. Sync
+	// operations map 1:1, in order, onto a processor's sync events.
+	for c := 0; c < e.NumCPUs; c++ {
+		var syncEvents []*Event
+		for _, ev := range t.PerCPU[c] {
+			if ev.Kind == Sync {
+				syncEvents = append(syncEvents, ev)
+			}
+		}
+		si := 0
+		for _, op := range e.OpsOf(c) {
+			if !op.Kind.IsSync() {
+				continue
+			}
+			ev := syncEvents[si]
+			si++
+			if op.Kind != sim.OpAcquireRead || op.ObservedWrite < 0 {
+				continue
+			}
+			if ref, ok := opEvent[op.ObservedWrite]; ok {
+				ev.Observed = ref
+				ev.ObservedRole = opRole[op.ObservedWrite]
+			}
+		}
+	}
+	return t
+}
+
+// Validate checks structural invariants of a trace (typically after
+// decoding): event fields match their kind, references resolve, observed
+// events are synchronization writes on the same location, and per-location
+// synchronization sequence numbers are unique and dense.
+func (t *Trace) Validate() error {
+	if t.NumCPUs != len(t.PerCPU) {
+		return fmt.Errorf("trace: NumCPUs=%d but %d streams", t.NumCPUs, len(t.PerCPU))
+	}
+	syncSeqs := map[program.Addr]map[int]bool{}
+	for c, evs := range t.PerCPU {
+		for i, ev := range evs {
+			where := fmt.Sprintf("trace: event P%d.%d", c+1, i)
+			switch ev.Kind {
+			case Comp:
+				if ev.Reads == nil || ev.Writes == nil {
+					return fmt.Errorf("%s: computation event with nil access sets", where)
+				}
+				if ev.Reads.Empty() && ev.Writes.Empty() {
+					return fmt.Errorf("%s: empty computation event", where)
+				}
+				check := func(set *bitset.Set) error {
+					var err error
+					set.Range(func(v int) bool {
+						if v >= t.NumLocations {
+							err = fmt.Errorf("%s: location %d out of range [0,%d)", where, v, t.NumLocations)
+							return false
+						}
+						return true
+					})
+					return err
+				}
+				if err := check(ev.Reads); err != nil {
+					return err
+				}
+				if err := check(ev.Writes); err != nil {
+					return err
+				}
+			case Sync:
+				if !ev.Role.IsSync() {
+					return fmt.Errorf("%s: sync event with role %v", where, ev.Role)
+				}
+				if ev.Loc < 0 || int(ev.Loc) >= t.NumLocations {
+					return fmt.Errorf("%s: sync location %d out of range", where, ev.Loc)
+				}
+				if syncSeqs[ev.Loc] == nil {
+					syncSeqs[ev.Loc] = map[int]bool{}
+				}
+				if ev.SyncSeq < 0 {
+					return fmt.Errorf("%s: negative SyncSeq", where)
+				}
+				if syncSeqs[ev.Loc][ev.SyncSeq] {
+					return fmt.Errorf("%s: duplicate SyncSeq %d for location %d", where, ev.SyncSeq, ev.Loc)
+				}
+				syncSeqs[ev.Loc][ev.SyncSeq] = true
+				if ev.Observed.Valid() {
+					obs := t.Event(ev.Observed)
+					if obs == nil {
+						return fmt.Errorf("%s: dangling pairing reference %s", where, ev.Observed)
+					}
+					if !obs.IsWriteSync() {
+						return fmt.Errorf("%s: paired event %s is not a synchronization write", where, ev.Observed)
+					}
+					if obs.Loc != ev.Loc {
+						return fmt.Errorf("%s: paired event %s is on location %d, want %d", where, ev.Observed, obs.Loc, ev.Loc)
+					}
+					if ev.Role != memmodel.RoleAcquire {
+						return fmt.Errorf("%s: non-acquire event carries a pairing", where)
+					}
+				}
+			default:
+				return fmt.Errorf("%s: unknown kind %d", where, ev.Kind)
+			}
+		}
+	}
+	for loc, seqs := range syncSeqs {
+		for i := 0; i < len(seqs); i++ {
+			if !seqs[i] {
+				return fmt.Errorf("trace: location %d: SyncSeq %d missing (%d sync events)", loc, i, len(seqs))
+			}
+		}
+	}
+	return nil
+}

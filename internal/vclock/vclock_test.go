@@ -1,0 +1,146 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroAndTick(t *testing.T) {
+	v := New(3)
+	if v.Get(0) != 0 || v.Get(2) != 0 {
+		t.Fatal("new clock not zero")
+	}
+	v.Tick(1)
+	v.Tick(1)
+	if v.Get(1) != 2 {
+		t.Fatalf("Get(1) = %d, want 2", v.Get(1))
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := New(2)
+	c := v.Clone()
+	v.Tick(0)
+	if c.Get(0) != 0 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	a := VC{3, 1, 0}
+	b := VC{1, 5, 0}
+	a.Join(b)
+	if !a.Equal(VC{3, 5, 0}) {
+		t.Fatalf("Join = %v", a)
+	}
+}
+
+func TestJoinWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch did not panic")
+		}
+	}()
+	New(2).Join(New(3))
+}
+
+func TestHappensBeforeAndConcurrent(t *testing.T) {
+	a := VC{1, 0}
+	b := VC{2, 1}
+	c := VC{0, 2}
+	if !a.HappensBefore(b) {
+		t.Fatal("a should happen before b")
+	}
+	if b.HappensBefore(a) {
+		t.Fatal("b should not happen before a")
+	}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Fatal("a and c should be concurrent")
+	}
+	if a.Concurrent(a.Clone()) {
+		t.Fatal("equal clocks are not concurrent")
+	}
+	if a.HappensBefore(a.Clone()) {
+		t.Fatal("HappensBefore must be irreflexive")
+	}
+}
+
+func TestEpochCovered(t *testing.T) {
+	e := Epoch{P: 1, C: 3}
+	if e.Covered(VC{0, 2}) {
+		t.Fatal("epoch 3@1 covered by <0,2>")
+	}
+	if !e.Covered(VC{0, 3}) {
+		t.Fatal("epoch 3@1 not covered by <0,3>")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := (VC{1, 2}).String(); got != "<1,2>" {
+		t.Fatalf("VC String = %q", got)
+	}
+	if got := (Epoch{P: 2, C: 7}).String(); got != "7@2" {
+		t.Fatalf("Epoch String = %q", got)
+	}
+}
+
+// Property: exactly one of {a<b, b<a, a=b, concurrent} holds.
+func TestQuickTrichotomy(t *testing.T) {
+	f := func(xs, ys [4]uint8) bool {
+		a, b := New(4), New(4)
+		for i := 0; i < 4; i++ {
+			a[i] = uint32(xs[i] % 4)
+			b[i] = uint32(ys[i] % 4)
+		}
+		states := 0
+		if a.HappensBefore(b) {
+			states++
+		}
+		if b.HappensBefore(a) {
+			states++
+		}
+		if a.Equal(b) {
+			states++
+		}
+		if a.Concurrent(b) {
+			states++
+		}
+		return states == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Join is the least upper bound — it dominates both inputs and
+// any other dominator dominates the join.
+func TestQuickJoinIsLUB(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			a[i] = uint32(rng.Intn(5))
+			b[i] = uint32(rng.Intn(5))
+		}
+		j := a.Clone()
+		j.Join(b)
+		for i := 0; i < n; i++ {
+			if j[i] < a[i] || j[i] < b[i] {
+				return false
+			}
+			m := a[i]
+			if b[i] > m {
+				m = b[i]
+			}
+			if j[i] != m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

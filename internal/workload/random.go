@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weakrace/internal/program"
+)
+
+// RandomParams tunes the random program generator.
+type RandomParams struct {
+	// CPUs is the number of threads (default 4).
+	CPUs int
+	// SharedLocs is the number of lock-protected shared locations
+	// (default 8).
+	SharedLocs int
+	// PrivateLocs is the number of per-thread private locations
+	// (default 4).
+	PrivateLocs int
+	// Locks is the number of Test&Set/Unset locks; shared location l is
+	// protected by lock l mod Locks (default 2).
+	Locks int
+	// Segments is the number of access segments per thread (default 6).
+	Segments int
+	// OpsPerSegment is the number of data operations per segment
+	// (default 4).
+	OpsPerSegment int
+	// UnlockedFraction is the probability that a segment touching shared
+	// locations skips its lock — injecting data races. 0 yields a
+	// race-free program (default 0).
+	UnlockedFraction float64
+	// SharedFraction is the probability a data operation targets a shared
+	// (rather than private) location (default 0.5).
+	SharedFraction float64
+	// Seed drives generation.
+	Seed int64
+}
+
+func (p RandomParams) withDefaults() RandomParams {
+	if p.CPUs == 0 {
+		p.CPUs = 4
+	}
+	if p.SharedLocs == 0 {
+		p.SharedLocs = 8
+	}
+	if p.PrivateLocs == 0 {
+		p.PrivateLocs = 4
+	}
+	if p.Locks == 0 {
+		p.Locks = 2
+	}
+	if p.Segments == 0 {
+		p.Segments = 6
+	}
+	if p.SharedLocs < p.Locks {
+		// Every lock must own at least one shared location.
+		p.SharedLocs = p.Locks
+	}
+	if p.OpsPerSegment == 0 {
+		p.OpsPerSegment = 4
+	}
+	if p.SharedFraction == 0 {
+		p.SharedFraction = 0.5
+	}
+	return p
+}
+
+// Random generates a multi-threaded program of lock-protected segments.
+// Each segment picks one lock, takes it (unless the segment is chosen
+// unlocked by UnlockedFraction), performs reads and writes on shared
+// locations owned by that lock plus private locations, and releases.
+//
+// With UnlockedFraction == 0 the program is data-race-free by
+// construction: every shared location is only ever touched under its
+// owning lock. Any positive fraction injects real data races.
+func Random(p RandomParams) *Workload {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	// Layout: locks [0, Locks), shared [Locks, Locks+SharedLocs),
+	// private [Locks+SharedLocs + cpu*PrivateLocs, ...).
+	sharedBase := p.Locks
+	privBase := p.Locks + p.SharedLocs
+	numLocs := privBase + p.CPUs*p.PrivateLocs
+	name := fmt.Sprintf("random(cpus=%d,segs=%d,unlocked=%.2f,seed=%d)",
+		p.CPUs, p.Segments, p.UnlockedFraction, p.Seed)
+	b := program.NewBuilder(name, numLocs, 4)
+
+	for c := 0; c < p.CPUs; c++ {
+		t := b.Thread(fmt.Sprintf("P%d", c+1))
+		for s := 0; s < p.Segments; s++ {
+			lock := rng.Intn(p.Locks)
+			locked := rng.Float64() >= p.UnlockedFraction
+			if locked {
+				spin := fmt.Sprintf("spin%d", s)
+				t.Label(spin).
+					TestAndSet(0, program.At(program.Addr(lock))).
+					BranchNotZero(0, spin)
+			}
+			for o := 0; o < p.OpsPerSegment; o++ {
+				var loc program.Addr
+				if rng.Float64() < p.SharedFraction {
+					// A shared location owned by this segment's lock.
+					k := rng.Intn((p.SharedLocs + p.Locks - 1 - lock) / p.Locks)
+					loc = program.Addr(sharedBase + lock + k*p.Locks)
+				} else {
+					loc = program.Addr(privBase + c*p.PrivateLocs + rng.Intn(p.PrivateLocs))
+				}
+				if rng.Intn(2) == 0 {
+					t.Read(1, program.At(loc))
+				} else {
+					t.Write(program.At(loc), program.Imm(rng.Int63n(1000)))
+				}
+			}
+			if locked {
+				t.Unset(program.At(program.Addr(lock)))
+			}
+		}
+	}
+	desc := "random lock-protected segments"
+	if p.UnlockedFraction > 0 {
+		desc = fmt.Sprintf("random segments, %.0f%% unlocked (racy)", p.UnlockedFraction*100)
+	} else {
+		desc += " (race-free by construction)"
+	}
+	return &Workload{Name: name, Description: desc, Prog: b.MustBuild()}
+}
+
+// sharedOwned returns how many shared locations lock owns (used by tests).
+func sharedOwned(p RandomParams, lock int) int {
+	p = p.withDefaults()
+	return (p.SharedLocs + p.Locks - 1 - lock) / p.Locks
+}

@@ -1,0 +1,347 @@
+package workload
+
+import (
+	"fmt"
+
+	"weakrace/internal/program"
+)
+
+// ProducerConsumer builds a flag-synchronized single-producer,
+// single-consumer pipeline: the producer writes items items into a ring of
+// slot cells and publishes each with a release write to the item's flag;
+// the consumer spins on an acquire read of the flag, then reads the slot.
+// Race-free when synced is true; with synced false the flags are written
+// and read with plain data operations, so every item is a data race.
+func ProducerConsumer(items int, synced bool) *Workload {
+	// Layout: slots at [0, items), flags at [items, 2*items).
+	b := program.NewBuilder(fmt.Sprintf("prodcons-%d-synced=%v", items, synced), 2*items, 3)
+	prod := b.Thread("producer")
+	for i := 0; i < items; i++ {
+		prod.Write(program.At(program.Addr(i)), program.Imm(int64(100+i)))
+		if synced {
+			prod.SyncWrite(program.At(program.Addr(items+i)), program.Imm(1))
+		} else {
+			prod.Write(program.At(program.Addr(items+i)), program.Imm(1))
+		}
+	}
+	cons := b.Thread("consumer")
+	for i := 0; i < items; i++ {
+		spin := fmt.Sprintf("spin%d", i)
+		cons.Label(spin)
+		if synced {
+			cons.SyncRead(0, program.At(program.Addr(items+i)))
+		} else {
+			cons.Read(0, program.At(program.Addr(items+i)))
+		}
+		cons.BranchZero(0, spin).
+			Read(1, program.At(program.Addr(i)))
+	}
+	kind := "release/acquire flags; race-free"
+	if !synced {
+		kind = "plain flags; races on every item"
+	}
+	return &Workload{
+		Name:        fmt.Sprintf("producer-consumer(items=%d,synced=%v)", items, synced),
+		Description: "single-producer single-consumer pipeline, " + kind,
+		Prog:        b.MustBuild(),
+	}
+}
+
+// LockedCounter builds cpus threads that each increment a shared counter
+// iters times inside a Test&Set/Unset critical section. If buggyCPU is in
+// range, that thread skips the lock acquisition on its final iteration —
+// the paper's Figure 2 bug class (a missing Test&Set) — injecting data
+// races on the counter.
+func LockedCounter(cpus, iters, buggyCPU int) *Workload {
+	const counter, lock = program.Addr(0), program.Addr(1)
+	name := fmt.Sprintf("locked-counter(cpus=%d,iters=%d,buggy=%d)", cpus, iters, buggyCPU)
+	b := program.NewBuilder(name, 2, 3)
+	for i := 0; i < cpus; i++ {
+		t := b.Thread(fmt.Sprintf("P%d", i+1))
+		t.Const(2, int64(iters)).
+			Label("loop")
+		if i == buggyCPU {
+			// The injected bug: skip the Test&Set on the last iteration
+			// (r2 counts down from iters; the last iteration has r2 == 1).
+			t.Const(1, 2).
+				BranchLess(2, 1, "crit") // r2 < 2: last iteration, skip lock
+		}
+		t.Label("spin").
+			TestAndSet(0, program.At(lock)).
+			BranchNotZero(0, "spin").
+			Label("crit").
+			Read(0, program.At(counter)).
+			AddImm(0, 0, 1).
+			Write(program.At(counter), program.FromReg(0))
+		if i == buggyCPU {
+			// Only release if the lock was actually taken.
+			t.Const(1, 2).
+				BranchLess(2, 1, "next").
+				Unset(program.At(lock)).
+				Label("next")
+		} else {
+			t.Unset(program.At(lock))
+		}
+		t.AddImm(2, 2, -1).
+			BranchNotZero(2, "loop")
+	}
+	desc := "fully locked shared counter; race-free"
+	if buggyCPU >= 0 && buggyCPU < cpus {
+		desc = fmt.Sprintf("shared counter with a missing Test&Set on P%d's last iteration", buggyCPU+1)
+	}
+	return &Workload{Name: name, Description: desc, Prog: b.MustBuild()}
+}
+
+// Dekker builds the two-thread entry protocol of Dekker/Peterson-style
+// mutual exclusion implemented with ORDINARY data operations: each thread
+// raises its own flag, checks the other's, and enters the critical
+// section (incrementing a shared counter non-atomically) only if the
+// other flag is down; otherwise it retreats and retries. On sequentially
+// consistent hardware the protocol excludes; on any weak model both
+// flag reads can bypass the buffered flag writes (the SB relaxation), so
+// both threads can enter together and updates are lost.
+//
+// The workload is the paper's cautionary tale in executable form:
+// synchronizing through data operations IS a data race (the flags are
+// data, so every execution is racy), and weak hardware is then free to
+// break the algorithm. The detector flags the flag accesses either way.
+func Dekker(iters int) *Workload {
+	// Layout: counter 0, flag[0] 1, flag[1] 2.
+	const counter = program.Addr(0)
+	name := fmt.Sprintf("dekker(iters=%d)", iters)
+	b := program.NewBuilder(name, 3, 3)
+	for me := 0; me < 2; me++ {
+		mine := program.Addr(1 + me)
+		theirs := program.Addr(1 + (1 - me))
+		t := b.Thread(fmt.Sprintf("P%d", me+1))
+		t.Const(2, int64(iters)).
+			Label("try").
+			Write(program.At(mine), program.Imm(1)). // raise my flag (a data write!)
+			Read(0, program.At(theirs)).             // check theirs (a data read!)
+			BranchZero(0, "enter").
+			Write(program.At(mine), program.Imm(0)). // contention: retreat and retry
+			Jump("try").
+			Label("enter").
+			Read(0, program.At(counter)).
+			AddImm(0, 0, 1).
+			Write(program.At(counter), program.FromReg(0)).
+			Write(program.At(mine), program.Imm(0)). // lower my flag
+			AddImm(2, 2, -1).
+			BranchNotZero(2, "try")
+	}
+	return &Workload{
+		Name: name,
+		Description: "Dekker-style mutual exclusion via data operations; " +
+			"correct under SC, broken (and racy) on weak models",
+		Prog: b.MustBuild(),
+	}
+}
+
+// DekkerFenced is Dekker with a full fence between raising the own flag
+// and reading the other's. The fence kills the store-buffer relaxation,
+// so mutual exclusion works again on every weak model — but the flags are
+// STILL ordinary data operations, so the detector still reports data
+// races on every execution. This is the paper's §2.1 point made
+// executable: correctness under a particular hardware is not race
+// freedom; the DRF models only promise sequential consistency when
+// synchronization is *recognized by the hardware* (Test&Set/Unset,
+// acquire/release), which is also exactly what the detector can see.
+func DekkerFenced(iters int) *Workload {
+	const counter = program.Addr(0)
+	name := fmt.Sprintf("dekker-fenced(iters=%d)", iters)
+	b := program.NewBuilder(name, 3, 3)
+	for me := 0; me < 2; me++ {
+		mine := program.Addr(1 + me)
+		theirs := program.Addr(1 + (1 - me))
+		t := b.Thread(fmt.Sprintf("P%d", me+1))
+		t.Const(2, int64(iters)).
+			Label("try").
+			Write(program.At(mine), program.Imm(1)).
+			Fence(). // make the flag write globally visible before checking
+			Read(0, program.At(theirs)).
+			BranchZero(0, "enter").
+			Write(program.At(mine), program.Imm(0)).
+			Jump("try").
+			Label("enter").
+			Read(0, program.At(counter)).
+			AddImm(0, 0, 1).
+			Write(program.At(counter), program.FromReg(0)).
+			Fence(). // counter visible before the flag drops
+			Write(program.At(mine), program.Imm(0)).
+			AddImm(2, 2, -1).
+			BranchNotZero(2, "try")
+	}
+	return &Workload{
+		Name: name,
+		Description: "Dekker with fences: mutually exclusive on all models, " +
+			"yet every execution still has data races (flags are data ops)",
+		Prog: b.MustBuild(),
+	}
+}
+
+// FlagHandoff transfers ownership of a buffer through a release/acquire
+// flag: P1 fills the buffer and releases the flag; P2 acquires it and
+// writes the buffer as the new owner. Race-free under happens-before —
+// and the canonical false positive for lockset-discipline checkers, since
+// no lock ever protects the buffer.
+func FlagHandoff(cells int) *Workload {
+	// Layout: buffer [0, cells), flag at cells.
+	flag := program.Addr(cells)
+	name := fmt.Sprintf("flag-handoff(cells=%d)", cells)
+	b := program.NewBuilder(name, cells+1, 2)
+	p1 := b.Thread("P1")
+	for i := 0; i < cells; i++ {
+		p1.Write(program.At(program.Addr(i)), program.Imm(int64(10+i)))
+	}
+	p1.SyncWrite(program.At(flag), program.Imm(1))
+	p2 := b.Thread("P2")
+	p2.Label("wait").
+		SyncRead(0, program.At(flag)).
+		BranchZero(0, "wait")
+	for i := 0; i < cells; i++ {
+		p2.Read(1, program.At(program.Addr(i))).
+			AddImm(1, 1, 1).
+			Write(program.At(program.Addr(i)), program.FromReg(1))
+	}
+	return &Workload{
+		Name: name,
+		Description: "buffer ownership handoff via release/acquire flag; " +
+			"race-free under happens-before, flagged by lockset discipline",
+		Prog: b.MustBuild(),
+	}
+}
+
+// TasPublish publishes data through a Test&Set's write: P1 writes the
+// payload then executes Test&Set(flag) whose write half sets the flag; P2
+// spins on an acquire read of the flag and then reads the payload. Under
+// the paper's conservative pairing the Test&Set write is not a release,
+// so the payload accesses are reported as a data race; under
+// LiberalPairing (sound on WO/DRF0 hardware, where every synchronization
+// operation drains the buffer) they are ordered and race-free. The
+// pairing-policy ablation (experiment T8) quantifies the difference.
+func TasPublish(payloadCells int) *Workload {
+	// Layout: payload [0, payloadCells), flag at payloadCells.
+	flag := program.Addr(payloadCells)
+	name := fmt.Sprintf("tas-publish(cells=%d)", payloadCells)
+	b := program.NewBuilder(name, payloadCells+1, 2)
+	p1 := b.Thread("P1")
+	for i := 0; i < payloadCells; i++ {
+		p1.Write(program.At(program.Addr(i)), program.Imm(int64(100+i)))
+	}
+	p1.TestAndSet(0, program.At(flag)) // the write half raises the flag
+	p2 := b.Thread("P2")
+	p2.Label("spin").
+		SyncRead(0, program.At(flag)).
+		BranchZero(0, "spin")
+	for i := 0; i < payloadCells; i++ {
+		p2.Read(1, program.At(program.Addr(i)))
+	}
+	return &Workload{
+		Name: name,
+		Description: "payload published through a Test&Set write: racy under " +
+			"conservative pairing, race-free under liberal pairing",
+		Prog: b.MustBuild(),
+	}
+}
+
+// WriteBurst builds cpus threads that each repeat iters times: write a
+// burst of private cells, then enter a Test&Set/Unset critical section and
+// bump a shared counter. Race-free. The burst of private writes is
+// pending in the store buffer when the acquire executes, so this workload
+// separates the models' drain rules: WO/DRF0 stall at the acquire, while
+// RCsc/DRF1 let the acquire proceed and only pay at the release — the
+// extra performance the acquire/release distinction buys (§2.2).
+func WriteBurst(cpus, burst, iters int) *Workload {
+	// Layout: counter 0, lock 1, private regions from 2.
+	const counter, lock = program.Addr(0), program.Addr(1)
+	name := fmt.Sprintf("write-burst(cpus=%d,burst=%d,iters=%d)", cpus, burst, iters)
+	b := program.NewBuilder(name, 2+cpus*burst, 3)
+	for c := 0; c < cpus; c++ {
+		base := 2 + c*burst
+		t := b.Thread(fmt.Sprintf("P%d", c+1))
+		t.Const(2, int64(iters)).
+			Label("loop")
+		for i := 0; i < burst; i++ {
+			t.Write(program.At(program.Addr(base+i)), program.FromReg(2))
+		}
+		t.Label("spin").
+			TestAndSet(0, program.At(lock)).
+			BranchNotZero(0, "spin").
+			Read(0, program.At(counter)).
+			AddImm(0, 0, 1).
+			Write(program.At(counter), program.FromReg(0)).
+			Unset(program.At(lock)).
+			AddImm(2, 2, -1).
+			BranchNotZero(2, "loop")
+	}
+	return &Workload{
+		Name:        name,
+		Description: "private write bursts before locked counter updates; race-free",
+		Prog:        b.MustBuild(),
+	}
+}
+
+// RaceChain builds two threads racing in a sequence of stages: in stage k,
+// P1 writes location k and P2 reads it, each followed by an (unpaired)
+// release that splits the stages into separate computation events. Every
+// stage races, but each stage's race is reachable in the augmented graph
+// from the previous one — so the detector must report exactly one first
+// partition (stage 0) and order the other stages after it. This is the
+// paper's artifact-chain pattern: later races happen only downstream of
+// the first bug, and first-partition reporting narrows the report from
+// stages races to one.
+func RaceChain(stages int) *Workload {
+	// Layout: data locations [0, stages); release locations [stages, 3*stages).
+	b := program.NewBuilder(fmt.Sprintf("race-chain-%d", stages), 3*stages, 2)
+	p1 := b.Thread("P1")
+	p2 := b.Thread("P2")
+	for k := 0; k < stages; k++ {
+		p1.Write(program.At(program.Addr(k)), program.Imm(int64(k+1))).
+			Unset(program.At(program.Addr(stages + 2*k)))
+		p2.Read(0, program.At(program.Addr(k))).
+			Unset(program.At(program.Addr(stages + 2*k + 1)))
+	}
+	return &Workload{
+		Name:        fmt.Sprintf("race-chain(stages=%d)", stages),
+		Description: "a chain of dependent races; only stage 0 is a first partition",
+		Prog:        b.MustBuild(),
+	}
+}
+
+// BarrierPhases builds workers+1 threads: workers each write their own
+// cell in phase 1, signal completion with a release write to a per-worker
+// done flag, and spin on an acquire of a go flag; a coordinator thread
+// acquires every done flag, then releases the go flag; in phase 2 every
+// worker reads every other worker's cell. Race-free: all cross-thread
+// access is ordered through the coordinator's flags.
+func BarrierPhases(workers int) *Workload {
+	// Layout: cells [0,workers), done flags [workers, 2w), go flag 2w.
+	goFlag := program.Addr(2 * workers)
+	b := program.NewBuilder(fmt.Sprintf("barrier-%d", workers), 2*workers+1, 3)
+	for i := 0; i < workers; i++ {
+		t := b.Thread(fmt.Sprintf("worker%d", i+1))
+		t.Write(program.At(program.Addr(i)), program.Imm(int64(10+i))).
+			SyncWrite(program.At(program.Addr(workers+i)), program.Imm(1)).
+			Label("wait").
+			SyncRead(0, program.At(goFlag)).
+			BranchZero(0, "wait")
+		for j := 0; j < workers; j++ {
+			if j != i {
+				t.Read(1, program.At(program.Addr(j)))
+			}
+		}
+	}
+	coord := b.Thread("coordinator")
+	for i := 0; i < workers; i++ {
+		spin := fmt.Sprintf("wait%d", i)
+		coord.Label(spin).
+			SyncRead(0, program.At(program.Addr(workers+i))).
+			BranchZero(0, spin)
+	}
+	coord.SyncWrite(program.At(goFlag), program.Imm(1))
+	return &Workload{
+		Name:        fmt.Sprintf("barrier(workers=%d)", workers),
+		Description: "two-phase computation separated by a flag barrier; race-free",
+		Prog:        b.MustBuild(),
+	}
+}

@@ -1,0 +1,225 @@
+// Package workload provides the programs the experiments run: the paper's
+// figure examples (Figures 1a, 1b and 2), structured workloads
+// (producer/consumer, barrier phases, lock discipline with an injected
+// missing-lock bug), and tunable random programs for the benchmark
+// harness.
+package workload
+
+import (
+	"fmt"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/program"
+	"weakrace/internal/sim"
+)
+
+// Workload bundles a program with its initial memory and provenance.
+type Workload struct {
+	Name        string
+	Description string
+	Prog        *program.Program
+	InitMemory  map[program.Addr]int64
+}
+
+// Locations of the Figure 1 programs.
+const (
+	Fig1X = program.Addr(0)
+	Fig1Y = program.Addr(1)
+	Fig1S = program.Addr(2)
+)
+
+// Figure1a is the paper's Figure 1a: P1 writes x then y, P2 reads y then
+// x, with no synchronization — every execution has data races.
+func Figure1a() *Workload {
+	b := program.NewBuilder("figure-1a", 2, 2)
+	b.Thread("P1").
+		Write(program.At(Fig1X), program.Imm(1)).
+		Write(program.At(Fig1Y), program.Imm(1))
+	b.Thread("P2").
+		Read(0, program.At(Fig1Y)).
+		Read(1, program.At(Fig1X))
+	return &Workload{
+		Name:        "figure-1a",
+		Description: "unsynchronized message passing; data races on x and y",
+		Prog:        b.MustBuild(),
+	}
+}
+
+// Figure1b is the paper's Figure 1b: the same data operations ordered by
+// an Unset/Test&Set pairing — data-race-free, hence sequentially
+// consistent on every weak model.
+func Figure1b() *Workload {
+	b := program.NewBuilder("figure-1b", 3, 2)
+	b.Thread("P1").
+		Write(program.At(Fig1X), program.Imm(1)).
+		Write(program.At(Fig1Y), program.Imm(1)).
+		Unset(program.At(Fig1S))
+	b.Thread("P2").
+		Label("spin").
+		TestAndSet(0, program.At(Fig1S)).
+		BranchNotZero(0, "spin").
+		Read(0, program.At(Fig1Y)).
+		Read(1, program.At(Fig1X))
+	return &Workload{
+		Name:        "figure-1b",
+		Description: "message passing ordered by Unset/Test&Set; data-race-free",
+		Prog:        b.MustBuild(),
+		InitMemory:  map[program.Addr]int64{Fig1S: 1}, // lock starts held by P1
+	}
+}
+
+// Layout of the Figure 2 work-queue program.
+const (
+	Fig2Q      = program.Addr(0) // shared queue cell (holds a region base address)
+	Fig2QEmpty = program.Addr(1) // queue-empty flag (1 = empty)
+	Fig2S      = program.Addr(2) // the critical-section lock
+	// Fig2RegionP3 is the base of P3's work region (Fig2RegionSize cells).
+	Fig2RegionP3 = program.Addr(3)
+	// Fig2RegionSize is each worker's region length.
+	Fig2RegionSize = 4
+	// Fig2StaleAddr is the stale value left in Q: a region overlapping
+	// P3's (the paper's "37").
+	Fig2StaleAddr = Fig2RegionP3 + 2
+	// Fig2FreshAddr is the address P1 enqueues: a region disjoint from
+	// P3's (the paper's "100").
+	Fig2FreshAddr = Fig2RegionP3 + Fig2RegionSize
+	// Fig2NumLocations sizes the shared address space.
+	Fig2NumLocations = int(Fig2FreshAddr) + Fig2RegionSize + 1
+)
+
+// Figure2 is the paper's Figure 2a work-queue fragment with the Test&Set
+// instructions missing (the bug):
+//
+//	P1: enqueue a region address and clear QEmpty, then Unset(S)
+//	P2: if QEmpty is clear, dequeue an address, Unset(S), and work on
+//	    region [addr, addr+RegionSize)
+//	P3: work on its own region, Unset(S), keep working
+//
+// On a weak model, P1's write to QEmpty can become visible before its
+// write to Q; P2 then dequeues the stale address and its region overlaps
+// P3's, producing the non-sequentially-consistent data races of Figure 2b.
+func Figure2() *Workload {
+	b := program.NewBuilder("figure-2", Fig2NumLocations, 4)
+
+	b.Thread("P1").
+		// compute addr of region on which to work; { missing Test&Set }
+		Write(program.At(Fig2Q), program.Imm(int64(Fig2FreshAddr))). // Enqueue(addr)
+		Write(program.At(Fig2QEmpty), program.Imm(0)).               // QEmpty := False
+		Unset(program.At(Fig2S))
+
+	p2 := b.Thread("P2")
+	p2. // { missing Test&Set }
+		Read(0, program.At(Fig2QEmpty)).
+		BranchNotZero(0, "else").
+		Read(1, program.At(Fig2Q)). // addr := Dequeue()
+		Unset(program.At(Fig2S))
+	for i := 0; i < Fig2RegionSize; i++ {
+		p2.Write(program.AtReg(1, program.Addr(i)), program.Imm(200+int64(i)))
+	}
+	p2.Jump("end").
+		Label("else").
+		Label("end")
+
+	p3 := b.Thread("P3")
+	for i := 0; i < Fig2RegionSize; i++ {
+		p3.Write(program.At(Fig2RegionP3+program.Addr(i)), program.Imm(300+int64(i)))
+	}
+	p3.Unset(program.At(Fig2S))
+	// P3 keeps working on its region after the Unset (Figure 2b shows
+	// read(37,...) then write(38,...) after the release).
+	p3.Read(2, program.At(Fig2StaleAddr)).
+		Write(program.At(Fig2StaleAddr+1), program.FromReg(2))
+
+	return &Workload{
+		Name: "figure-2",
+		Description: "work-queue fragment with missing Test&Set; stale dequeue " +
+			"overlaps P3's region on weak models",
+		Prog: b.MustBuild(),
+		InitMemory: map[program.Addr]int64{
+			Fig2Q:      int64(Fig2StaleAddr), // old value left in the queue cell
+			Fig2QEmpty: 1,                    // queue starts empty
+		},
+	}
+}
+
+// Fig2Anomaly classifies one Figure 2 execution.
+type Fig2Anomaly struct {
+	// TookQueue reports whether P2 saw QEmpty clear and dequeued.
+	TookQueue bool
+	// StaleDequeue reports whether the dequeued address was the stale one
+	// (the sequential-consistency violation of Figure 2b).
+	StaleDequeue bool
+}
+
+// ClassifyFig2 inspects an execution of the Figure2 workload.
+func ClassifyFig2(e *sim.Execution) Fig2Anomaly {
+	var out Fig2Anomaly
+	for _, op := range e.OpsOf(1) {
+		if op.Kind == sim.OpDataRead && op.Loc == Fig2Q {
+			out.TookQueue = true
+			out.StaleDequeue = op.Value == int64(Fig2StaleAddr)
+		}
+	}
+	return out
+}
+
+// Fig2StaleScript returns scheduler decisions that deterministically
+// construct the Figure 2b anomaly on a weak model: P1 buffers both its
+// writes, its QEmpty write retires first (the reordering), and P2 reads
+// the cleared flag and then the still-stale queue cell before P1's queue
+// write becomes visible. After the script the random scheduler finishes
+// the run.
+func Fig2StaleScript() []sim.Decision {
+	return []sim.Decision{
+		sim.Exec(0),               // P1: write Q (buffered)
+		sim.Exec(0),               // P1: write QEmpty (buffered)
+		sim.Retire(0, Fig2QEmpty), // the reordering: QEmpty commits before Q
+		sim.Exec(1),               // P2: read QEmpty = 0
+		sim.Exec(1),               // P2: branch (queue non-empty path)
+		sim.Exec(1),               // P2: read Q = stale address
+	}
+}
+
+// RunFig2Stale deterministically reproduces the Figure 2b anomaly via
+// Fig2StaleScript on the given weak model.
+func RunFig2Stale(model memmodel.Model, seed int64) (*sim.Result, error) {
+	w := Figure2()
+	r, err := sim.Run(w.Prog, sim.Config{
+		Model: model, Seed: seed,
+		InitMemory: w.InitMemory,
+		Script:     Fig2StaleScript(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if an := ClassifyFig2(r.Exec); !an.StaleDequeue {
+		return nil, fmt.Errorf("workload: scripted Figure 2 run did not produce the stale dequeue")
+	}
+	return r, nil
+}
+
+// FindFig2StaleSeed searches seeds for an execution of the Figure2
+// workload that reproduces the Figure 2b anomaly (stale dequeue). cfg.Seed
+// is overridden; the anomaly needs a weak cfg.Model. A RetireProb around
+// 0.15 keeps P1's queue write buffered longest; the anomaly occurs in
+// roughly 0.1% of seeds.
+func FindFig2StaleSeed(cfg sim.Config, maxSeed int64) (*sim.Result, int64, bool) {
+	w := Figure2()
+	cfg.InitMemory = w.InitMemory
+	for seed := int64(0); seed < maxSeed; seed++ {
+		cfg.Seed = seed
+		r, err := sim.Run(w.Prog, cfg)
+		if err != nil {
+			return nil, 0, false
+		}
+		if ClassifyFig2(r.Exec).StaleDequeue {
+			return r, seed, true
+		}
+	}
+	return nil, 0, false
+}
+
+// String names the workload.
+func (w *Workload) String() string {
+	return fmt.Sprintf("%s: %s", w.Name, w.Description)
+}

@@ -1,0 +1,410 @@
+// Package weakrace is a from-scratch reproduction of Adve, Hill, Miller &
+// Netzer, "Detecting Data Races on Weak Memory Systems" (ISCA 1991): a
+// post-mortem dynamic data race detector that remains sound on weak memory
+// systems (WO, RCsc, DRF0, DRF1), together with the multiprocessor
+// simulator, tracing substrate, sequential-consistency machinery, and
+// on-the-fly baseline needed to exercise and evaluate it.
+//
+// The end-to-end pipeline:
+//
+//	w := weakrace.Figure2()                          // or build your own program
+//	res, _ := weakrace.Simulate(w.Prog, weakrace.SimConfig{
+//		Model: weakrace.WO, Seed: 42, InitMemory: w.InitMemory,
+//	})
+//	tr := weakrace.TraceExecution(res.Exec)          // instrumentation (§4.1)
+//	a, _ := weakrace.Detect(tr, weakrace.DetectOptions{})
+//	weakrace.WriteReport(os.Stdout, a)               // first partitions (§4.2)
+//
+// If a.RaceFree() the execution was sequentially consistent (Condition
+// 3.4(1)); otherwise each reported first partition contains at least one
+// data race that occurs in a sequentially consistent execution of the
+// program (Theorem 4.2), so it can be debugged with sequential-consistency
+// intuition.
+package weakrace
+
+import (
+	"io"
+
+	"weakrace/internal/campaign"
+	"weakrace/internal/core"
+	"weakrace/internal/litmus"
+	"weakrace/internal/lockset"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/onthefly"
+	"weakrace/internal/program"
+	"weakrace/internal/report"
+	"weakrace/internal/scp"
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+// Memory consistency models (paper §2.2).
+const (
+	// SC is sequential consistency.
+	SC = memmodel.SC
+	// WO is weak ordering.
+	WO = memmodel.WO
+	// RCsc is release consistency with sequentially consistent
+	// synchronization.
+	RCsc = memmodel.RCsc
+	// DRF0 is data-race-free-0 (canonical implementation).
+	DRF0 = memmodel.DRF0
+	// DRF1 is data-race-free-1 (canonical implementation).
+	DRF1 = memmodel.DRF1
+)
+
+// Model identifies a memory consistency model.
+type Model = memmodel.Model
+
+// AllModels lists every model in the order the paper introduces them.
+var AllModels = memmodel.All
+
+// ParseModel converts a model name ("SC", "WO", "RCsc", "DRF0", "DRF1").
+func ParseModel(s string) (Model, error) { return memmodel.Parse(s) }
+
+// Pairing policies for constructing so1 (Definition 2.1/2.2).
+const (
+	// ConservativePairing is the paper's classification: a Test&Set's
+	// write never acts as a release. The default.
+	ConservativePairing = memmodel.ConservativePairing
+	// LiberalPairing lets a Test&Set's write pair with acquires — sound
+	// on WO/DRF0-style hardware, where every synchronization operation
+	// drains the store buffer.
+	LiberalPairing = memmodel.LiberalPairing
+)
+
+// PairingPolicy selects which synchronization writes pair with acquires.
+type PairingPolicy = memmodel.PairingPolicy
+
+// Program building (see NewProgram and the Builder methods).
+type (
+	// Program is an immutable multi-threaded register-machine program.
+	Program = program.Program
+	// Builder assembles a Program thread by thread.
+	Builder = program.Builder
+	// ThreadBuilder accumulates one thread's instructions.
+	ThreadBuilder = program.ThreadBuilder
+	// Addr identifies a shared memory location.
+	Addr = program.Addr
+	// Reg identifies a per-thread register.
+	Reg = program.Reg
+	// AddrExpr is an address operand (At or AtReg).
+	AddrExpr = program.AddrExpr
+	// ValExpr is a value operand (Imm or FromReg).
+	ValExpr = program.ValExpr
+)
+
+// NewProgram starts building a program with the given shared-location and
+// register-file sizes.
+func NewProgram(name string, numLocations, numRegs int) *Builder {
+	return program.NewBuilder(name, numLocations, numRegs)
+}
+
+// At addresses a fixed shared location.
+func At(a Addr) AddrExpr { return program.At(a) }
+
+// AtReg addresses the location (register value + offset).
+func AtReg(r Reg, offset Addr) AddrExpr { return program.AtReg(r, offset) }
+
+// Imm is an immediate value operand.
+func Imm(v int64) ValExpr { return program.Imm(v) }
+
+// FromReg is a register value operand.
+func FromReg(r Reg) ValExpr { return program.FromReg(r) }
+
+// Assemble parses weakrace assembly (see internal/program's syntax doc)
+// into a program plus its init-memory directives.
+func Assemble(r io.Reader) (*Program, map[Addr]int64, error) { return program.Assemble(r) }
+
+// AssembleString is Assemble over a string.
+func AssembleString(src string) (*Program, map[Addr]int64, error) {
+	return program.AssembleString(src)
+}
+
+// Simulation.
+type (
+	// SimConfig configures a simulation run (model, seed, buffers).
+	SimConfig = sim.Config
+	// SimResult is a completed run: execution record and final memory.
+	SimResult = sim.Result
+	// Execution is the full value-annotated record of a run.
+	Execution = sim.Execution
+	// MemOp is one dynamic memory operation.
+	MemOp = sim.MemOp
+	// StaticOp identifies an operation by program point and location.
+	StaticOp = sim.StaticOp
+)
+
+// Simulate executes the program on the configured memory model. Runs are
+// deterministic in (program, config).
+func Simulate(p *Program, cfg SimConfig) (*SimResult, error) { return sim.Run(p, cfg) }
+
+// Decision is one scripted scheduler step (see SimConfig.Script).
+type Decision = sim.Decision
+
+// ExecStep returns a scripted decision executing one instruction on cpu.
+func ExecStep(cpu int) Decision { return sim.Exec(cpu) }
+
+// RetireStep returns a scripted decision retiring cpu's oldest buffered
+// write to loc.
+func RetireStep(cpu int, loc Addr) Decision { return sim.Retire(cpu, loc) }
+
+// Tracing (the paper's instrumentation, §4.1).
+type (
+	// Trace is a post-mortem trace: per-processor event streams.
+	Trace = trace.Trace
+	// Event is a synchronization or computation event.
+	Event = trace.Event
+	// EventRef names an event by processor and position.
+	EventRef = trace.EventRef
+)
+
+// TraceExecution instruments an execution into a trace: computation events
+// with READ/WRITE sets, synchronization events with pairing.
+func TraceExecution(e *Execution) *Trace { return trace.FromExecution(e) }
+
+// WriteTraceFile encodes a trace to a binary file.
+func WriteTraceFile(path string, t *Trace) error { return trace.WriteFile(path, t) }
+
+// ReadTraceFile decodes a binary trace file.
+func ReadTraceFile(path string) (*Trace, error) { return trace.ReadFile(path) }
+
+// EncodeTrace writes a trace in binary form.
+func EncodeTrace(w io.Writer, t *Trace) error { return trace.Encode(w, t) }
+
+// DecodeTrace reads a binary trace.
+func DecodeTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
+
+// DumpTrace writes a human-readable rendering of a trace.
+func DumpTrace(w io.Writer, t *Trace) error { return trace.Dump(w, t) }
+
+// EncodeTraceText writes a trace in the line-oriented, hand-editable text
+// format.
+func EncodeTraceText(w io.Writer, t *Trace) error { return trace.EncodeText(w, t) }
+
+// DecodeTraceText parses a text-format trace.
+func DecodeTraceText(r io.Reader) (*Trace, error) { return trace.DecodeText(r) }
+
+// WriteTraceFileSet writes the trace as per-processor files plus a
+// manifest under dir — the paper's "trace files" layout.
+func WriteTraceFileSet(dir string, t *Trace) error { return trace.WriteFileSet(dir, t) }
+
+// ReadTraceFileSet reassembles a trace written by WriteTraceFileSet.
+func ReadTraceFileSet(dir string) (*Trace, error) { return trace.ReadFileSet(dir) }
+
+// Detection (the paper's contribution, §4).
+type (
+	// Analysis is the full result of post-mortem detection.
+	Analysis = core.Analysis
+	// DetectOptions configures detection (pairing policy).
+	DetectOptions = core.Options
+	// Race is a higher-level race between two events.
+	Race = core.Race
+	// Partition is a set of data races sharing an SCC of the augmented
+	// graph; first partitions are the report.
+	Partition = core.Partition
+	// LowerLevelRace is an operation-granularity race with static
+	// provenance.
+	LowerLevelRace = core.LowerLevelRace
+	// EventID indexes events in an Analysis.
+	EventID = core.EventID
+)
+
+// Detect runs the post-mortem pipeline: happens-before-1 graph, race
+// detection, augmented graph, partitions, first partitions.
+func Detect(t *Trace, opts DetectOptions) (*Analysis, error) { return core.Analyze(t, opts) }
+
+// WriteReport renders the programmer-facing race report.
+func WriteReport(w io.Writer, a *Analysis) error { return report.RenderAnalysis(w, a) }
+
+// WriteGraph renders a Figure-3-style view of the augmented
+// happens-before-1 graph.
+func WriteGraph(w io.Writer, a *Analysis) error { return report.RenderGraph(w, a) }
+
+// WriteDOT renders the augmented happens-before-1 graph in Graphviz DOT
+// form (first-partition events highlighted, races as red double edges).
+func WriteDOT(w io.Writer, a *Analysis) error { return report.RenderDOT(w, a) }
+
+// Sequential-consistency machinery (Condition 3.4, §3).
+type (
+	// GroundTruth is a set of data races known to occur under SC.
+	GroundTruth = scp.GroundTruth
+	// RaceSet is a set of lower-level races by static identity.
+	RaceSet = scp.RaceSet
+	// EnumLimits bounds exhaustive SC enumeration.
+	EnumLimits = scp.EnumLimits
+	// Condition34Report validates the paper's guarantees on one run.
+	Condition34Report = scp.Condition34Report
+)
+
+// VerifySC decides (within budget) whether an execution is sequentially
+// consistent. Exact but worst-case exponential.
+func VerifySC(e *Execution, budget int) (sc, decided bool) { return scp.VerifySC(e, budget) }
+
+// SCBoundary returns the length of the longest sequentially consistent
+// prefix of the execution — the paper's "End of SCP" marker (Figure 2b).
+func SCBoundary(e *Execution, budget int) (n int, decided bool) { return scp.SCBoundary(e, budget) }
+
+// EnumerateSC exhaustively enumerates SC executions of a program and
+// collects every data race they exhibit (ground truth for Theorem 4.2).
+func EnumerateSC(p *Program, initMemory map[Addr]int64, lim EnumLimits) (*GroundTruth, error) {
+	return scp.EnumerateSC(p, initMemory, lim)
+}
+
+// SampleSC collects SC data races from numSeeds random schedules — the
+// scalable, sound-but-incomplete alternative to EnumerateSC.
+func SampleSC(p *Program, initMemory map[Addr]int64, numSeeds int) (*GroundTruth, error) {
+	return scp.SampleSC(p, initMemory, numSeeds)
+}
+
+// CheckCondition34 validates Condition 3.4's guarantees for one analyzed
+// execution against an SC ground truth.
+func CheckCondition34(a *Analysis, e *Execution, gt *GroundTruth, scBudget int) *Condition34Report {
+	return scp.CheckCondition34(a, e, gt, scBudget)
+}
+
+// On-the-fly baseline (§5).
+type (
+	// OnTheFlyOptions configures the vector-clock baseline detector.
+	OnTheFlyOptions = onthefly.Options
+	// OnTheFlyResult is its output and cost counters.
+	OnTheFlyResult = onthefly.Result
+)
+
+// DetectOnTheFly runs the bounded-history vector-clock baseline over an
+// execution's operations in issue order.
+func DetectOnTheFly(e *Execution, opts OnTheFlyOptions) *OnTheFlyResult {
+	return onthefly.Detect(e, opts)
+}
+
+// FirstRaceResult is the output of the online first-race classification.
+type FirstRaceResult = onthefly.FirstRaceResult
+
+// DetectFirstRacesOnTheFly runs the online first-race classification —
+// the paper's §6 future work: races downstream of an earlier race (by the
+// affects relation, approximated with taint epochs) are separated from
+// the first races.
+func DetectFirstRacesOnTheFly(e *Execution, opts OnTheFlyOptions) *FirstRaceResult {
+	return onthefly.DetectFirstRaces(e, opts)
+}
+
+// Workloads.
+type (
+	// Workload bundles a program with its initial memory.
+	Workload = workload.Workload
+	// RandomParams tunes the random program generator.
+	RandomParams = workload.RandomParams
+)
+
+// Figure1a is the paper's Figure 1a: unsynchronized message passing.
+func Figure1a() *Workload { return workload.Figure1a() }
+
+// Figure1b is the paper's Figure 1b: Unset/Test&Set-ordered message
+// passing; data-race-free.
+func Figure1b() *Workload { return workload.Figure1b() }
+
+// Figure2 is the paper's Figure 2 work-queue fragment with the missing
+// Test&Set bug.
+func Figure2() *Workload { return workload.Figure2() }
+
+// LockedCounter is a shared counter under a Test&Set/Unset lock; buggyCPU
+// (if in range) skips the lock once.
+func LockedCounter(cpus, iters, buggyCPU int) *Workload {
+	return workload.LockedCounter(cpus, iters, buggyCPU)
+}
+
+// ProducerConsumer is a flag-synchronized pipeline; synced=false races.
+func ProducerConsumer(items int, synced bool) *Workload {
+	return workload.ProducerConsumer(items, synced)
+}
+
+// BarrierPhases is a two-phase computation behind a flag barrier.
+func BarrierPhases(workers int) *Workload { return workload.BarrierPhases(workers) }
+
+// WriteBurst interleaves private write bursts with locked counter updates;
+// race-free, and the workload that separates the WO/DRF0 and RCsc/DRF1
+// drain rules.
+func WriteBurst(cpus, burst, iters int) *Workload {
+	return workload.WriteBurst(cpus, burst, iters)
+}
+
+// RaceChain is a chain of dependent races: only stage 0 forms a first
+// partition.
+func RaceChain(stages int) *Workload { return workload.RaceChain(stages) }
+
+// Dekker is Dekker-style mutual exclusion through data operations:
+// correct under SC, racy by construction, and broken on weak models.
+func Dekker(iters int) *Workload { return workload.Dekker(iters) }
+
+// DekkerFenced is Dekker with fences: mutually exclusive on every model,
+// yet still racy — fences fix this hardware but are not recognized
+// synchronization, so no DRF guarantee applies.
+func DekkerFenced(iters int) *Workload { return workload.DekkerFenced(iters) }
+
+// TasPublish publishes a payload through a Test&Set's write half —
+// reported racy under ConservativePairing, race-free under
+// LiberalPairing.
+func TasPublish(payloadCells int) *Workload { return workload.TasPublish(payloadCells) }
+
+// FlagHandoff transfers buffer ownership through a release/acquire flag —
+// race-free under happens-before, the canonical lockset false positive.
+func FlagHandoff(cells int) *Workload { return workload.FlagHandoff(cells) }
+
+// RandomWorkload generates a program of lock-protected segments;
+// UnlockedFraction > 0 injects data races.
+func RandomWorkload(p RandomParams) *Workload { return workload.Random(p) }
+
+// Fig2StaleScript returns scheduler decisions that deterministically
+// construct the Figure 2b anomaly on a weak model.
+func Fig2StaleScript() []Decision { return workload.Fig2StaleScript() }
+
+// RunFig2Stale deterministically reproduces the Figure 2b anomaly.
+func RunFig2Stale(model Model, seed int64) (*SimResult, error) {
+	return workload.RunFig2Stale(model, seed)
+}
+
+// Litmus testing.
+type (
+	// LitmusTest is one litmus test from the catalog.
+	LitmusTest = litmus.Test
+	// LitmusResult aggregates a test's outcomes on one model.
+	LitmusResult = litmus.Result
+)
+
+// LitmusCatalog returns the built-in litmus tests (SB, MP, LB, CoRR,
+// CoWW, IRIW, Test&Set atomicity, ...).
+func LitmusCatalog() []*LitmusTest { return litmus.Catalog() }
+
+// Lockset baseline (Eraser-style discipline checking).
+type (
+	// LocksetResult is the lockset checker's output.
+	LocksetResult = lockset.Result
+	// LocksetFinding is one location flagged by the lockset checker.
+	LocksetFinding = lockset.Finding
+)
+
+// CheckLockset runs the Eraser-style lockset discipline over an
+// execution: schedule-insensitive missing-lock detection, at the price of
+// false positives on lock-free synchronization (see experiment T9).
+func CheckLockset(e *Execution) *LocksetResult { return lockset.Check(e) }
+
+// Campaigns: many-seed race hunting.
+type (
+	// CampaignConfig describes a multi-seed detection campaign.
+	CampaignConfig = campaign.Config
+	// CampaignReport aggregates races across a campaign's executions.
+	CampaignReport = campaign.Report
+	// RaceStat is one static race's campaign statistics.
+	RaceStat = campaign.RaceStat
+)
+
+// RunCampaign executes a detection campaign: Seeds executions of the
+// workload on the model, analyzed in parallel, with races aggregated by
+// static identity. The report is deterministic for a given config.
+func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) { return campaign.Run(cfg) }
+
+// RunLitmus executes one litmus test on one model across seeds.
+func RunLitmus(t *LitmusTest, model Model, seeds int) (*LitmusResult, error) {
+	return litmus.Run(t, model, seeds)
+}

@@ -1,0 +1,330 @@
+package weakrace_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"weakrace"
+)
+
+// The README quickstart, as a test: build a program, run it weak, trace,
+// detect, report.
+func TestPublicAPIQuickstart(t *testing.T) {
+	b := weakrace.NewProgram("quickstart", 2, 2)
+	b.Thread("P1").
+		Write(weakrace.At(0), weakrace.Imm(1)).
+		Write(weakrace.At(1), weakrace.Imm(1))
+	b.Thread("P2").
+		Read(0, weakrace.At(1)).
+		Read(1, weakrace.At(0))
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := weakrace.Simulate(prog, weakrace.SimConfig{Model: weakrace.WO, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := weakrace.TraceExecution(res.Exec)
+	a, err := weakrace.Detect(tr, weakrace.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RaceFree() {
+		t.Fatal("unsynchronized program reported race-free")
+	}
+	var buf bytes.Buffer
+	if err := weakrace.WriteReport(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FIRST") {
+		t.Fatalf("report missing first partition:\n%s", buf.String())
+	}
+	if err := weakrace.WriteGraph(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPITraceFiles(t *testing.T) {
+	w := weakrace.Figure1b()
+	res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{
+		Model: weakrace.RCsc, Seed: 3, InitMemory: w.InitMemory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := weakrace.TraceExecution(res.Exec)
+	path := filepath.Join(t.TempDir(), "fig1b.wrt")
+	if err := weakrace.WriteTraceFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := weakrace.ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := weakrace.Detect(got, weakrace.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.RaceFree() {
+		t.Fatal("figure 1b racy via trace file round trip")
+	}
+	var buf bytes.Buffer
+	if err := weakrace.DumpTrace(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace dump")
+	}
+}
+
+func TestPublicAPIConditionCheck(t *testing.T) {
+	w := weakrace.Figure1a()
+	gt, err := weakrace.EnumerateSC(w.Prog, w.InitMemory, weakrace.EnumLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{Model: weakrace.WO, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := weakrace.Detect(weakrace.TraceExecution(res.Exec), weakrace.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := weakrace.CheckCondition34(a, res.Exec, gt, 1<<18)
+	if !rep.OK() {
+		t.Fatalf("Condition 3.4 check failed: %s", rep)
+	}
+}
+
+func TestPublicAPIOnTheFly(t *testing.T) {
+	w := weakrace.ProducerConsumer(3, false)
+	res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{Model: weakrace.WO, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otf := weakrace.DetectOnTheFly(res.Exec, weakrace.OnTheFlyOptions{})
+	if otf.RaceCount() == 0 {
+		t.Fatal("on-the-fly baseline found no races in unsynced producer-consumer")
+	}
+}
+
+func TestPublicAPIModelParsing(t *testing.T) {
+	for _, m := range weakrace.AllModels {
+		got, err := weakrace.ParseModel(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+}
+
+func TestPublicAPISCBoundary(t *testing.T) {
+	w := weakrace.Figure1b()
+	res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{
+		Model: weakrace.WO, Seed: 1, InitMemory: w.InitMemory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, decided := weakrace.VerifySC(res.Exec, 1<<18)
+	if !sc || !decided {
+		t.Fatal("race-free weak execution not verified SC")
+	}
+	n, decided := weakrace.SCBoundary(res.Exec, 1<<18)
+	if !decided || n != len(res.Exec.Ops) {
+		t.Fatalf("boundary = %d, want %d", n, len(res.Exec.Ops))
+	}
+}
+
+func TestPublicAPIScriptedAnomaly(t *testing.T) {
+	res, err := weakrace.RunFig2Stale(weakrace.WO, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := weakrace.Detect(weakrace.TraceExecution(res.Exec), weakrace.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Partitions) != 2 || len(a.FirstPartitions) != 1 {
+		t.Fatalf("partitions = %d first = %d", len(a.Partitions), len(a.FirstPartitions))
+	}
+	// Affects API: the non-first partition's races are affected by the
+	// first partition's race.
+	var firstRace, laterRace int = -1, -1
+	for pi, p := range a.Partitions {
+		if p.First {
+			firstRace = a.Partitions[pi].Races[0]
+		} else {
+			laterRace = a.Partitions[pi].Races[0]
+		}
+	}
+	if !a.Affects(firstRace, laterRace) || a.Affects(laterRace, firstRace) {
+		t.Fatal("affects relation wrong on figure 2")
+	}
+	if !a.Unaffected(firstRace) || a.Unaffected(laterRace) {
+		t.Fatal("unaffected classification wrong on figure 2")
+	}
+}
+
+func TestPublicAPIScriptBuilders(t *testing.T) {
+	w := weakrace.Figure2()
+	script := []weakrace.Decision{
+		weakrace.ExecStep(0),
+		weakrace.ExecStep(0),
+		weakrace.RetireStep(0, 1),
+	}
+	res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{
+		Model: weakrace.WO, InitMemory: w.InitMemory, Script: script,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("scripted prefix run did not complete")
+	}
+}
+
+func TestPublicAPITextTrace(t *testing.T) {
+	w := weakrace.Figure1b()
+	res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{
+		Model: weakrace.WO, Seed: 2, InitMemory: w.InitMemory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := weakrace.TraceExecution(res.Exec)
+	var buf bytes.Buffer
+	if err := weakrace.EncodeTraceText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := weakrace.DecodeTraceText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEvents() != tr.NumEvents() {
+		t.Fatal("text round trip lost events")
+	}
+}
+
+func TestPublicAPILitmus(t *testing.T) {
+	catalog := weakrace.LitmusCatalog()
+	if len(catalog) < 8 {
+		t.Fatalf("catalog = %d tests", len(catalog))
+	}
+	var sb *weakrace.LitmusTest
+	for _, tc := range catalog {
+		if tc.Name == "SB" {
+			sb = tc
+		}
+	}
+	if sb == nil {
+		t.Fatal("SB missing from catalog")
+	}
+	r, err := weakrace.RunLitmus(sb, weakrace.SC, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Relaxed != 0 {
+		t.Fatal("SB relaxed outcome under SC")
+	}
+}
+
+func TestPublicAPIRandomWorkload(t *testing.T) {
+	w := weakrace.RandomWorkload(weakrace.RandomParams{Seed: 1, UnlockedFraction: 0.5})
+	if w.Prog.NumThreads() == 0 {
+		t.Fatal("empty random workload")
+	}
+}
+
+// Exercise the remaining thin facade wrappers end to end.
+func TestPublicAPISurface(t *testing.T) {
+	// Builders with indexed addressing and register values.
+	b := weakrace.NewProgram("surface", 4, 2)
+	b.Thread("P1").
+		Const(0, 2).
+		Write(weakrace.AtReg(0, 1), weakrace.Imm(7)). // mem[3] = 7
+		Read(1, weakrace.At(3)).
+		Write(weakrace.At(0), weakrace.FromReg(1))
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := weakrace.Simulate(prog, weakrace.SimConfig{Model: weakrace.WO, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalMemory[0] != 7 || res.FinalMemory[3] != 7 {
+		t.Fatalf("final memory = %v", res.FinalMemory)
+	}
+
+	// Stream codecs.
+	tr := weakrace.TraceExecution(res.Exec)
+	var bin bytes.Buffer
+	if err := weakrace.EncodeTrace(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := weakrace.DecodeTrace(&bin); err != nil {
+		t.Fatal(err)
+	}
+
+	// File sets.
+	dir := filepath.Join(t.TempDir(), "set")
+	if err := weakrace.WriteTraceFileSet(dir, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := weakrace.ReadTraceFileSet(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// DOT export.
+	a, err := weakrace.Detect(tr, weakrace.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dot bytes.Buffer
+	if err := weakrace.WriteDOT(&dot, a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "digraph") {
+		t.Fatal("DOT output wrong")
+	}
+
+	// Assembler.
+	prog2, _, err := weakrace.Assemble(strings.NewReader(
+		"program \"s\"\nlocations 1\nregisters 1\nthread T:\nnop\n"))
+	if err != nil || prog2.NumThreads() != 1 {
+		t.Fatalf("Assemble: %v", err)
+	}
+
+	// Workload constructors.
+	for _, w := range []*weakrace.Workload{
+		weakrace.LockedCounter(2, 2, -1),
+		weakrace.BarrierPhases(2),
+		weakrace.WriteBurst(2, 3, 2),
+		weakrace.Dekker(1),
+	} {
+		if err := w.Prog.Validate(); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+	}
+
+	// SC sampling and the online first-race extension.
+	w := weakrace.Figure1a()
+	gt, err := weakrace.SampleSC(w.Prog, w.InitMemory, 20)
+	if err != nil || gt.Executions != 20 {
+		t.Fatalf("SampleSC: %v", err)
+	}
+	fr := weakrace.DetectFirstRacesOnTheFly(res.Exec, weakrace.OnTheFlyOptions{})
+	if fr == nil {
+		t.Fatal("nil first-race result")
+	}
+
+	// The Figure 2 script is applicable (asserted by RunFig2Stale inside).
+	if len(weakrace.Fig2StaleScript()) == 0 {
+		t.Fatal("empty Figure 2 script")
+	}
+}
