@@ -23,6 +23,7 @@ import (
 	"weakrace/internal/core"
 	"weakrace/internal/memmodel"
 	"weakrace/internal/report"
+	"weakrace/internal/telemetry"
 	"weakrace/internal/trace"
 )
 
@@ -38,12 +39,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dot     = fs.String("dot", "", "write the augmented graph in Graphviz DOT form to this file")
 		pairing = fs.String("pairing", "conservative",
 			"release pairing policy: conservative (the paper's) or liberal")
+		metrics    = fs.String("metrics", "", "dump a JSON telemetry snapshot on exit to this file (- for stdout)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: racedetect [-graph] [-dot file] [-pairing conservative|liberal] trace.wrt ...")
+		fmt.Fprintln(stderr, "usage: racedetect [-graph] [-dot file] [-pairing conservative|liberal] [-metrics file|-] trace.wrt ...")
 		return 2
 	}
 	var policy memmodel.PairingPolicy
@@ -56,6 +60,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "racedetect: unknown pairing policy %q\n", *pairing)
 		return 2
 	}
+
+	if *metrics != "" {
+		defer telemetry.EnableDefault()()
+	}
+	stopProfiles, err := telemetry.StartProfiles(*cpuprofile, *memprofile, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "racedetect: %v\n", err)
+		return 2
+	}
+	defer stopProfiles()
 
 	anyRaces := false
 	for _, path := range fs.Args() {
@@ -96,6 +110,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if !a.RaceFree() {
 			anyRaces = true
+		}
+	}
+	if *metrics != "" {
+		if err := telemetry.DumpDefault(*metrics, stdout); err != nil {
+			fmt.Fprintf(stderr, "racedetect: %v\n", err)
+			return 2
 		}
 	}
 	if anyRaces {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"weakrace/internal/memmodel"
 	"weakrace/internal/sim"
+	"weakrace/internal/telemetry"
 	"weakrace/internal/trace"
 	"weakrace/internal/workload"
 )
@@ -100,6 +102,48 @@ func TestRunDOTOutput(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "digraph hb1") {
 		t.Fatalf("DOT file wrong:\n%s", data)
+	}
+}
+
+// TestRunMetrics: -metrics - appends a JSON telemetry snapshot to stdout
+// with detector and codec counters for the analyzed traces.
+func TestRunMetrics(t *testing.T) {
+	dir := t.TempDir()
+	racy, clean, _, _ := writeTraces(t, dir)
+	var out, errb bytes.Buffer
+	if got := run([]string{"-metrics", "-", clean, racy}, &out, &errb); got != 1 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	jsonStart := strings.Index(out.String(), "\n{")
+	if jsonStart < 0 {
+		t.Fatalf("no JSON snapshot on stdout:\n%s", out.String())
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(out.String()[jsonStart:]), &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	if snap.Counters["detect.analyses"] != 2 {
+		t.Errorf("detect.analyses = %d, want 2", snap.Counters["detect.analyses"])
+	}
+	for _, name := range []string{"detect.events", "detect.races", "trace.decode.calls", "trace.decode.bytes", "graph.reach.builds"} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %q = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if snap.Phases["detect.analyze"].Count != 2 {
+		t.Errorf("detect.analyze phase count = %d, want 2", snap.Phases["detect.analyze"].Count)
+	}
+
+	// Profiling hooks produce files here too (racedetect is the second
+	// heavy CLI).
+	cpu := filepath.Join(dir, "cpu.pprof")
+	out.Reset()
+	errb.Reset()
+	if got := run([]string{"-cpuprofile", cpu, clean}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	if info, err := os.Stat(cpu); err != nil || info.Size() == 0 {
+		t.Fatalf("cpu profile missing or empty: %v", err)
 	}
 }
 

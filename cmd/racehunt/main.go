@@ -7,6 +7,8 @@
 // Usage:
 //
 //	racehunt -workload buggy-counter -model WO -seeds 500
+//	racehunt -workload buggy-counter -seeds 500 -progress -metrics -
+//	racehunt -workload dekker -seeds 2000 -cpuprofile cpu.pprof
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 
 	"weakrace/internal/campaign"
 	"weakrace/internal/memmodel"
+	"weakrace/internal/telemetry"
 	"weakrace/internal/workload"
 )
 
@@ -49,6 +52,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		retireProb = fs.Float64("retire-prob", 0.15, "background retirement probability")
 		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		liberal    = fs.Bool("liberal-pairing", false, "treat Test&Set writes as releases")
+		metrics    = fs.String("metrics", "", "dump a JSON telemetry snapshot on exit to this file (- for stdout)")
+		progress   = fs.Bool("progress", false, "print periodic campaign progress to stderr")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,14 +75,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *liberal {
 		pairing = memmodel.LiberalPairing
 	}
-	rep, err := campaign.Run(campaign.Config{
+
+	if *metrics != "" {
+		defer telemetry.EnableDefault()()
+	}
+	stopProfiles, err := telemetry.StartProfiles(*cpuprofile, *memprofile, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "racehunt: %v\n", err)
+		return 2
+	}
+	defer stopProfiles()
+
+	var opts campaign.Options
+	if *progress {
+		opts.Progress = func(done, total int) {
+			// Report at most ~10 lines per campaign: every decile, plus
+			// the final seed. total comes from the campaign, which applies
+			// its own default when -seeds is 0.
+			step := total / 10
+			if step == 0 {
+				step = 1
+			}
+			if done%step == 0 || done == total {
+				fmt.Fprintf(stderr, "racehunt: progress %d/%d executions (%d%%)\n",
+					done, total, 100*done/total)
+			}
+		}
+	}
+
+	rep, err := campaign.RunWithOptions(campaign.Config{
 		Workload:   ctor(),
 		Model:      model,
 		Seeds:      *seeds,
 		RetireProb: *retireProb,
 		Pairing:    pairing,
 		Workers:    *workers,
-	})
+	}, opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "racehunt: %v\n", err)
 		return 2
@@ -83,6 +118,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := rep.Render(stdout); err != nil {
 		fmt.Fprintf(stderr, "racehunt: %v\n", err)
 		return 2
+	}
+	if *metrics != "" {
+		if err := telemetry.DumpDefault(*metrics, stdout); err != nil {
+			fmt.Fprintf(stderr, "racehunt: %v\n", err)
+			return 2
+		}
 	}
 	if !rep.RaceFree() {
 		return 1

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"weakrace/internal/telemetry"
 )
 
 func TestRunCleanWorkload(t *testing.T) {
@@ -35,6 +40,122 @@ func TestRunLiberalPairing(t *testing.T) {
 	got := run([]string{"-workload", "race-chain", "-seeds", "10", "-liberal-pairing"}, &out, &errb)
 	if got != 1 {
 		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+}
+
+// TestRunMetricsAndProgress is the observability acceptance test: a
+// 100-seed campaign with -metrics - -progress prints periodic progress to
+// stderr and a JSON telemetry snapshot (per-phase durations, nonzero
+// sim/graph/SCC counters) to stdout.
+func TestRunMetricsAndProgress(t *testing.T) {
+	var out, errb bytes.Buffer
+	got := run([]string{
+		"-workload", "buggy-counter", "-model", "WO", "-seeds", "100",
+		"-metrics", "-", "-progress",
+	}, &out, &errb)
+	if got != 1 {
+		t.Fatalf("exit = %d, want 1 (races found); stderr: %s", got, errb.String())
+	}
+
+	// Progress went to stderr: one line per decile plus the final seed.
+	lines := 0
+	for _, ln := range strings.Split(errb.String(), "\n") {
+		if strings.HasPrefix(ln, "racehunt: progress ") {
+			lines++
+		}
+	}
+	if lines < 5 {
+		t.Fatalf("want >= 5 progress lines on stderr, got %d:\n%s", lines, errb.String())
+	}
+	if !strings.Contains(errb.String(), "progress 100/100 executions (100%)") {
+		t.Fatalf("missing final progress line:\n%s", errb.String())
+	}
+
+	// Stdout carries the campaign report followed by the JSON snapshot.
+	stdout := out.String()
+	if !strings.Contains(stdout, "campaign:") {
+		t.Fatalf("campaign report missing:\n%s", stdout)
+	}
+	jsonStart := strings.Index(stdout, "\n{")
+	if jsonStart < 0 {
+		t.Fatalf("no JSON snapshot on stdout:\n%s", stdout)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(stdout[jsonStart:]), &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v\n%s", err, stdout[jsonStart:])
+	}
+	for _, name := range []string{
+		"campaign.executions",
+		"detect.analyses",
+		"detect.events",
+		"detect.races",
+		"detect.scc.components",
+		"graph.reach.builds",
+		telemetry.Name("sim.runs", "model", "WO"),
+		telemetry.Name("sim.steps", "model", "WO"),
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %q = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if snap.Counters["campaign.executions"] != 100 {
+		t.Errorf("campaign.executions = %d, want 100", snap.Counters["campaign.executions"])
+	}
+	for _, phase := range []string{"campaign.run", "campaign.seed", "sim.run", "detect.analyze"} {
+		p, ok := snap.Phases[phase]
+		if !ok || p.Count == 0 || p.TotalNS <= 0 {
+			t.Errorf("phase %q missing or empty: %+v", phase, p)
+		}
+	}
+}
+
+// TestRunMetricsToFile: -metrics with a path writes the snapshot there.
+func TestRunMetricsToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out, errb bytes.Buffer
+	got := run([]string{
+		"-workload", "locked-counter", "-seeds", "10", "-metrics", path,
+	}, &out, &errb)
+	if got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	if strings.Contains(out.String(), `"counters"`) {
+		t.Fatal("snapshot leaked to stdout when a file path was given")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["campaign.executions"] != 10 {
+		t.Fatalf("campaign.executions = %d, want 10", snap.Counters["campaign.executions"])
+	}
+}
+
+// TestRunProfiles: the pprof hooks produce non-empty profile files.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb bytes.Buffer
+	got := run([]string{
+		"-workload", "locked-counter", "-seeds", "10",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &out, &errb)
+	if got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }
 

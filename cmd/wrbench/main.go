@@ -1,0 +1,236 @@
+// Command wrbench runs the benchmark scenarios from the repo's bench
+// harness as a standalone program and writes a JSON trajectory —
+// per-scenario wall-clock timings and headline metrics plus a full
+// telemetry snapshot (phase histograms, pipeline counters) — so a
+// performance baseline can be captured and diffed without `go test`.
+//
+// Usage:
+//
+//	wrbench                        # all scenarios, BENCH_telemetry.json
+//	wrbench -iters 50 -o base.json
+//	wrbench -scenario full-pipeline -o - -iters 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"weakrace"
+	"weakrace/internal/telemetry"
+)
+
+// Scenario is one benchmarked code path. run executes iters iterations
+// and returns headline metrics (averaged or final, scenario-specific).
+type scenario struct {
+	name string
+	run  func(iters int) (map[string]float64, error)
+}
+
+// Result is the JSON record for one scenario.
+type Result struct {
+	Name      string             `json:"name"`
+	Iters     int                `json:"iters"`
+	TotalNS   int64              `json:"total_ns"`
+	NSPerIter int64              `json:"ns_per_iter"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the whole trajectory file.
+type Output struct {
+	Iters     int                `json:"iters"`
+	Scenarios []Result           `json:"scenarios"`
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wrbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out   = fs.String("o", "BENCH_telemetry.json", "output file (- for stdout)")
+		iters = fs.Int("iters", 30, "iterations per scenario")
+		only  = fs.String("scenario", "", "run a single scenario by name")
+		list  = fs.Bool("list", false, "list scenarios and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	scenarios := allScenarios()
+	if *list {
+		for _, s := range scenarios {
+			fmt.Fprintln(stdout, s.name)
+		}
+		return 0
+	}
+	if *only != "" {
+		var filtered []scenario
+		for _, s := range scenarios {
+			if s.name == *only {
+				filtered = append(filtered, s)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(stderr, "wrbench: unknown scenario %q (use -list)\n", *only)
+			return 2
+		}
+		scenarios = filtered
+	}
+
+	defer telemetry.EnableDefault()()
+	output := Output{Iters: *iters}
+	for _, s := range scenarios {
+		fmt.Fprintf(stderr, "wrbench: %s (%d iters)...\n", s.name, *iters)
+		sp := telemetry.Default().StartSpan("bench." + s.name)
+		start := time.Now()
+		metrics, err := s.run(*iters)
+		elapsed := time.Since(start)
+		sp.End()
+		if err != nil {
+			fmt.Fprintf(stderr, "wrbench: %s: %v\n", s.name, err)
+			return 2
+		}
+		output.Scenarios = append(output.Scenarios, Result{
+			Name:      s.name,
+			Iters:     *iters,
+			TotalNS:   elapsed.Nanoseconds(),
+			NSPerIter: elapsed.Nanoseconds() / int64(*iters),
+			Metrics:   metrics,
+		})
+	}
+	output.Telemetry = *telemetry.Default().Snapshot()
+
+	data, err := json.MarshalIndent(output, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "wrbench: %v\n", err)
+		return 2
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "wrbench: %v\n", err)
+		return 2
+	}
+	if *out != "-" {
+		fmt.Fprintf(stderr, "wrbench: trajectory written to %s\n", *out)
+	}
+	return 0
+}
+
+// allScenarios mirrors the T1–T3 benchmark families in bench_test.go plus
+// the end-to-end pipeline, parameterized by iteration count instead of
+// b.N so the same paths run outside the testing framework.
+func allScenarios() []scenario {
+	return []scenario{
+		{"model-throughput", func(iters int) (map[string]float64, error) {
+			// T1: write-burst on every model; cycles/op per model.
+			w := weakrace.WriteBurst(4, 12, 4)
+			metrics := map[string]float64{}
+			for _, model := range weakrace.AllModels {
+				var cycles, ops int64
+				for i := 0; i < iters; i++ {
+					res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{
+						Model: model, Seed: int64(i), RetireProb: 0.5,
+						InitMemory: w.InitMemory,
+					})
+					if err != nil {
+						return nil, err
+					}
+					cycles += res.Makespan()
+					ops += int64(res.Exec.NumOps())
+				}
+				metrics["cycles_per_op_"+model.String()] = float64(cycles) / float64(ops)
+			}
+			return metrics, nil
+		}},
+		{"tracing-overhead", func(iters int) (map[string]float64, error) {
+			// T2: simulation alone vs simulation + trace + encode.
+			w := weakrace.LockedCounter(4, 8, -1)
+			cfg := weakrace.SimConfig{Model: weakrace.WO, Seed: 1}
+			simStart := time.Now()
+			for i := 0; i < iters; i++ {
+				if _, err := weakrace.Simulate(w.Prog, cfg); err != nil {
+					return nil, err
+				}
+			}
+			simNS := time.Since(simStart).Nanoseconds()
+			fullStart := time.Now()
+			for i := 0; i < iters; i++ {
+				res, err := weakrace.Simulate(w.Prog, cfg)
+				if err != nil {
+					return nil, err
+				}
+				tr := weakrace.TraceExecution(res.Exec)
+				if err := weakrace.EncodeTrace(io.Discard, tr); err != nil {
+					return nil, err
+				}
+			}
+			fullNS := time.Since(fullStart).Nanoseconds()
+			metrics := map[string]float64{
+				"simulate_ns_per_iter": float64(simNS) / float64(iters),
+				"traced_ns_per_iter":   float64(fullNS) / float64(iters),
+			}
+			if simNS > 0 {
+				metrics["overhead_ratio"] = float64(fullNS) / float64(simNS)
+			}
+			return metrics, nil
+		}},
+		{"postmortem-scaling", func(iters int) (map[string]float64, error) {
+			// T3: analysis cost as the trace grows (4..32 segments).
+			metrics := map[string]float64{}
+			for _, segments := range []int{4, 8, 16, 32} {
+				w := weakrace.RandomWorkload(weakrace.RandomParams{
+					Seed: 5, CPUs: 4, Segments: segments, UnlockedFraction: 0.3,
+				})
+				res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{Model: weakrace.WO, Seed: 1})
+				if err != nil {
+					return nil, err
+				}
+				tr := weakrace.TraceExecution(res.Exec)
+				start := time.Now()
+				events := 0
+				for i := 0; i < iters; i++ {
+					a, err := weakrace.Detect(tr, weakrace.DetectOptions{SkipValidate: true})
+					if err != nil {
+						return nil, err
+					}
+					events = a.NumEvents
+				}
+				key := fmt.Sprintf("segments_%d", segments)
+				metrics[key+"_ns_per_iter"] = float64(time.Since(start).Nanoseconds()) / float64(iters)
+				metrics[key+"_events"] = float64(events)
+			}
+			return metrics, nil
+		}},
+		{"full-pipeline", func(iters int) (map[string]float64, error) {
+			// Simulate + trace + detect + partition on Figure 2.
+			w := weakrace.Figure2()
+			races := 0.0
+			for i := 0; i < iters; i++ {
+				res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{
+					Model: weakrace.WO, Seed: int64(i), InitMemory: w.InitMemory,
+				})
+				if err != nil {
+					return nil, err
+				}
+				a, err := weakrace.Detect(weakrace.TraceExecution(res.Exec), weakrace.DetectOptions{})
+				if err != nil {
+					return nil, err
+				}
+				races += float64(len(a.DataRaces))
+			}
+			return map[string]float64{"data_races_per_iter": races / float64(iters)}, nil
+		}},
+	}
+}

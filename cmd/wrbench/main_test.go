@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-list"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	for _, want := range []string{"model-throughput", "tracing-overhead", "postmortem-scaling", "full-pipeline"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunAllScenarios(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errb bytes.Buffer
+	if got := run([]string{"-iters", "3", "-o", path}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o Output
+	if err := json.Unmarshal(data, &o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Iters != 3 {
+		t.Errorf("iters = %d, want 3", o.Iters)
+	}
+	if len(o.Scenarios) != 4 {
+		t.Fatalf("scenarios = %d, want 4", len(o.Scenarios))
+	}
+	for _, s := range o.Scenarios {
+		if s.TotalNS <= 0 || s.NSPerIter <= 0 {
+			t.Errorf("scenario %s has empty timings: %+v", s.Name, s)
+		}
+		// Every benchmark gets its own telemetry phase.
+		if p, ok := o.Telemetry.Phases["bench."+s.Name]; !ok || p.Count != 1 {
+			t.Errorf("phase bench.%s missing from snapshot", s.Name)
+		}
+	}
+	// The pipeline ran with telemetry enabled: simulator and detector
+	// counters must be present in the embedded snapshot.
+	for _, name := range []string{"detect.analyses", "detect.races", "trace.builds", "graph.reach.builds"} {
+		if o.Telemetry.Counters[name] <= 0 {
+			t.Errorf("counter %q = %d, want > 0", name, o.Telemetry.Counters[name])
+		}
+	}
+	// model-throughput exercises every model.
+	found := false
+	for name := range o.Telemetry.Counters {
+		if strings.HasPrefix(name, "sim.runs{model=") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no per-model sim.runs counters in snapshot")
+	}
+}
+
+func TestRunSingleScenarioToStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-scenario", "full-pipeline", "-iters", "2", "-o", "-"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	var o Output
+	if err := json.Unmarshal(out.Bytes(), &o); err != nil {
+		t.Fatalf("stdout is not the JSON trajectory: %v\n%s", err, out.String())
+	}
+	if len(o.Scenarios) != 1 || o.Scenarios[0].Name != "full-pipeline" {
+		t.Fatalf("scenarios: %+v", o.Scenarios)
+	}
+	if o.Scenarios[0].Metrics["data_races_per_iter"] <= 0 {
+		t.Errorf("full-pipeline on Figure2 found no races: %+v", o.Scenarios[0].Metrics)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-scenario", "nope"}, &out, &errb); got != 2 {
+		t.Fatalf("unknown scenario: exit = %d", got)
+	}
+	if got := run([]string{"-bogus"}, &out, &errb); got != 2 {
+		t.Fatalf("bad flag: exit = %d", got)
+	}
+	if got := run([]string{"-iters", "1", "-o", filepath.Join(t.TempDir(), "no", "such", "dir", "x.json")}, &out, &errb); got != 2 {
+		t.Fatalf("unwritable output: exit = %d", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"weakrace/internal/litmus"
 	"weakrace/internal/memmodel"
 	"weakrace/internal/report"
+	"weakrace/internal/telemetry"
 )
 
 func main() {
@@ -28,12 +29,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wrlitmus", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		seeds  = fs.Int("seeds", 400, "seeds per test/model cell")
-		only   = fs.String("test", "", "run a single test by name (e.g. SB, MP, IRIW)")
-		models = fs.Bool("models", false, "print the model property matrix and exit")
+		seeds   = fs.Int("seeds", 400, "seeds per test/model cell")
+		only    = fs.String("test", "", "run a single test by name (e.g. SB, MP, IRIW)")
+		models  = fs.Bool("models", false, "print the model property matrix and exit")
+		metrics = fs.String("metrics", "", "dump a JSON telemetry snapshot on exit to this file (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *metrics != "" {
+		defer telemetry.EnableDefault()()
 	}
 
 	if *models {
@@ -106,6 +111,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintln(stdout)
 	for _, t := range tests {
 		fmt.Fprintf(stdout, "%-10s %s\n", t.Name, t.Description)
+	}
+	if *metrics != "" {
+		if err := telemetry.DumpDefault(*metrics, stdout); err != nil {
+			fmt.Fprintf(stderr, "wrlitmus: %v\n", err)
+			return 2
+		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(stderr, "wrlitmus: %d cells violated their model's guarantee\n", failures)

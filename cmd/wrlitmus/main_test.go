@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"weakrace/internal/telemetry"
 )
 
 func TestRunModels(t *testing.T) {
@@ -37,6 +40,33 @@ func TestRunFullMatrix(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("matrix missing %q", want)
 		}
+	}
+}
+
+// TestRunMetrics: -metrics - appends a snapshot with per-model simulator
+// counters after the matrix.
+func TestRunMetrics(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-test", "SB", "-seeds", "100", "-metrics", "-"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	jsonStart := strings.Index(out.String(), "\n{")
+	if jsonStart < 0 {
+		t.Fatalf("no JSON snapshot on stdout:\n%s", out.String())
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(out.String()[jsonStart:]), &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	// The SB cell runs on every model; each contributes sim.runs.
+	for _, model := range []string{"SC", "WO", "TSO"} {
+		name := telemetry.Name("sim.runs", "model", model)
+		if snap.Counters[name] != 100 {
+			t.Errorf("%s = %d, want 100", name, snap.Counters[name])
+		}
+	}
+	if snap.Phases["sim.run"].Count == 0 {
+		t.Error("sim.run phase has no observations")
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"weakrace/internal/memmodel"
 	"weakrace/internal/program"
 	"weakrace/internal/sim"
+	"weakrace/internal/telemetry"
 	"weakrace/internal/trace"
 	"weakrace/internal/workload"
 )
@@ -64,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dump       = fs.Bool("dump", false, "also dump the trace in human-readable form to stdout")
 		disasm     = fs.Bool("disasm", false, "print the program disassembly and exit")
 		list       = fs.Bool("list", false, "list available workloads and exit")
+		metrics    = fs.String("metrics", "", "dump a JSON telemetry snapshot on exit to this file (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,6 +73,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(formatStr string, a ...any) int {
 		fmt.Fprintf(stderr, "wrsim: "+formatStr+"\n", a...)
 		return 1
+	}
+	if *metrics != "" {
+		defer telemetry.EnableDefault()()
 	}
 
 	if *list {
@@ -172,6 +177,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "trace written to %s\n", path)
 	if *dump {
 		if err := trace.Dump(stdout, tr); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if *metrics != "" {
+		if err := telemetry.DumpDefault(*metrics, stdout); err != nil {
 			return fail("%v", err)
 		}
 	}

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"weakrace/internal/telemetry"
 	"weakrace/internal/trace"
 )
 
@@ -90,6 +92,41 @@ func TestRunDisasmAndDump(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "comp reads=") {
 		t.Fatalf("dump missing:\n%s", out.String())
+	}
+}
+
+// TestRunMetrics: -metrics <file> records simulator and codec counters
+// for the run.
+func TestRunMetrics(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var out, errb bytes.Buffer
+	args := []string{"-workload", "figure-2", "-model", "WO", "-seed", "674",
+		"-o", filepath.Join(dir, "f2.wrt"), "-metrics", metricsPath}
+	if got := run(args, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		telemetry.Name("sim.runs", "model", "WO"),
+		telemetry.Name("sim.steps", "model", "WO"),
+		"trace.builds",
+		"trace.encode.calls",
+		"trace.encode.bytes",
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %q = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if snap.Phases["sim.run"].Count != 1 {
+		t.Errorf("sim.run phase count = %d, want 1", snap.Phases["sim.run"].Count)
 	}
 }
 

@@ -16,10 +16,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"weakrace/internal/core"
 	"weakrace/internal/memmodel"
 	"weakrace/internal/sim"
+	"weakrace/internal/telemetry"
 	"weakrace/internal/trace"
 	"weakrace/internal/workload"
 )
@@ -80,12 +82,47 @@ type Report struct {
 // RaceFree reports whether no execution exhibited a data race.
 func (r *Report) RaceFree() bool { return r.Racy == 0 }
 
+// Options holds per-run hooks that are not part of the campaign's
+// deterministic configuration.
+type Options struct {
+	// Progress, when set, is called after each execution completes, with
+	// done strictly increasing from 1 to total. Calls are serialized but
+	// come from worker goroutines; keep the callback fast.
+	Progress func(done, total int)
+}
+
 // Run executes the campaign, fanning executions across workers. The
-// report is deterministic for a given Config regardless of Workers.
+// report is deterministic for a given Config regardless of Workers. It is
+// RunWithOptions without hooks, kept for existing callers.
 func Run(cfg Config) (*Report, error) {
+	return RunWithOptions(cfg, Options{})
+}
+
+// RunWithOptions executes the campaign with per-run hooks: progress
+// callbacks fire as seeds complete, and (when the default telemetry
+// registry is enabled) per-seed phase timings and aggregate counters are
+// recorded.
+func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Workload == nil {
 		return nil, fmt.Errorf("campaign: no workload")
+	}
+	reg := telemetry.Default()
+	defer reg.StartSpan("campaign.run").End()
+	start := time.Now()
+
+	var progressMu sync.Mutex
+	doneCount := 0
+	seedDone := func() {
+		if opts.Progress == nil {
+			return
+		}
+		// The callback runs under the mutex so done values arrive strictly
+		// increasing even with many workers.
+		progressMu.Lock()
+		doneCount++
+		opts.Progress(doneCount, cfg.Seeds)
+		progressMu.Unlock()
 	}
 
 	type seedResult struct {
@@ -105,6 +142,9 @@ func Run(cfg Config) (*Report, error) {
 		go func(seed int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer seedDone()
+			sp := reg.StartSpan("campaign.seed")
+			defer sp.End()
 			r, err := sim.Run(cfg.Workload.Prog, sim.Config{
 				Model: cfg.Model, Seed: int64(seed),
 				RetireProb: cfg.RetireProb,
@@ -181,6 +221,22 @@ func Run(cfg Config) (*Report, error) {
 		}
 		return a.Race.String() < b.Race.String()
 	})
+	if reg.Enabled() {
+		reg.Counter("campaign.runs").Inc()
+		reg.Counter("campaign.executions").Add(int64(rep.Executions))
+		reg.Counter("campaign.racy_executions").Add(int64(rep.Racy))
+		reg.Counter("campaign.incomplete_executions").Add(int64(rep.Incomplete))
+		reg.Counter("campaign.distinct_races").Add(int64(len(rep.Races)))
+		var occurrences int64
+		for _, st := range rep.Races {
+			occurrences += int64(st.Occurrences)
+		}
+		reg.Counter("campaign.race_occurrences").Add(occurrences)
+		if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+			reg.Gauge("campaign.races_per_sec").Set(int64(float64(occurrences) / elapsed))
+			reg.Gauge("campaign.execs_per_sec").Set(int64(float64(rep.Executions) / elapsed))
+		}
+	}
 	return rep, nil
 }
 

@@ -2,11 +2,13 @@ package campaign
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
 
 	"weakrace/internal/memmodel"
+	"weakrace/internal/telemetry"
 	"weakrace/internal/workload"
 )
 
@@ -100,9 +102,127 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// failWriter fails after n successful writes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("sink full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+// TestRenderPropagatesWriteErrors: every write in the campaign report
+// surfaces its error.
+func TestRenderPropagatesWriteErrors(t *testing.T) {
+	racy, err := Run(Config{
+		Workload: workload.LockedCounter(3, 3, 1),
+		Model:    memmodel.WO,
+		Seeds:    20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(Config{
+		Workload: workload.LockedCounter(3, 3, -1),
+		Model:    memmodel.WO,
+		Seeds:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 4; n++ {
+		if err := racy.Render(&failWriter{n: n}); err == nil {
+			t.Errorf("racy report with %d allowed writes: error swallowed", n)
+		}
+	}
+	for n := 0; n < 2; n++ {
+		if err := clean.Render(&failWriter{n: n}); err == nil {
+			t.Errorf("clean report with %d allowed writes: error swallowed", n)
+		}
+	}
+}
+
 func TestCampaignErrors(t *testing.T) {
 	if _, err := Run(Config{}); err == nil {
 		t.Fatal("nil workload accepted")
+	}
+	if _, err := RunWithOptions(Config{}, Options{}); err == nil {
+		t.Fatal("nil workload accepted by RunWithOptions")
+	}
+}
+
+// TestCampaignProgressCallback: progress reports every seed exactly once,
+// strictly increasing, ending at the total — even with many workers.
+func TestCampaignProgressCallback(t *testing.T) {
+	const seeds = 24
+	var calls []int
+	rep, err := RunWithOptions(Config{
+		Workload: workload.LockedCounter(3, 3, 1),
+		Model:    memmodel.WO,
+		Seeds:    seeds,
+		Workers:  8,
+	}, Options{
+		Progress: func(done, total int) {
+			if total != seeds {
+				t.Errorf("total = %d, want %d", total, seeds)
+			}
+			calls = append(calls, done) // serialized by the campaign
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executions != seeds {
+		t.Fatalf("executions = %d", rep.Executions)
+	}
+	if len(calls) != seeds {
+		t.Fatalf("progress called %d times, want %d", len(calls), seeds)
+	}
+	for i, done := range calls {
+		if done != i+1 {
+			t.Fatalf("progress sequence %v not strictly increasing", calls)
+		}
+	}
+}
+
+// TestCampaignTelemetry: an enabled registry collects per-seed phases and
+// aggregate counters; run with -race this also exercises concurrent
+// reporting from the worker pool.
+func TestCampaignTelemetry(t *testing.T) {
+	reg := telemetry.Default()
+	reg.Reset()
+	reg.SetEnabled(true)
+	defer func() {
+		reg.SetEnabled(false)
+		reg.Reset()
+	}()
+	const seeds = 16
+	rep, err := RunWithOptions(Config{
+		Workload: workload.LockedCounter(3, 3, 1),
+		Model:    memmodel.WO,
+		Seeds:    seeds,
+		Workers:  4,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["campaign.executions"]; got != seeds {
+		t.Errorf("campaign.executions = %d, want %d", got, seeds)
+	}
+	if got := snap.Counters["campaign.racy_executions"]; got != int64(rep.Racy) {
+		t.Errorf("campaign.racy_executions = %d, want %d", got, rep.Racy)
+	}
+	if got := snap.Phases["campaign.seed"].Count; got != seeds {
+		t.Errorf("campaign.seed phase count = %d, want %d", got, seeds)
+	}
+	if snap.Phases["campaign.run"].Count != 1 {
+		t.Errorf("campaign.run phase count = %d, want 1", snap.Phases["campaign.run"].Count)
+	}
+	if snap.Counters["detect.analyses"] != seeds {
+		t.Errorf("detect.analyses = %d, want %d", snap.Counters["detect.analyses"], seeds)
 	}
 }
 

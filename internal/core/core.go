@@ -34,6 +34,7 @@ import (
 	"weakrace/internal/memmodel"
 	"weakrace/internal/program"
 	"weakrace/internal/sim"
+	"weakrace/internal/telemetry"
 	"weakrace/internal/trace"
 )
 
@@ -139,8 +140,13 @@ func (a *Analysis) RaceFree() bool { return len(a.DataRaces) == 0 }
 
 // Analyze runs the full post-mortem detection pipeline on a trace.
 func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
+	reg := telemetry.Default()
+	defer reg.StartSpan("detect.analyze").End()
 	if !opts.SkipValidate {
-		if err := t.Validate(); err != nil {
+		sp := reg.StartSpan("detect.validate")
+		err := t.Validate()
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
@@ -155,13 +161,50 @@ func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
 	}
 	a.NumEvents = n
 
+	sp := reg.StartSpan("detect.build_hb")
 	a.buildHB()
+	sp.End()
+	sp = reg.StartSpan("detect.hb_reach")
 	a.HBReach = graph.NewReachability(a.HB)
+	sp.End()
+	sp = reg.StartSpan("detect.find_races")
 	a.findRaces()
+	sp.End()
+	sp = reg.StartSpan("detect.augment")
 	a.buildAugmented()
 	a.AugReach = graph.NewReachability(a.Aug)
+	sp.End()
+	sp = reg.StartSpan("detect.partition")
 	a.partition()
+	sp.End()
+	a.flushTelemetry(reg)
 	return a, nil
+}
+
+// flushTelemetry batches the analysis's structural counters into the
+// registry — the event/edge/race/SCC scaling numbers every perf PR
+// reports against.
+func (a *Analysis) flushTelemetry(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Counter("detect.analyses").Inc()
+	reg.Counter("detect.events").Add(int64(a.NumEvents))
+	reg.Counter("detect.hb_edges").Add(int64(a.HB.M()))
+	reg.Counter("detect.aug_edges").Add(int64(a.Aug.M()))
+	reg.Counter("detect.races").Add(int64(len(a.Races)))
+	reg.Counter("detect.data_races").Add(int64(len(a.DataRaces)))
+	reg.Counter("detect.partitions").Add(int64(len(a.Partitions)))
+	reg.Counter("detect.first_partitions").Add(int64(len(a.FirstPartitions)))
+	scc := a.AugReach.SCC()
+	reg.Counter("detect.scc.components").Add(int64(scc.NumComponents()))
+	maxSCC := 0
+	for _, ms := range scc.Members {
+		if len(ms) > maxSCC {
+			maxSCC = len(ms)
+		}
+	}
+	reg.Gauge("detect.scc.max_size").SetMax(int64(maxSCC))
 }
 
 // buildHB constructs the happens-before-1 graph: po edges between

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/sim"
+	"weakrace/internal/telemetry"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+// TestAnalyzeEmitsTelemetry runs the full pipeline on the paper's Figure 2
+// workload (seed 674 exhibits the missing-Test&Set races on WO) with
+// collection enabled and asserts the detector reported nonzero event,
+// edge, race, and SCC counters plus phase timings.
+func TestAnalyzeEmitsTelemetry(t *testing.T) {
+	reg := telemetry.Default()
+	reg.Reset()
+	reg.SetEnabled(true)
+	defer func() {
+		reg.SetEnabled(false)
+		reg.Reset()
+	}()
+
+	w := workload.Figure2()
+	res, err := sim.Run(w.Prog, sim.Config{
+		Model: memmodel.WO, Seed: 674, InitMemory: w.InitMemory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(trace.FromExecution(res.Exec), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RaceFree() {
+		t.Fatal("Figure2 on WO seed 674 should exhibit data races")
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"detect.analyses",
+		"detect.events",
+		"detect.hb_edges",
+		"detect.aug_edges",
+		"detect.races",
+		"detect.data_races",
+		"detect.partitions",
+		"detect.first_partitions",
+		"detect.scc.components",
+		"graph.reach.builds",
+		"trace.builds",
+		"trace.events.comp",
+		"trace.events.sync",
+		telemetry.Name("sim.runs", "model", "WO"),
+		telemetry.Name("sim.steps", "model", "WO"),
+		telemetry.Name("sim.ops", "model", "WO"),
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %q = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if snap.Gauges["detect.scc.max_size"] <= 1 {
+		t.Errorf("detect.scc.max_size = %d, want > 1 (race edges form cycles)",
+			snap.Gauges["detect.scc.max_size"])
+	}
+	for _, phase := range []string{"sim.run", "trace.build", "detect.analyze", "detect.find_races"} {
+		if snap.Phases[phase].Count == 0 {
+			t.Errorf("phase %q has no observations", phase)
+		}
+	}
+	// Consistency: the detector saw exactly the events the trace builder
+	// counted.
+	if got, want := snap.Counters["detect.events"],
+		snap.Counters["trace.events.comp"]+snap.Counters["trace.events.sync"]; got != want {
+		t.Errorf("detect.events = %d, trace events = %d", got, want)
+	}
+}
+
+// TestAnalyzeDisabledEmitsNothing: with collection off, Analyze must not
+// create metrics.
+func TestAnalyzeDisabledEmitsNothing(t *testing.T) {
+	reg := telemetry.Default()
+	reg.Reset()
+	reg.SetEnabled(false)
+
+	w := workload.Figure2()
+	res, err := sim.Run(w.Prog, sim.Config{
+		Model: memmodel.WO, Seed: 1, InitMemory: w.InitMemory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(trace.FromExecution(res.Exec), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Phases) != 0 {
+		t.Fatalf("disabled registry collected metrics: %+v", snap)
+	}
+}

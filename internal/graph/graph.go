@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"weakrace/internal/bitset"
+	"weakrace/internal/telemetry"
 )
 
 // Digraph is a directed graph over nodes 0..N-1 with adjacency lists.
@@ -242,6 +243,7 @@ type Reachability struct {
 // Tarjan is in reverse topological order, so processing components 0,1,...
 // visits every successor component before its predecessors.
 func NewReachability(g *Digraph) *Reachability {
+	defer telemetry.Default().StartSpan("graph.reachability").End()
 	scc := StronglyConnected(g)
 	dag := Condensation(g, scc)
 	k := scc.NumComponents()
@@ -256,6 +258,22 @@ func NewReachability(g *Digraph) *Reachability {
 			row.Union(rows[d])
 		}
 		rows[c] = row
+	}
+	if reg := telemetry.Default(); reg.Enabled() {
+		reg.Counter("graph.reach.builds").Inc()
+		reg.Counter("graph.reach.nodes").Add(int64(g.N()))
+		reg.Counter("graph.reach.edges").Add(int64(g.M()))
+		reg.Counter("graph.reach.components").Add(int64(k))
+		// Transitive-closure work: one k-bit row union per condensation
+		// edge — the quadratic-ish term any closure optimization targets.
+		reg.Counter("graph.reach.row_unions").Add(int64(dag.M()))
+		maxSCC := 0
+		for _, ms := range scc.Members {
+			if len(ms) > maxSCC {
+				maxSCC = len(ms)
+			}
+		}
+		reg.Gauge("graph.scc.max_size").SetMax(int64(maxSCC))
 	}
 	return &Reachability{scc: scc, rows: rows}
 }

@@ -25,6 +25,7 @@ package onthefly
 import (
 	"weakrace/internal/core"
 	"weakrace/internal/sim"
+	"weakrace/internal/telemetry"
 	"weakrace/internal/vclock"
 )
 
@@ -43,6 +44,7 @@ type FirstRaceResult struct {
 // first-race classification. opts.HistoryLimit and opts.Pairing behave as
 // in Detect.
 func DetectFirstRaces(e *sim.Execution, opts Options) *FirstRaceResult {
+	defer telemetry.Default().StartSpan("onthefly.firstraces").End()
 	res := &FirstRaceResult{
 		First:      map[core.LowerLevelRace]bool{},
 		Downstream: map[core.LowerLevelRace]bool{},
@@ -129,6 +131,11 @@ func DetectFirstRaces(e *sim.Execution, opts Options) *FirstRaceResult {
 		if op.Kind.IsWrite() && sync && opts.Pairing.CanPair(op.Kind.Role()) {
 			releaseVC[op.ID] = vcs[c].Clone()
 		}
+	}
+	if reg := telemetry.Default(); reg.Enabled() {
+		reg.Counter("onthefly.firstraces.first").Add(int64(len(res.First)))
+		reg.Counter("onthefly.firstraces.downstream").Add(int64(len(res.Downstream)))
+		reg.Counter("onthefly.firstraces.taints").Add(int64(res.Taints))
 	}
 	return res
 }

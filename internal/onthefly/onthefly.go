@@ -17,6 +17,7 @@ import (
 	"weakrace/internal/core"
 	"weakrace/internal/memmodel"
 	"weakrace/internal/sim"
+	"weakrace/internal/telemetry"
 	"weakrace/internal/vclock"
 )
 
@@ -74,6 +75,7 @@ func (h *history) add(e histEntry) (evicted bool) {
 // Detect runs the on-the-fly algorithm over the execution's operations in
 // issue order (the order the instrumented processors would observe them).
 func Detect(e *sim.Execution, opts Options) *Result {
+	defer telemetry.Default().StartSpan("onthefly.detect").End()
 	res := &Result{Races: map[core.LowerLevelRace]bool{}}
 	vcs := make([]vclock.VC, e.NumCPUs)
 	for c := range vcs {
@@ -158,6 +160,14 @@ func Detect(e *sim.Execution, opts Options) *Result {
 		if op.Kind.IsWrite() && op.Kind.IsSync() && opts.Pairing.CanPair(op.Kind.Role()) {
 			releaseVC[op.ID] = vcs[c].Clone()
 		}
+	}
+	if reg := telemetry.Default(); reg.Enabled() {
+		reg.Counter("onthefly.detections").Inc()
+		reg.Counter("onthefly.ops").Add(int64(res.OpsProcessed))
+		reg.Counter("onthefly.comparisons").Add(int64(res.Comparisons))
+		reg.Counter("onthefly.races").Add(int64(len(res.Races)))
+		reg.Counter("onthefly.sync_races").Add(int64(res.SyncRaces))
+		reg.Counter("onthefly.evictions").Add(int64(res.Evictions))
 	}
 	return res
 }

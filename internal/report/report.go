@@ -19,16 +19,16 @@ import (
 // their lower-level provenance.
 func RenderAnalysis(w io.Writer, a *core.Analysis) error {
 	t := a.Trace
-	if _, err := fmt.Fprintf(w, "race report for %q (model %s, seed %d): %d events, %d races (%d data)\n",
-		t.ProgramName, t.Model, t.Seed, a.NumEvents, len(a.Races), len(a.DataRaces)); err != nil {
+	if _, err := fmt.Fprintf(w, "race report for %q (model %s, seed %d): %d events, %d races (%d data), %d partitions (%d first)\n",
+		t.ProgramName, t.Model, t.Seed, a.NumEvents, len(a.Races), len(a.DataRaces),
+		len(a.Partitions), len(a.FirstPartitions)); err != nil {
 		return err
 	}
 	if a.RaceFree() {
 		_, err := fmt.Fprintf(w, "NO DATA RACES: by Condition 3.4(1) this execution was sequentially consistent.\n")
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%d partition(s), %d first — report the first partitions; by Theorem 4.2 each\ncontains a race that occurs in a sequentially consistent execution.\n",
-		len(a.Partitions), len(a.FirstPartitions)); err != nil {
+	if _, err := fmt.Fprintf(w, "report the first partitions; by Theorem 4.2 each contains a race that\noccurs in a sequentially consistent execution.\n"); err != nil {
 		return err
 	}
 	render := func(pi int) error {

@@ -6,6 +6,7 @@ import (
 
 	"weakrace/internal/memmodel"
 	"weakrace/internal/program"
+	"weakrace/internal/telemetry"
 )
 
 // Config controls one simulation run.
@@ -132,6 +133,9 @@ type machine struct {
 	step    int
 	syncSeq []int   // next sync sequence number per location
 	cycles  []int64 // per-processor cycle cost (MemLatency model)
+	stalls  int64   // memory-system stalls charged at MemLatency
+	retired int64   // buffered writes committed
+	drains  int64   // synchronization-induced buffer drains
 	err     error   // first runtime error (e.g. indexed address out of range)
 }
 
@@ -142,6 +146,7 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	cfg = cfg.withDefaults()
+	defer telemetry.Default().StartSpan("sim.run").End()
 	m := &machine{
 		prog:    p,
 		cfg:     cfg,
@@ -235,6 +240,7 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 	for i, cell := range m.mem {
 		final[i] = cell.val
 	}
+	m.flushTelemetry(completed)
 	return &Result{
 		Exec:         m.exec,
 		FinalMemory:  final,
@@ -242,6 +248,43 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 		CyclesPerCPU: m.cycles,
 		Completed:    completed,
 	}, nil
+}
+
+// flushTelemetry batches the run's counters into the default registry,
+// labeled by memory model. One guarded batch per run keeps the scheduler
+// loop free of telemetry costs when collection is disabled.
+func (m *machine) flushTelemetry(completed bool) {
+	reg := telemetry.Default()
+	if !reg.Enabled() {
+		return
+	}
+	model := m.cfg.Model.String()
+	add := func(name string, v int64) {
+		if v != 0 {
+			reg.Counter(telemetry.Name(name, "model", model)).Add(v)
+		}
+	}
+	add("sim.runs", 1)
+	if !completed {
+		add("sim.incomplete_runs", 1)
+	}
+	add("sim.steps", int64(m.step))
+	add("sim.ops", int64(len(m.exec.Ops)))
+	add("sim.stall_events", m.stalls)
+	add("sim.retired_writes", m.retired)
+	add("sim.sync_drains", m.drains)
+	// Reordering visibility: reads served from or past a non-empty store
+	// buffer, and reads that observed a write while older writes were
+	// still buffered (the paper's stale observations).
+	add("sim.forwarded_reads", int64(m.exec.ForwardedReads))
+	add("sim.bypass_reads", int64(m.exec.BypassReads))
+	add("sim.stale_reads", int64(m.exec.StaleReads))
+	add("sim.speculative_reads", int64(m.exec.SpeculativeReads))
+	var cycles int64
+	for _, c := range m.cycles {
+		cycles += c
+	}
+	add("sim.cycles", cycles)
 }
 
 // record appends a memory operation to the execution and returns its ID.
@@ -273,6 +316,7 @@ func (m *machine) retireIdx(c, i int) {
 	e := m.cpus[c].buf[i]
 	m.commit(e.loc, e.val, e.id)
 	m.cpus[c].buf = append(m.cpus[c].buf[:i], m.cpus[c].buf[i+1:]...)
+	m.retired++
 }
 
 // oldestFor returns the index of the oldest buffered entry for loc, or -1.
@@ -351,6 +395,7 @@ func (m *machine) readShared(c int, pc int, kind OpKind, loc program.Addr) int64
 		}
 	}
 	m.cycles[c] += m.cfg.MemLatency // read miss: wait for the memory system
+	m.stalls++
 	cell := m.mem[loc]
 	speculative := false
 	if m.cfg.Pathological && kind == OpDataRead &&
@@ -405,6 +450,7 @@ func (m *machine) writeShared(c int, pc int, kind OpKind, loc program.Addr, val 
 		if len(m.cpus[c].buf) >= m.cfg.BufferCap {
 			// Stall until the memory system frees a buffer slot.
 			m.cycles[c] += m.cfg.MemLatency
+			m.stalls++
 			m.retireOne(c)
 		}
 		id := m.record(MemOp{
@@ -421,9 +467,11 @@ func (m *machine) writeShared(c int, pc int, kind OpKind, loc program.Addr, val 
 	for _, e := range m.cpus[c].buf {
 		if e.loc == loc {
 			m.cycles[c] += m.cfg.MemLatency
+			m.stalls++
 		}
 	}
 	m.cycles[c] += m.cfg.MemLatency
+	m.stalls++
 	m.retireLoc(c, loc)
 	id := m.record(MemOp{
 		CPU: c, PC: pc, Kind: kind, Loc: loc, Value: val,
@@ -441,6 +489,8 @@ func (m *machine) maybeDrain(c int, role memmodel.Role) {
 		// scheduler already retired in the background cost nothing here —
 		// that overlap is the weak models' performance advantage.
 		m.cycles[c] += m.cfg.MemLatency * int64(len(m.cpus[c].buf))
+		m.stalls += int64(len(m.cpus[c].buf))
+		m.drains++
 		m.drain(c)
 	}
 }

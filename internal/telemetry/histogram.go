@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// bucketBounds are the histogram's upper bucket edges (inclusive), an
+// exponential 4x ladder from 1µs to ~4.3s. A duration d lands in the
+// first bucket with d <= bound; anything larger lands in the overflow
+// bucket. The ladder covers everything from a single Analyze phase on a
+// litmus trace (~µs) to a 500-seed campaign (~s).
+var bucketBounds = func() []time.Duration {
+	bounds := make([]time.Duration, 12)
+	b := time.Microsecond
+	for i := range bounds {
+		bounds[i] = b
+		b *= 4
+	}
+	return bounds
+}()
+
+// NumBuckets is the number of histogram buckets, including the overflow
+// bucket.
+const NumBuckets = 13
+
+// Histogram aggregates observed durations: count, sum, min, max, and an
+// exponential bucket distribution. Safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [NumBuckets]int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.buckets[bucketIndex(d)]++
+}
+
+// bucketIndex returns the bucket for d: the first bound with d <= bound,
+// or the overflow bucket.
+func bucketIndex(d time.Duration) int {
+	for i, b := range bucketBounds {
+		if d <= b {
+			return i
+		}
+	}
+	return NumBuckets - 1
+}
+
+// BucketBound returns bucket i's inclusive upper edge; the overflow
+// bucket (i == NumBuckets-1) returns a negative sentinel.
+func BucketBound(i int) time.Duration {
+	if i < len(bucketBounds) {
+		return bucketBounds[i]
+	}
+	return -1
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot captures the histogram under its lock.
+func (h *Histogram) snapshot() PhaseSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ps := PhaseSnapshot{
+		Count:   h.count,
+		TotalNS: int64(h.sum),
+		MinNS:   int64(h.min),
+		MaxNS:   int64(h.max),
+	}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		ps.Buckets = append(ps.Buckets, BucketCount{LeNS: int64(BucketBound(i)), Count: n})
+	}
+	return ps
+}

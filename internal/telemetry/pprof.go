@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins CPU profiling and arranges a heap profile dump for
+// a CLI's -cpuprofile/-memprofile flags; the returned stop function
+// finishes both. Either path may be empty. Errors during shutdown are
+// logged to errlog rather than returned — by then the real work is done.
+func StartProfiles(cpuPath, memPath string, errlog io.Writer) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(errlog, "cpuprofile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(errlog, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(errlog, "memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(errlog, "memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}
+
+// EnableDefault resets and enables the default registry for one CLI
+// invocation and returns a function restoring the disabled state, so
+// repeated runs (e.g. from tests) never observe a prior run's metrics.
+func EnableDefault() (restore func()) {
+	reg := Default()
+	reg.Reset()
+	reg.SetEnabled(true)
+	return func() { reg.SetEnabled(false) }
+}

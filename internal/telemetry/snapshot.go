@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot is a point-in-time copy of a registry's metrics, ready for
+// serialization. Map keys serialize in sorted order (encoding/json), so a
+// snapshot of deterministic metric values is byte-for-byte reproducible.
+type Snapshot struct {
+	Counters map[string]int64         `json:"counters,omitempty"`
+	Gauges   map[string]int64         `json:"gauges,omitempty"`
+	Phases   map[string]PhaseSnapshot `json:"phases,omitempty"`
+}
+
+// PhaseSnapshot summarizes one phase's duration histogram.
+type PhaseSnapshot struct {
+	Count   int64         `json:"count"`
+	TotalNS int64         `json:"total_ns"`
+	MinNS   int64         `json:"min_ns"`
+	MaxNS   int64         `json:"max_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one nonzero histogram bucket; LeNS is the inclusive
+// upper edge in nanoseconds (-1 for the overflow bucket).
+type BucketCount struct {
+	LeNS  int64 `json:"le_ns"`
+	Count int64 `json:"count"`
+}
+
+// Snapshot copies the registry's current metrics.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	phases := make(map[string]*Histogram, len(r.phases))
+	for k, v := range r.phases {
+		phases[k] = v
+	}
+	r.mu.RUnlock()
+
+	s := &Snapshot{
+		Counters: make(map[string]int64, len(counters)),
+		Gauges:   make(map[string]int64, len(gauges)),
+		Phases:   make(map[string]PhaseSnapshot, len(phases)),
+	}
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range phases {
+		s.Phases[k] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return nil
+}
+
+// WriteText writes the snapshot in a human-readable form: sorted
+// "name value" lines, with phase histograms summarized as
+// count/total/min/max.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	for _, k := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "counter %-50s %d\n", k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "gauge   %-50s %d\n", k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Phases) {
+		p := s.Phases[k]
+		if _, err := fmt.Fprintf(w, "phase   %-50s count=%d total=%s min=%s max=%s\n",
+			k, p.Count, fmtDuration(p.TotalNS), fmtDuration(p.MinNS), fmtDuration(p.MaxNS)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpDefault writes the default registry's snapshot as JSON to path, or
+// to stdout when path is "-". It is the shared implementation of the
+// CLIs' -metrics flag.
+func DumpDefault(path string, stdout io.Writer) error {
+	snap := Default().Snapshot()
+	if path == "-" {
+		return snap.WriteJSON(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+// Package telemetry is the measurement substrate of the detection stack:
+// zero-dependency counters, gauges, duration histograms, and phase spans,
+// collected in a process-wide default registry and serialized as JSON or
+// text snapshots.
+//
+// The pipeline layers (sim, trace, graph, core, onthefly, campaign) report
+// into the default registry so that one `-metrics` flag on a CLI exposes
+// where time goes and how event/edge/SCC counts scale — the per-phase
+// accounting any perf claim against the "fast as the hardware allows"
+// north-star must be made from.
+//
+// Collection is off by default and guarded by one atomic flag: every
+// instrumentation site batches its updates behind Registry.Enabled (or
+// receives a shared no-op span), so a disabled registry adds no measurable
+// overhead to the hot paths.
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric (events processed, edges
+// added, races found). Safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value (or max-value) metric. Safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax stores v if it exceeds the current value.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry holds named metrics. Metric handles are get-or-create by name
+// and remain valid for the life of the registry; the same name always
+// returns the same handle.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	phases   map[string]*Histogram
+}
+
+// NewRegistry returns an empty, disabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		phases:   map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the pipeline reports into.
+func Default() *Registry { return defaultRegistry }
+
+// SetEnabled turns collection on or off. Instrumentation sites consult
+// Enabled before doing any work, so a disabled registry costs one atomic
+// load per pipeline stage, not per operation.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether the registry is collecting.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Phase returns the named duration histogram, creating it if needed.
+func (r *Registry) Phase(name string) *Histogram {
+	r.mu.RLock()
+	h := r.phases[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.phases[name]; h == nil {
+		h = &Histogram{}
+		r.phases[name] = h
+	}
+	return h
+}
+
+// Reset drops every metric (for tests and fresh campaigns). The enabled
+// flag is unchanged.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.phases = map[string]*Histogram{}
+}
+
+// Span measures one timed phase. A span from a disabled registry is a
+// shared no-op; End on it does nothing.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+var nopSpan = &Span{}
+
+// StartSpan begins timing the named phase. The duration is recorded into
+// the phase's histogram at End.
+func (r *Registry) StartSpan(name string) *Span {
+	if !r.Enabled() {
+		return nopSpan
+	}
+	return &Span{h: r.Phase(name), start: time.Now()}
+}
+
+// End stops the span and records its duration.
+func (s *Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.start))
+}
+
+// Name composes a metric name with label pairs: Name("sim.steps",
+// "model", "WO") = "sim.steps{model=WO}". Labels render in the order
+// given; call sites keep them sorted so names stay canonical.
+func Name(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[i])
+		sb.WriteByte('=')
+		sb.WriteString(kv[i+1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fmtDuration(ns int64) string {
+	return time.Duration(ns).String()
+}

@@ -1,0 +1,294 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("same name returned a different counter handle")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(7)
+	g.SetMax(3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d after SetMax(3), want 7", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge = %d after SetMax(11), want 11", got)
+	}
+}
+
+// TestRegistryConcurrency hammers get-or-create, updates, and Snapshot
+// from many goroutines; run with -race this validates the registry's
+// concurrency story (the campaign workers all report into one registry).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	names := []string{"m.a", "m.b", "m.c"}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				name := names[i%len(names)]
+				r.Counter(name).Inc()
+				r.Gauge(name).SetMax(int64(i))
+				r.Phase(name).Observe(time.Duration(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+				sp := r.StartSpan("span.phase")
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, n := range names {
+		total += r.Counter(n).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("counter total = %d, want %d", total, workers*iters)
+	}
+	if got := r.Phase("span.phase").Count(); got != workers*iters {
+		t.Fatalf("span count = %d, want %d", got, workers*iters)
+	}
+}
+
+// TestHistogramBucketEdges pins the inclusive-upper-edge bucketing rule
+// on exact bounds and their neighbors.
+func TestHistogramBucketEdges(t *testing.T) {
+	for i := 0; i < NumBuckets-1; i++ {
+		bound := BucketBound(i)
+		if got := bucketIndex(bound); got != i {
+			t.Errorf("bucketIndex(%v) = %d, want %d (edge is inclusive)", bound, got, i)
+		}
+		if got := bucketIndex(bound + 1); got != i+1 {
+			t.Errorf("bucketIndex(%v+1ns) = %d, want %d", bound, got, i+1)
+		}
+	}
+	if got := bucketIndex(0); got != 0 {
+		t.Errorf("bucketIndex(0) = %d, want 0", got)
+	}
+	if got := bucketIndex(time.Hour); got != NumBuckets-1 {
+		t.Errorf("bucketIndex(1h) = %d, want overflow bucket %d", got, NumBuckets-1)
+	}
+	if BucketBound(NumBuckets-1) >= 0 {
+		t.Error("overflow bucket bound should be the negative sentinel")
+	}
+
+	h := &Histogram{}
+	h.Observe(time.Microsecond)     // bucket 0 edge
+	h.Observe(time.Microsecond + 1) // bucket 1
+	h.Observe(-time.Second)         // clamped to 0, bucket 0
+	snap := h.snapshot()
+	if snap.Count != 3 || snap.MinNS != 0 || snap.MaxNS != int64(time.Microsecond)+1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	want := []BucketCount{
+		{LeNS: int64(time.Microsecond), Count: 2},
+		{LeNS: int64(4 * time.Microsecond), Count: 1},
+	}
+	if len(snap.Buckets) != len(want) || snap.Buckets[0] != want[0] || snap.Buckets[1] != want[1] {
+		t.Fatalf("buckets = %+v, want %+v", snap.Buckets, want)
+	}
+}
+
+// TestSnapshotJSONGolden pins the serialized snapshot format.
+func TestSnapshotJSONGolden(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("detect.events").Add(8)
+	r.Counter(Name("sim.steps", "model", "WO")).Add(120)
+	r.Gauge("detect.scc.max_size").Set(3)
+	r.Phase("detect.analyze").Observe(2 * time.Microsecond)
+	r.Phase("detect.analyze").Observe(3 * time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "counters": {
+    "detect.events": 8,
+    "sim.steps{model=WO}": 120
+  },
+  "gauges": {
+    "detect.scc.max_size": 3
+  },
+  "phases": {
+    "detect.analyze": {
+      "count": 2,
+      "total_ns": 5000,
+      "min_ns": 2000,
+      "max_ns": 3000,
+      "buckets": [
+        {
+          "le_ns": 4000,
+          "count": 2
+        }
+      ]
+    }
+  }
+}
+`
+	if buf.String() != want {
+		t.Fatalf("snapshot JSON:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	// Round-trips as JSON.
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["detect.events"] != 8 {
+		t.Fatalf("round-trip lost counters: %+v", back)
+	}
+}
+
+func TestSnapshotText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(1)
+	r.Counter("a.first").Add(2)
+	r.Gauge("g.one").Set(9)
+	r.Phase("p.one").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a.first") || !strings.Contains(out, "z.last") ||
+		!strings.Contains(out, "g.one") || !strings.Contains(out, "count=1") {
+		t.Fatalf("text snapshot:\n%s", out)
+	}
+	if strings.Index(out, "a.first") > strings.Index(out, "z.last") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+}
+
+// TestDisabledSpansAreNoops: a disabled registry hands out the shared
+// no-op span and records nothing.
+func TestDisabledSpansAreNoops(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("phase.x")
+	sp.End()
+	if sp != nopSpan {
+		t.Fatal("disabled StartSpan did not return the shared no-op span")
+	}
+	if got := r.Phase("phase.x").Count(); got != 0 {
+		t.Fatalf("no-op span recorded %d observations", got)
+	}
+	r.SetEnabled(true)
+	sp = r.StartSpan("phase.x")
+	if sp == nopSpan {
+		t.Fatal("enabled StartSpan returned the no-op span")
+	}
+	sp.End()
+	if got := r.Phase("phase.x").Count(); got != 1 {
+		t.Fatalf("span observations = %d, want 1", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := Name("sim.steps"); got != "sim.steps" {
+		t.Fatalf("Name no labels = %q", got)
+	}
+	if got := Name("sim.steps", "model", "WO"); got != "sim.steps{model=WO}" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := Name("x", "a", "1", "b", "2"); got != "x{a=1,b=2}" {
+		t.Fatalf("Name two labels = %q", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.SetEnabled(true)
+	r.Reset()
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Fatalf("counter survived Reset: %d", got)
+	}
+	if !r.Enabled() {
+		t.Fatal("Reset cleared the enabled flag")
+	}
+}
+
+// failWriter fails after n successful writes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("sink full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+// TestWritersPropagateWriteErrors: the snapshot serializers surface sink
+// errors instead of swallowing them.
+func TestWritersPropagateWriteErrors(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(2)
+	r.Phase("p").Observe(time.Millisecond)
+	snap := r.Snapshot()
+	if err := snap.WriteJSON(&failWriter{}); err == nil {
+		t.Error("WriteJSON swallowed the write error")
+	}
+	for n := 0; n < 3; n++ {
+		if err := snap.WriteText(&failWriter{n: n}); err == nil {
+			t.Errorf("WriteText with %d allowed writes: error swallowed", n)
+		}
+	}
+	if err := DumpDefault("/nonexistent-dir/x.json", nil); err == nil {
+		t.Error("DumpDefault to an unwritable path succeeded")
+	}
+}
+
+func TestDumpDefault(t *testing.T) {
+	reg := Default()
+	reg.Reset()
+	reg.Counter("dump.test").Add(5)
+	var buf bytes.Buffer
+	if err := DumpDefault("-", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dump.test": 5`) {
+		t.Fatalf("stdout dump:\n%s", buf.String())
+	}
+	path := t.TempDir() + "/snap.json"
+	if err := DumpDefault(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["dump.test"] != 5 {
+		t.Fatalf("file dump: %+v", snap)
+	}
+	reg.Reset()
+}

@@ -11,6 +11,7 @@ import (
 	"weakrace/internal/bitset"
 	"weakrace/internal/memmodel"
 	"weakrace/internal/program"
+	"weakrace/internal/telemetry"
 )
 
 // Binary trace format. All integers are unsigned varints (or zig-zag
@@ -87,8 +88,40 @@ func (cw *countingWriter) pcMap(m map[program.Addr]int) {
 	}
 }
 
+// byteCounter counts bytes flowing through an io.Writer (codec
+// telemetry; only installed when collection is enabled).
+type byteCounter struct {
+	w io.Writer
+	n int64
+}
+
+func (b *byteCounter) Write(p []byte) (int, error) {
+	n, err := b.w.Write(p)
+	b.n += int64(n)
+	return n, err
+}
+
+// byteCountReader counts bytes consumed from an io.Reader.
+type byteCountReader struct {
+	r io.Reader
+	n int64
+}
+
+func (b *byteCountReader) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
 // Encode writes the trace in binary form.
 func Encode(w io.Writer, t *Trace) error {
+	reg := telemetry.Default()
+	defer reg.StartSpan("trace.encode").End()
+	var bc *byteCounter
+	if reg.Enabled() {
+		bc = &byteCounter{w: w}
+		w = bc
+	}
 	bw := bufio.NewWriter(w)
 	cw := &countingWriter{w: bw}
 	if _, err := bw.WriteString(magic); err != nil {
@@ -130,7 +163,15 @@ func Encode(w io.Writer, t *Trace) error {
 	if cw.err != nil {
 		return fmt.Errorf("trace: encode: %w", cw.err)
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if bc != nil {
+		reg.Counter("trace.encode.calls").Inc()
+		reg.Counter("trace.encode.bytes").Add(bc.n)
+		reg.Counter("trace.encode.events").Add(int64(t.NumEvents()))
+	}
+	return nil
 }
 
 type reader struct {
@@ -222,12 +263,24 @@ func (rd *reader) pcMap() map[program.Addr]int {
 
 // Decode reads a binary trace and validates it.
 func Decode(r io.Reader) (*Trace, error) {
+	reg := telemetry.Default()
+	defer reg.StartSpan("trace.decode").End()
+	var bc *byteCountReader
+	if reg.Enabled() {
+		bc = &byteCountReader{r: r}
+		r = bc
+	}
 	t, err := decodeNoValidate(r)
 	if err != nil {
 		return nil, err
 	}
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if bc != nil {
+		reg.Counter("trace.decode.calls").Inc()
+		reg.Counter("trace.decode.bytes").Add(bc.n)
+		reg.Counter("trace.decode.events").Add(int64(t.NumEvents()))
 	}
 	return t, nil
 }

@@ -27,6 +27,7 @@ import (
 	"weakrace/internal/memmodel"
 	"weakrace/internal/program"
 	"weakrace/internal/sim"
+	"weakrace/internal/telemetry"
 )
 
 // EventKind distinguishes computation events from synchronization events.
@@ -157,6 +158,7 @@ func (t *Trace) Event(ref EventRef) *Event {
 // synchronization event per synchronization operation, and resolves
 // acquire pairing references.
 func FromExecution(e *sim.Execution) *Trace {
+	defer telemetry.Default().StartSpan("trace.build").End()
 	t := &Trace{
 		ProgramName:  e.ProgramName,
 		Model:        e.Model,
@@ -247,6 +249,22 @@ func FromExecution(e *sim.Execution) *Trace {
 				ev.ObservedRole = opRole[op.ObservedWrite]
 			}
 		}
+	}
+	if reg := telemetry.Default(); reg.Enabled() {
+		comp, syncN := 0, 0
+		for _, evs := range t.PerCPU {
+			for _, ev := range evs {
+				if ev.Kind == Sync {
+					syncN++
+				} else {
+					comp++
+				}
+			}
+		}
+		reg.Counter("trace.builds").Inc()
+		reg.Counter("trace.events.comp").Add(int64(comp))
+		reg.Counter("trace.events.sync").Add(int64(syncN))
+		reg.Counter("trace.ops").Add(int64(len(e.Ops)))
 	}
 	return t
 }
