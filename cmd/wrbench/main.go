@@ -9,6 +9,7 @@
 //	wrbench                        # all scenarios, BENCH_telemetry.json
 //	wrbench -iters 50 -o base.json
 //	wrbench -scenario full-pipeline -o - -iters 10
+//	wrbench -scenario model-throughput,tracing-overhead -iters 3
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"weakrace"
@@ -56,7 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		out   = fs.String("o", "BENCH_telemetry.json", "output file (- for stdout)")
 		iters = fs.Int("iters", 30, "iterations per scenario")
-		only  = fs.String("scenario", "", "run a single scenario by name")
+		only  = fs.String("scenario", "", "run only the named scenarios (comma-separated)")
 		list  = fs.Bool("list", false, "list scenarios and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,15 +73,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *only != "" {
+		// Comma-separated selection; CI smoke jobs run a subset in one
+		// process so the telemetry snapshot covers all of them.
 		var filtered []scenario
-		for _, s := range scenarios {
-			if s.name == *only {
-				filtered = append(filtered, s)
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, s := range scenarios {
+				if s.name == name {
+					filtered = append(filtered, s)
+					found = true
+					break
+				}
 			}
-		}
-		if len(filtered) == 0 {
-			fmt.Fprintf(stderr, "wrbench: unknown scenario %q (use -list)\n", *only)
-			return 2
+			if !found {
+				fmt.Fprintf(stderr, "wrbench: unknown scenario %q (use -list)\n", name)
+				return 2
+			}
 		}
 		scenarios = filtered
 	}

@@ -86,6 +86,22 @@ func TestRunSingleScenarioToStdout(t *testing.T) {
 	}
 }
 
+func TestRunScenarioListToStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-scenario", "tracing-overhead, full-pipeline", "-iters", "2", "-o", "-"}
+	if got := run(args, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	var o Output
+	if err := json.Unmarshal(out.Bytes(), &o); err != nil {
+		t.Fatalf("stdout is not the JSON trajectory: %v\n%s", err, out.String())
+	}
+	// Selection order is preserved.
+	if len(o.Scenarios) != 2 || o.Scenarios[0].Name != "tracing-overhead" || o.Scenarios[1].Name != "full-pipeline" {
+		t.Fatalf("scenarios: %+v", o.Scenarios)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errb bytes.Buffer
 	if got := run([]string{"-scenario", "nope"}, &out, &errb); got != 2 {

@@ -29,6 +29,16 @@ func New(n int) *Set {
 	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
+// Wrap returns a Set backed by words without copying — the allocation
+// device behind pooled reachability rows, where many fixed-width sets are
+// carved out of one slab. The caller relinquishes ownership of the slice:
+// mutating it afterwards corrupts the set. Adding a value beyond the
+// wrapped capacity grows (reallocates) the set, detaching it from the
+// backing slice.
+func Wrap(words []uint64) *Set {
+	return &Set{words: words}
+}
+
 // FromSlice returns a set containing exactly the given values.
 func FromSlice(values []int) *Set {
 	s := &Set{}

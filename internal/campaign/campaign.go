@@ -69,12 +69,22 @@ type RaceStat struct {
 
 // Report is the aggregated campaign outcome.
 type Report struct {
-	Config     Config
+	Config Config
+	// Executions counts the seeds that ran and analyzed successfully
+	// (Seeds - Failed). Aggregate statistics cover only these.
 	Executions int
 	// Racy counts executions with at least one data race.
 	Racy int
 	// Incomplete counts executions that hit MaxSteps (spin starvation).
 	Incomplete int
+	// Failed counts seeds whose simulation or analysis errored. A failed
+	// seed is dropped from aggregation, not fatal: the campaign's value is
+	// the union of evidence across schedules, and discarding ninety-nine
+	// good executions over one bad seed inverts that.
+	Failed int
+	// FirstError describes the first (lowest-seed) failure, empty when
+	// Failed == 0.
+	FirstError string
 	// Races lists the distinct static races, most frequent first.
 	Races []RaceStat
 }
@@ -97,6 +107,9 @@ type Options struct {
 func Run(cfg Config) (*Report, error) {
 	return RunWithOptions(cfg, Options{})
 }
+
+// simRun is sim.Run, indirected so tests can inject per-seed failures.
+var simRun = sim.Run
 
 // RunWithOptions executes the campaign with per-run hooks: progress
 // callbacks fire as seeds complete, and (when the default telemetry
@@ -145,7 +158,7 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 			defer seedDone()
 			sp := reg.StartSpan("campaign.seed")
 			defer sp.End()
-			r, err := sim.Run(cfg.Workload.Prog, sim.Config{
+			r, err := simRun(cfg.Workload.Prog, sim.Config{
 				Model: cfg.Model, Seed: int64(seed),
 				RetireProb: cfg.RetireProb,
 				InitMemory: cfg.Workload.InitMemory,
@@ -159,7 +172,10 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 				races:      map[core.LowerLevelRace]bool{},
 				firsts:     map[core.LowerLevelRace]bool{},
 			}
-			a, err := core.Analyze(trace.FromExecution(r.Exec), core.Options{Pairing: cfg.Pairing})
+			// Workers: 1 — the campaign already saturates the machine across
+			// seeds; nesting the per-location race-search pool inside the
+			// seed pool would only oversubscribe it.
+			a, err := core.Analyze(trace.FromExecution(r.Exec), core.Options{Pairing: cfg.Pairing, Workers: 1})
 			if err != nil {
 				errs[seed] = err
 				return
@@ -180,15 +196,29 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 		}(seed)
 	}
 	wg.Wait()
-	for _, err := range errs {
+
+	// A failed seed is recorded, not fatal: keep every successful
+	// execution's evidence and surface the first failure in the report.
+	// Only a campaign in which *every* seed failed returns an error.
+	rep := &Report{Config: cfg}
+	for seed, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("campaign: %w", err)
+			rep.Failed++
+			if rep.FirstError == "" {
+				rep.FirstError = fmt.Sprintf("seed %d: %v", seed, err)
+			}
 		}
 	}
+	rep.Executions = cfg.Seeds - rep.Failed
+	if rep.Failed == cfg.Seeds {
+		return nil, fmt.Errorf("campaign: all %d seeds failed: %s", cfg.Seeds, rep.FirstError)
+	}
 
-	rep := &Report{Config: cfg, Executions: cfg.Seeds}
 	agg := map[core.LowerLevelRace]*RaceStat{}
 	for seed, res := range results {
+		if res == nil {
+			continue // failed seed
+		}
 		if res.incomplete {
 			rep.Incomplete++
 		}
@@ -226,6 +256,7 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 		reg.Counter("campaign.executions").Add(int64(rep.Executions))
 		reg.Counter("campaign.racy_executions").Add(int64(rep.Racy))
 		reg.Counter("campaign.incomplete_executions").Add(int64(rep.Incomplete))
+		reg.Counter("campaign.failed_executions").Add(int64(rep.Failed))
 		reg.Counter("campaign.distinct_races").Add(int64(len(rep.Races)))
 		var occurrences int64
 		for _, st := range rep.Races {
@@ -246,6 +277,11 @@ func (r *Report) Render(w io.Writer) error {
 		r.Config.Workload.Name, r.Config.Model, r.Executions, r.Racy, r.Incomplete)
 	if err != nil {
 		return err
+	}
+	if r.Failed > 0 {
+		if _, err := fmt.Fprintf(w, "%d seeds failed (first: %s)\n", r.Failed, r.FirstError); err != nil {
+			return err
+		}
 	}
 	if r.RaceFree() {
 		_, err := fmt.Fprintf(w, "no data races in any execution: every run was sequentially consistent (Condition 3.4).\n")

@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"weakrace/internal/memmodel"
+	"weakrace/internal/program"
+	"weakrace/internal/sim"
 	"weakrace/internal/telemetry"
 	"weakrace/internal/workload"
 )
@@ -141,6 +143,65 @@ func TestRenderPropagatesWriteErrors(t *testing.T) {
 		if err := clean.Render(&failWriter{n: n}); err == nil {
 			t.Errorf("clean report with %d allowed writes: error swallowed", n)
 		}
+	}
+}
+
+// TestCampaignSurvivesFailingSeeds: a seed that errors must not abort the
+// campaign — the other seeds' evidence is kept and the failure is counted
+// and surfaced in the report. Only an all-seeds failure is an error.
+func TestCampaignSurvivesFailingSeeds(t *testing.T) {
+	realRun := simRun
+	defer func() { simRun = realRun }()
+	injected := errors.New("injected simulator fault")
+	simRun = func(p *program.Program, cfg sim.Config) (*sim.Result, error) {
+		if cfg.Seed%5 == 2 { // seeds 2, 7, 12, 17
+			return nil, injected
+		}
+		return realRun(p, cfg)
+	}
+
+	const seeds = 20
+	rep, err := RunWithOptions(Config{
+		Workload: workload.LockedCounter(3, 3, 1),
+		Model:    memmodel.WO,
+		Seeds:    seeds,
+		Workers:  4,
+	}, Options{})
+	if err != nil {
+		t.Fatalf("campaign aborted on a partial failure: %v", err)
+	}
+	if rep.Failed != 4 {
+		t.Fatalf("Failed = %d, want 4", rep.Failed)
+	}
+	if rep.Executions != seeds-4 {
+		t.Fatalf("Executions = %d, want %d", rep.Executions, seeds-4)
+	}
+	if !strings.Contains(rep.FirstError, "seed 2") || !strings.Contains(rep.FirstError, "injected simulator fault") {
+		t.Fatalf("FirstError = %q", rep.FirstError)
+	}
+	// Surviving seeds still aggregate: the buggy workload races.
+	if rep.RaceFree() || len(rep.Races) == 0 {
+		t.Fatalf("surviving seeds discarded: %+v", rep)
+	}
+	for _, st := range rep.Races {
+		if st.ExampleSeed%5 == 2 {
+			t.Fatalf("failed seed cited as example: %+v", st)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4 seeds failed") {
+		t.Fatalf("report omits failures:\n%s", buf.String())
+	}
+
+	// All seeds failing is the only fatal case.
+	simRun = func(p *program.Program, cfg sim.Config) (*sim.Result, error) {
+		return nil, injected
+	}
+	if _, err := Run(Config{Workload: workload.LockedCounter(3, 3, 1), Model: memmodel.WO, Seeds: 5}); err == nil {
+		t.Fatal("all-seeds failure returned no error")
 	}
 }
 

@@ -27,7 +27,11 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"weakrace/internal/bitset"
 	"weakrace/internal/graph"
@@ -52,6 +56,12 @@ type Options struct {
 	// SkipValidate skips trace validation (for traces already validated,
 	// e.g. straight from the decoder, on hot benchmark paths).
 	SkipValidate bool
+	// Workers bounds the parallelism of the per-location race search.
+	// 0 uses GOMAXPROCS; 1 forces the sequential path. The Analysis is
+	// byte-identical for every worker count: workers produce commutative
+	// partial results (per-pair location sets and data flags) that are
+	// merged and then sorted deterministically.
+	Workers int
 }
 
 // Race is a higher-level race between two events (§4.1): A and B access a
@@ -115,6 +125,9 @@ type Analysis struct {
 	FirstPartitions []int
 
 	base []int // base[c] = EventID of processor c's first event
+
+	candidatePairs int64 // conflicting cross-CPU pairs tested by findRaces
+	raceWorkers    int   // worker count the race search actually used
 }
 
 // ID returns the EventID for an event reference.
@@ -165,14 +178,18 @@ func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
 	a.buildHB()
 	sp.End()
 	sp = reg.StartSpan("detect.hb_reach")
-	a.HBReach = graph.NewReachability(a.HB)
+	// Lazy reachability: the race search's pre-checks (component id,
+	// topological level) answer most ordering queries without closure
+	// rows, so sparse-race traces never materialize the full O(C²/64)
+	// closure of either graph.
+	a.HBReach = graph.NewReachabilityLazy(a.HB)
 	sp.End()
 	sp = reg.StartSpan("detect.find_races")
 	a.findRaces()
 	sp.End()
 	sp = reg.StartSpan("detect.augment")
 	a.buildAugmented()
-	a.AugReach = graph.NewReachability(a.Aug)
+	a.AugReach = graph.NewReachabilityLazy(a.Aug)
 	sp.End()
 	sp = reg.StartSpan("detect.partition")
 	a.partition()
@@ -196,15 +213,16 @@ func (a *Analysis) flushTelemetry(reg *telemetry.Registry) {
 	reg.Counter("detect.data_races").Add(int64(len(a.DataRaces)))
 	reg.Counter("detect.partitions").Add(int64(len(a.Partitions)))
 	reg.Counter("detect.first_partitions").Add(int64(len(a.FirstPartitions)))
+	reg.Counter("detect.race_candidates").Add(a.candidatePairs)
+	reg.Gauge("detect.find_races.workers").SetMax(int64(a.raceWorkers))
 	scc := a.AugReach.SCC()
 	reg.Counter("detect.scc.components").Add(int64(scc.NumComponents()))
-	maxSCC := 0
-	for _, ms := range scc.Members {
-		if len(ms) > maxSCC {
-			maxSCC = len(ms)
-		}
-	}
-	reg.Gauge("detect.scc.max_size").SetMax(int64(maxSCC))
+	// detect.scc.max_size is the largest SCC of the AUGMENTED graph G′
+	// per analysis — the partition-structure view. The graph layer's
+	// graph.scc.max_size gauge instead tracks the largest SCC across
+	// every reachability build (hb1 and augmented). Both reuse the size
+	// Tarjan tracked while closing components; nothing rescans Members.
+	reg.Gauge("detect.scc.max_size").SetMax(int64(scc.MaxSize()))
 }
 
 // buildHB constructs the happens-before-1 graph: po edges between
@@ -235,7 +253,33 @@ type access struct {
 	sync  bool
 }
 
+// pairKey packs a (lo, hi) event pair into one comparable, cheaply
+// sortable word. Event ids are dense indexes, far below 2³².
+func pairKey(lo, hi EventID) uint64 { return uint64(lo)<<32 | uint64(hi) }
+
+// sweepThreshold is the access count below which the race search stays
+// sequential: fanning out goroutines costs more than the sweep itself on
+// small traces. The parallel and sequential paths produce identical
+// output, so the cutoff is purely a scheduling decision.
+const sweepThreshold = 2048
+
 // findRaces detects all races: conflicting, hb1-unordered event pairs.
+//
+// The search is a per-location sweep over CPU-bucketed accesses:
+// accesses are collected processor-major, so each location's slice is
+// made of contiguous same-CPU segments, and pairing a segment only
+// against later segments skips same-processor pairs (always po-ordered)
+// wholesale instead of testing and discarding each one. The surviving
+// conflicting pairs are filtered by the reachability layer's O(1)
+// component-id/topological-level pre-checks before any bit-set closure
+// row is consulted (or, in lazy mode, materialized).
+//
+// Locations are fanned across a bounded worker pool (the campaign's
+// semaphore pattern, here an atomic work index). Each worker accumulates
+// a partial map of races keyed by packed event pair; partials merge by
+// location-set union and data-flag OR — both commutative — and the final
+// sort over packed keys makes the Analysis byte-identical to the
+// sequential path for every worker count.
 func (a *Analysis) findRaces() {
 	// Keyed by location, sparse: traces legitimately declare large address
 	// spaces while touching few locations, and the analyzer must not
@@ -245,6 +289,7 @@ func (a *Analysis) findRaces() {
 	addAccess := func(loc int, acc access) {
 		perLoc[loc] = append(perLoc[loc], acc)
 	}
+	total := 0
 	for c, evs := range a.Trace.PerCPU {
 		for i, ev := range evs {
 			id := EventID(a.base[c] + i)
@@ -255,11 +300,13 @@ func (a *Analysis) findRaces() {
 				// purposes).
 				ev.Writes.Range(func(loc int) bool {
 					addAccess(loc, access{ev: id, cpu: c, write: true})
+					total++
 					return true
 				})
 				ev.Reads.Range(func(loc int) bool {
 					if !ev.Writes.Contains(loc) {
 						addAccess(loc, access{ev: id, cpu: c, write: false})
+						total++
 					}
 					return true
 				})
@@ -267,69 +314,195 @@ func (a *Analysis) findRaces() {
 				addAccess(int(ev.Loc), access{
 					ev: id, cpu: c, write: ev.IsWriteSync(), sync: true,
 				})
+				total++
 			}
 		}
 	}
 
-	type pairKey struct{ a, b EventID }
-	pairs := map[pairKey]*Race{}
-	for loc, accs := range perLoc {
-		for i := 0; i < len(accs); i++ {
-			for j := i + 1; j < len(accs); j++ {
-				x, y := accs[i], accs[j]
-				if x.cpu == y.cpu {
-					continue // same processor: always po-ordered
+	locs := make([]int, 0, len(perLoc))
+	for loc := range perLoc {
+		locs = append(locs, loc)
+	}
+	slices.Sort(locs)
+
+	workers := a.Options.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(locs) {
+		workers = len(locs)
+	}
+	if workers < 2 || total < sweepThreshold {
+		workers = 1
+	}
+	a.raceWorkers = workers
+
+	// Workers pull locations off a shared index; hot locations therefore
+	// spread across the pool instead of serializing behind one worker.
+	// Each worker appends flat (pair, location, data) records — no maps,
+	// no per-race allocations on the hot path; weak executions routinely
+	// produce tens of thousands of synchronization races from contending
+	// spin loops, and pointer-chasing accumulation dominated the old
+	// search.
+	var next atomic.Int64
+	sweep := func() ([]pairRec, int64) {
+		var recs []pairRec
+		var cand int64
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(locs) {
+				return recs, cand
+			}
+			loc := locs[i]
+			accs := perLoc[loc]
+			for s := 0; s < len(accs); {
+				e := s + 1
+				for e < len(accs) && accs[e].cpu == accs[s].cpu {
+					e++
 				}
-				if !x.write && !y.write {
-					continue // two reads never conflict
+				// Segment [s,e) is one CPU; pair it against every later
+				// segment's accesses only.
+				for _, x := range accs[s:e] {
+					for _, y := range accs[e:] {
+						if !x.write && !y.write {
+							continue // two reads never conflict
+						}
+						cand++
+						if a.HBReach.Ordered(int(x.ev), int(y.ev)) {
+							continue
+						}
+						lo, hi := x.ev, y.ev
+						if lo > hi {
+							lo, hi = hi, lo
+						}
+						recs = append(recs, pairRec{
+							key:  pairKey(lo, hi),
+							loc:  loc,
+							data: !x.sync || !y.sync,
+						})
+					}
 				}
-				if a.HBReach.Ordered(int(x.ev), int(y.ev)) {
-					continue
-				}
-				lo, hi := x.ev, y.ev
-				if lo > hi {
-					lo, hi = hi, lo
-				}
-				key := pairKey{lo, hi}
-				r := pairs[key]
-				if r == nil {
-					r = &Race{A: lo, B: hi, Locs: bitset.New(0)}
-					pairs[key] = r
-				}
-				r.Locs.Add(loc)
-				if !x.sync || !y.sync {
-					r.Data = true
-				}
+				s = e
 			}
 		}
 	}
 
-	a.Races = make([]Race, 0, len(pairs))
-	for _, r := range pairs {
-		a.Races = append(a.Races, *r)
-	}
-	sort.Slice(a.Races, func(i, j int) bool {
-		if a.Races[i].A != a.Races[j].A {
-			return a.Races[i].A < a.Races[j].A
+	partials := make([][]pairRec, workers)
+	counts := make([]int64, workers)
+	if workers == 1 {
+		partials[0], counts[0] = sweep()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				partials[w], counts[w] = sweep()
+			}(w)
 		}
-		return a.Races[i].B < a.Races[j].B
+		wg.Wait()
+	}
+
+	// Deterministic merge: concatenate the partials and sort by
+	// (pair, location) — a total order, since each (event pair, location)
+	// combination is produced at most once — so the record sequence, and
+	// with it the Analysis, is byte-identical for every worker count and
+	// work-stealing schedule.
+	nRecs := 0
+	for _, p := range partials {
+		nRecs += len(p)
+	}
+	recs := make([]pairRec, 0, nRecs)
+	for _, p := range partials {
+		recs = append(recs, p...)
+	}
+	for _, c := range counts {
+		a.candidatePairs += c
+	}
+	slices.SortFunc(recs, func(x, y pairRec) int {
+		if x.key != y.key {
+			if x.key < y.key {
+				return -1
+			}
+			return 1
+		}
+		return x.loc - y.loc
 	})
-	for i, r := range a.Races {
-		if r.Data {
-			a.DataRaces = append(a.DataRaces, i)
+
+	// Coalesce sorted runs into races. Packed keys order exactly like the
+	// (A, B) lexicographic order the report promises. Race structs, their
+	// location sets, and the sets' backing words come from three slab
+	// allocations sized in a counting pass — not one allocation per race.
+	nRaces, totalWords := 0, 0
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && recs[j].key == recs[i].key {
+			j++
 		}
+		nRaces++
+		totalWords += recs[j-1].loc/64 + 1 // locs ascend within a run
+		i = j
 	}
+	slab := make([]uint64, totalWords)
+	sets := make([]bitset.Set, nRaces)
+	a.Races = make([]Race, nRaces)
+	ri := 0
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && recs[j].key == recs[i].key {
+			j++
+		}
+		w := recs[j-1].loc/64 + 1
+		sets[ri] = *bitset.Wrap(slab[:w:w])
+		slab = slab[w:]
+		r := &a.Races[ri]
+		r.A = EventID(recs[i].key >> 32)
+		r.B = EventID(recs[i].key & 0xffffffff)
+		r.Locs = &sets[ri]
+		for _, rec := range recs[i:j] {
+			r.Locs.Add(rec.loc)
+			if rec.data {
+				r.Data = true
+			}
+		}
+		if r.Data {
+			a.DataRaces = append(a.DataRaces, ri)
+		}
+		ri++
+		i = j
+	}
+}
+
+// pairRec is one (conflicting unordered pair, location) observation from
+// the sweep — the flat intermediate the workers produce and the merge
+// sorts and coalesces.
+type pairRec struct {
+	key  uint64 // packed (A, B)
+	loc  int
+	data bool // at least one side is a computation access
 }
 
 // buildAugmented clones the hb1 graph and adds a doubly-directed edge for
 // every race (§4.2). All races contribute edges — the affects relation of
 // Definition 3.3 is defined over races generally — but only data races
 // form partitions.
+//
+// Dedup is O(1) per edge: findRaces emits races sorted by (A, B), so a
+// duplicate pair would be adjacent and one comparison catches it. The old
+// AddEdgeUnique scan was O(out-degree) per insertion — quadratic on
+// events with many races. (Races never coincide with an hb1 edge: an
+// hb1-ordered pair is not a race.)
 func (a *Analysis) buildAugmented() {
 	g := a.HB.Clone()
+	prev := uint64(1<<64 - 1)
 	for _, r := range a.Races {
-		g.AddEdgeUnique(int(r.A), int(r.B))
-		g.AddEdgeUnique(int(r.B), int(r.A))
+		key := pairKey(r.A, r.B)
+		if key == prev {
+			continue
+		}
+		prev = key
+		g.AddEdge(int(r.A), int(r.B))
+		g.AddEdge(int(r.B), int(r.A))
 	}
 	a.Aug = g
 }

@@ -1,0 +1,90 @@
+package core_test
+
+// Metamorphic equivalence: the parallel race search must be invisible in
+// the output. For any workload and any worker count, Analyze yields an
+// Analysis identical — races, data-race indices, partitions, first
+// partitions, and the rendered report text — to the sequential (Workers: 1)
+// path. The merge argument (see findRaces) is that the sorted
+// (pair, location) record sequence is a function of the record multiset
+// alone, not of which worker produced which record; this test checks that
+// claim across ≥50 random workloads, run under -race in CI to also catch
+// data races in the pool itself.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"weakrace/internal/core"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/report"
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+func TestParallelFindRacesEquivalent(t *testing.T) {
+	models := []memmodel.Model{memmodel.WO, memmodel.RCsc, memmodel.TSO}
+	const seeds = 52
+	checked := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		w := workload.Random(workload.RandomParams{
+			Seed:             seed,
+			CPUs:             3 + int(seed%3),
+			Segments:         3 + int(seed%4),
+			UnlockedFraction: float64(seed%4) * 0.15, // race-free through very racy
+		})
+		model := models[seed%int64(len(models))]
+		r, err := sim.Run(w.Prog, sim.Config{
+			Model: model, Seed: seed, InitMemory: w.InitMemory,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr := trace.FromExecution(r.Exec)
+
+		seq, err := core.Analyze(tr, core.Options{SkipValidate: true, Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d: sequential analyze: %v", seed, err)
+		}
+		var seqText bytes.Buffer
+		if err := report.RenderAnalysis(&seqText, seq); err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Races) > 0 {
+			checked++
+		}
+
+		for _, workers := range []int{2, 8} {
+			par, err := core.Analyze(tr, core.Options{SkipValidate: true, Workers: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if !reflect.DeepEqual(par.Races, seq.Races) {
+				t.Fatalf("seed %d workers %d: races differ\n par: %v\n seq: %v",
+					seed, workers, par.Races, seq.Races)
+			}
+			if !reflect.DeepEqual(par.DataRaces, seq.DataRaces) {
+				t.Fatalf("seed %d workers %d: data-race indices differ", seed, workers)
+			}
+			if !reflect.DeepEqual(par.Partitions, seq.Partitions) {
+				t.Fatalf("seed %d workers %d: partitions differ", seed, workers)
+			}
+			if !reflect.DeepEqual(par.FirstPartitions, seq.FirstPartitions) {
+				t.Fatalf("seed %d workers %d: first partitions differ", seed, workers)
+			}
+			var parText bytes.Buffer
+			if err := report.RenderAnalysis(&parText, par); err != nil {
+				t.Fatal(err)
+			}
+			if parText.String() != seqText.String() {
+				t.Fatalf("seed %d workers %d: report text differs\n--- parallel\n%s--- sequential\n%s",
+					seed, workers, parText.String(), seqText.String())
+			}
+		}
+	}
+	// The sweep above must have exercised racy traces, not only clean ones.
+	if checked < 10 {
+		t.Fatalf("only %d racy traces among %d seeds — workload parameters too tame", checked, seeds)
+	}
+}

@@ -65,6 +65,18 @@ func TestAnalyzeEmitsTelemetry(t *testing.T) {
 		t.Errorf("detect.scc.max_size = %d, want > 1 (race edges form cycles)",
 			snap.Gauges["detect.scc.max_size"])
 	}
+	// graph.scc.max_size covers every reachability build (hb1 and G'), so
+	// it is at least the per-analysis augmented-graph gauge.
+	if snap.Gauges["graph.scc.max_size"] < snap.Gauges["detect.scc.max_size"] {
+		t.Errorf("graph.scc.max_size = %d < detect.scc.max_size = %d",
+			snap.Gauges["graph.scc.max_size"], snap.Gauges["detect.scc.max_size"])
+	}
+	if snap.Counters["detect.race_candidates"] <= 0 {
+		t.Errorf("detect.race_candidates = %d, want > 0", snap.Counters["detect.race_candidates"])
+	}
+	if snap.Gauges["detect.find_races.workers"] < 1 {
+		t.Errorf("detect.find_races.workers = %d, want >= 1", snap.Gauges["detect.find_races.workers"])
+	}
 	for _, phase := range []string{"sim.run", "trace.build", "detect.analyze", "detect.find_races"} {
 		if snap.Phases[phase].Count == 0 {
 			t.Errorf("phase %q has no observations", phase)

@@ -12,6 +12,8 @@ package graph
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"weakrace/internal/bitset"
 	"weakrace/internal/telemetry"
@@ -118,10 +120,17 @@ func (g *Digraph) Reverse() *Digraph {
 type SCC struct {
 	Comp    []int
 	Members [][]int
+
+	maxSize int
 }
 
 // NumComponents returns the number of strongly connected components.
 func (s *SCC) NumComponents() int { return len(s.Members) }
+
+// MaxSize returns the size of the largest component. It is tracked while
+// Tarjan closes components, so consumers (telemetry, reports) share one
+// computation instead of each rescanning Members.
+func (s *SCC) MaxSize() int { return s.maxSize }
 
 // SameComponent reports whether u and v are in the same SCC — the paper's
 // test for two race events being in the same partition (§4.2).
@@ -143,6 +152,7 @@ func StronglyConnected(g *Digraph) *SCC {
 	var (
 		stack    []int // Tarjan's node stack
 		members  [][]int
+		maxSize  int
 		nextIdx  int
 		callNode []int // explicit DFS stack: node
 		callEdge []int // explicit DFS stack: next successor index to visit
@@ -200,11 +210,14 @@ func StronglyConnected(g *Digraph) *SCC {
 						break
 					}
 				}
+				if len(ms) > maxSize {
+					maxSize = len(ms)
+				}
 				members = append(members, ms)
 			}
 		}
 	}
-	return &SCC{Comp: comp, Members: members}
+	return &SCC{Comp: comp, Members: members, maxSize: maxSize}
 }
 
 // Condensation returns the DAG whose nodes are the SCCs of g, with an edge
@@ -232,59 +245,195 @@ func Condensation(g *Digraph, scc *SCC) *Digraph {
 }
 
 // Reachability answers "is there a path u⇝v?" queries on an arbitrary
-// digraph in O(1) after O(N·M/64) precomputation, by computing the
-// transitive closure of the SCC condensation with bit-set rows.
+// digraph by computing the transitive closure of the SCC condensation
+// with bit-set rows. Two construction modes share the representation:
+//
+//   - NewReachability materializes every row up front — O(C²/64) memory
+//     and one C-bit row union per condensation edge, all carved from a
+//     single slab allocation.
+//   - NewReachabilityLazy materializes a component's row (plus its not-yet
+//     -built descendants) only when a query first needs it, from pooled
+//     slabs — sparse query patterns, e.g. race searches where the level
+//     pre-check resolves most pairs, never pay for the full closure.
+//
+// Before touching a row, every query runs two O(1) pre-checks that need
+// no closure at all: Tarjan numbers components in reverse topological
+// order, so a lower id can never reach a higher id; and a component can
+// only reach components of strictly lower topological level (longest
+// path to a sink). Queries are safe for concurrent use from multiple
+// goroutines, including in lazy mode.
 type Reachability struct {
-	scc  *SCC
-	rows []*bitset.Set // rows[c] = components reachable from component c (incl. itself)
+	scc   *SCC
+	dag   *Digraph
+	level []int32 // level[c] = longest path (in edges) from component c to a sink
+	rows  []atomic.Pointer[bitset.Set]
+	words int // row width in 64-bit words
+	lazy  bool
+
+	mu   sync.Mutex // serializes lazy materialization; queries on built rows never take it
+	slab []uint64   // current pooled slab lazy rows are carved from
 }
 
-// NewReachability precomputes reachability for g. The SCC numbering from
-// Tarjan is in reverse topological order, so processing components 0,1,...
-// visits every successor component before its predecessors.
+// NewReachability precomputes the full closure for g: every row is
+// materialized at construction, queries never allocate.
 func NewReachability(g *Digraph) *Reachability {
+	return newReachability(g, false)
+}
+
+// NewReachabilityLazy prepares reachability for g without materializing
+// any closure rows; rows are built on demand, memoized, and pooled. Use
+// it when most queries are expected to be resolved by the O(1)
+// pre-checks (same component, component-id direction, topological
+// level), e.g. the detector's race search on sparse-race traces.
+func NewReachabilityLazy(g *Digraph) *Reachability {
+	return newReachability(g, true)
+}
+
+func newReachability(g *Digraph, lazy bool) *Reachability {
 	defer telemetry.Default().StartSpan("graph.reachability").End()
 	scc := StronglyConnected(g)
 	dag := Condensation(g, scc)
 	k := scc.NumComponents()
-	rows := make([]*bitset.Set, k)
-	// Tarjan numbers components in reverse topological order: every edge of
-	// the condensation goes from a higher id to a lower id. Ascending order
-	// therefore processes all successors before their predecessors.
+	r := &Reachability{
+		scc:   scc,
+		dag:   dag,
+		level: make([]int32, k),
+		rows:  make([]atomic.Pointer[bitset.Set], k),
+		words: (k + wordBits - 1) / wordBits,
+		lazy:  lazy,
+	}
+	// Condensation edges go from higher to lower component ids, so
+	// ascending order sees every successor before its predecessors.
 	for c := 0; c < k; c++ {
-		row := bitset.New(k)
-		row.Add(c)
+		lvl := int32(0)
 		for _, d := range dag.Succ(c) {
-			row.Union(rows[d])
+			if l := r.level[d] + 1; l > lvl {
+				lvl = l
+			}
 		}
-		rows[c] = row
+		r.level[c] = lvl
+	}
+	unions, built := 0, 0
+	if !lazy && k > 0 {
+		// Eager: the whole closure in one slab, rows in ascending id order.
+		slab := make([]uint64, k*r.words)
+		for c := 0; c < k; c++ {
+			row := bitset.Wrap(slab[c*r.words : (c+1)*r.words : (c+1)*r.words])
+			row.Add(c)
+			for _, d := range dag.Succ(c) {
+				row.Union(r.rows[d].Load())
+			}
+			unions += len(dag.Succ(c))
+			r.rows[c].Store(row)
+		}
+		built = k
 	}
 	if reg := telemetry.Default(); reg.Enabled() {
 		reg.Counter("graph.reach.builds").Inc()
 		reg.Counter("graph.reach.nodes").Add(int64(g.N()))
 		reg.Counter("graph.reach.edges").Add(int64(g.M()))
 		reg.Counter("graph.reach.components").Add(int64(k))
-		// Transitive-closure work: one k-bit row union per condensation
-		// edge — the quadratic-ish term any closure optimization targets.
-		reg.Counter("graph.reach.row_unions").Add(int64(dag.M()))
-		maxSCC := 0
-		for _, ms := range scc.Members {
-			if len(ms) > maxSCC {
-				maxSCC = len(ms)
-			}
-		}
-		reg.Gauge("graph.scc.max_size").SetMax(int64(maxSCC))
+		// Transitive-closure work actually performed: one k-bit row union
+		// per condensation edge of a materialized row — the quadratic-ish
+		// term the lazy mode and the level pre-check exist to avoid.
+		reg.Counter("graph.reach.row_unions").Add(int64(unions))
+		reg.Counter("graph.reach.rows_built").Add(int64(built))
+		// graph.scc.max_size tracks the largest SCC across EVERY
+		// reachability build in the process — hb1 graphs and augmented
+		// graphs alike. The per-analysis augmented-graph-only view is
+		// detect.scc.max_size (see core.flushTelemetry).
+		reg.Gauge("graph.scc.max_size").SetMax(int64(scc.MaxSize()))
 	}
-	return &Reachability{scc: scc, rows: rows}
+	return r
 }
 
 // SCC returns the component structure computed for the graph.
 func (r *Reachability) SCC() *SCC { return r.scc }
 
+// wordBits mirrors the bitset word size for slab sizing.
+const wordBits = 64
+
+// newRowWords carves one row's backing storage from the pooled slab.
+// Caller must hold mu.
+func (r *Reachability) newRowWords() []uint64 {
+	if len(r.slab) < r.words {
+		// Pool slabs 64 rows at a time, capped at what is left to build.
+		n := 64 * r.words
+		if max := len(r.rows) * r.words; n > max {
+			n = max
+		}
+		r.slab = make([]uint64, n)
+	}
+	w := r.slab[:r.words:r.words]
+	r.slab = r.slab[r.words:]
+	return w
+}
+
+// materialize builds (and memoizes) the closure row of component c,
+// building any missing descendant rows first, in reverse topological
+// order. Rows are published with atomic stores so concurrent queries on
+// already-built rows never block on mu.
+func (r *Reachability) materialize(c int) *bitset.Set {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if row := r.rows[c].Load(); row != nil {
+		return row // lost the race to another materializer
+	}
+	built, unions := 0, 0
+	type frame struct{ c, ei int }
+	stack := []frame{{c, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succ := r.dag.Succ(f.c)
+		if f.ei < len(succ) {
+			d := succ[f.ei]
+			f.ei++
+			if r.rows[d].Load() == nil {
+				stack = append(stack, frame{d, 0})
+			}
+			continue
+		}
+		row := bitset.Wrap(r.newRowWords())
+		row.Add(f.c)
+		for _, d := range succ {
+			row.Union(r.rows[d].Load())
+		}
+		unions += len(succ)
+		built++
+		r.rows[f.c].Store(row)
+		stack = stack[:len(stack)-1]
+	}
+	if reg := telemetry.Default(); reg.Enabled() {
+		reg.Counter("graph.reach.rows_built").Add(int64(built))
+		reg.Counter("graph.reach.row_unions").Add(int64(unions))
+	}
+	return r.rows[c].Load()
+}
+
+// compReaches answers component-level reachability with the O(1)
+// pre-checks first, touching (and in lazy mode materializing) a closure
+// row only when the pre-checks cannot decide.
+func (r *Reachability) compReaches(cu, cv int) bool {
+	if cu == cv {
+		return true
+	}
+	// Component ids descend along condensation edges, and topological
+	// level strictly decreases along any non-trivial path — either check
+	// failing proves there is no path without consulting the closure.
+	if cu < cv || r.level[cu] <= r.level[cv] {
+		return false
+	}
+	row := r.rows[cu].Load()
+	if row == nil {
+		row = r.materialize(cu)
+	}
+	return row.Contains(cv)
+}
+
 // Reaches reports whether there is a (possibly empty) path from u to v.
 // Reaches(u, u) is always true.
 func (r *Reachability) Reaches(u, v int) bool {
-	return r.rows[r.scc.Comp[u]].Contains(r.scc.Comp[v])
+	return r.compReaches(r.scc.Comp[u], r.scc.Comp[v])
 }
 
 // ReachesProper reports whether there is a non-trivial path from u to v:
@@ -308,7 +457,7 @@ func (r *Reachability) Ordered(u, v int) bool {
 // ComponentReaches reports whether component c1 reaches component c2 in the
 // condensation (used for the partition order P of Definition 4.1).
 func (r *Reachability) ComponentReaches(c1, c2 int) bool {
-	return r.rows[c1].Contains(c2)
+	return r.compReaches(c1, c2)
 }
 
 // TopologicalOrder returns a topological order of g's nodes, or an error if

@@ -36,7 +36,10 @@ type Options struct {
 type Result struct {
 	// Races holds the detected lower-level data races by static identity.
 	Races map[core.LowerLevelRace]bool
-	// SyncRaces counts detected synchronization-only races (not reported).
+	// SyncRaces counts detected synchronization-only races (not reported)
+	// by distinct static identity, the same deduplication Races gets — so
+	// T5/T8 compare like against like instead of an inflated per-comparison
+	// tally.
 	SyncRaces int
 	// OpsProcessed counts memory operations consumed.
 	OpsProcessed int
@@ -77,6 +80,10 @@ func (h *history) add(e histEntry) (evicted bool) {
 func Detect(e *sim.Execution, opts Options) *Result {
 	defer telemetry.Default().StartSpan("onthefly.detect").End()
 	res := &Result{Races: map[core.LowerLevelRace]bool{}}
+	// syncSeen dedupes synchronization races by static identity; a spin
+	// loop re-comparing the same lock accesses must count one race, not
+	// one per history comparison.
+	syncSeen := map[core.LowerLevelRace]bool{}
 	vcs := make([]vclock.VC, e.NumCPUs)
 	for c := range vcs {
 		vcs[c] = vclock.New(e.NumCPUs)
@@ -118,16 +125,17 @@ func Detect(e *sim.Execution, opts Options) *Result {
 				if ent.epoch.Covered(vcs[c]) {
 					continue // ordered by hb1
 				}
-				if ent.sync && sync {
-					res.SyncRaces++
-					continue
-				}
-				res.Races[core.LowerLevelRace{
+				ll := core.LowerLevelRace{
 					Loc:     op.Loc,
 					X:       sim.StaticOp{CPU: ent.epoch.P, PC: ent.pc, Loc: op.Loc},
 					Y:       sim.StaticOp{CPU: c, PC: op.PC, Loc: op.Loc},
 					XWrites: ent.write, YWrites: op.Kind.IsWrite(),
-				}.Canonical()] = true
+				}.Canonical()
+				if ent.sync && sync {
+					syncSeen[ll] = true
+					continue
+				}
+				res.Races[ll] = true
 			}
 		}
 		if op.Kind.IsRead() {
@@ -161,6 +169,7 @@ func Detect(e *sim.Execution, opts Options) *Result {
 			releaseVC[op.ID] = vcs[c].Clone()
 		}
 	}
+	res.SyncRaces = len(syncSeen)
 	if reg := telemetry.Default(); reg.Enabled() {
 		reg.Counter("onthefly.detections").Inc()
 		reg.Counter("onthefly.ops").Add(int64(res.OpsProcessed))

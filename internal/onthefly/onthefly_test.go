@@ -176,6 +176,38 @@ func TestSyncRacesNotReported(t *testing.T) {
 	}
 }
 
+// TestSyncRaceCountDeduped pins SyncRaces on a workload with exactly two
+// static sync races. P2's counted loop executes each sync write twice from
+// the same PC, so every cross-CPU pair is compared twice — a
+// per-comparison tally would report 4; the static-identity count is 2.
+func TestSyncRaceCountDeduped(t *testing.T) {
+	b := program.NewBuilder("two-sync-races", 2, 1)
+	b.Thread("P1").
+		Unset(program.At(0)).
+		Unset(program.At(1))
+	b.Thread("P2").
+		Const(0, 2).
+		Label("loop").
+		SyncWrite(program.At(0), program.Imm(1)).
+		SyncWrite(program.At(1), program.Imm(1)).
+		AddImm(0, 0, -1).
+		BranchNotZero(0, "loop")
+	p := b.MustBuild()
+	for seed := int64(0); seed < 10; seed++ {
+		r, err := sim.Run(p, sim.Config{Model: memmodel.WO, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Detect(r.Exec, Options{})
+		if res.SyncRaces != 2 {
+			t.Fatalf("seed %d: SyncRaces = %d, want 2", seed, res.SyncRaces)
+		}
+		if res.RaceCount() != 0 {
+			t.Fatalf("seed %d: sync-only workload reported data races: %v", seed, res.Races)
+		}
+	}
+}
+
 func TestCostCounters(t *testing.T) {
 	e := runW(t, workload.Figure1a(), memmodel.SC, 1)
 	res := Detect(e, Options{})

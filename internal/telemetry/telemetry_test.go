@@ -119,7 +119,11 @@ func TestSnapshotJSONGolden(t *testing.T) {
 	r.SetEnabled(true)
 	r.Counter("detect.events").Add(8)
 	r.Counter(Name("sim.steps", "model", "WO")).Add(120)
+	// Both SCC gauges appear in real snapshots: detect.scc.max_size is the
+	// largest SCC of the augmented graph G' per analysis; graph.scc.max_size
+	// is the largest SCC over every reachability build (hb1 and G').
 	r.Gauge("detect.scc.max_size").Set(3)
+	r.Gauge("graph.scc.max_size").Set(4)
 	r.Phase("detect.analyze").Observe(2 * time.Microsecond)
 	r.Phase("detect.analyze").Observe(3 * time.Microsecond)
 
@@ -133,7 +137,8 @@ func TestSnapshotJSONGolden(t *testing.T) {
     "sim.steps{model=WO}": 120
   },
   "gauges": {
-    "detect.scc.max_size": 3
+    "detect.scc.max_size": 3,
+    "graph.scc.max_size": 4
   },
   "phases": {
     "detect.analyze": {
