@@ -66,7 +66,7 @@ func BenchmarkT2TracingOverhead(b *testing.B) {
 
 // T3 — post-mortem analysis cost as the trace grows.
 func BenchmarkT3PostMortemScaling(b *testing.B) {
-	for _, segments := range []int{4, 8, 16, 32} {
+	for _, segments := range []int{4, 8, 16, 32, 64} {
 		w := weakrace.RandomWorkload(weakrace.RandomParams{
 			Seed: 5, CPUs: 4, Segments: segments, UnlockedFraction: 0.3,
 		})

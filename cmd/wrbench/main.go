@@ -18,6 +18,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,8 +45,44 @@ type Result struct {
 	Metrics   map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Meta records the environment a trajectory was captured in, so a
+// baseline diff can tell a regression from a machine change.
+type Meta struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	Commit     string `json:"commit,omitempty"`
+}
+
+// collectMeta fills the meta block. The commit comes from the binary's
+// embedded VCS stamp when present (real builds), falling back to asking
+// git (the `go run` / `go test` case, where no stamp is embedded).
+func collectMeta() Meta {
+	m := Meta{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				m.Commit = s.Value
+			}
+		}
+	}
+	if m.Commit == "" {
+		if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			m.Commit = strings.TrimSpace(string(out))
+		}
+	}
+	return m
+}
+
 // Output is the whole trajectory file.
 type Output struct {
+	Meta      Meta               `json:"meta"`
 	Iters     int                `json:"iters"`
 	Scenarios []Result           `json:"scenarios"`
 	Telemetry telemetry.Snapshot `json:"telemetry"`
@@ -56,10 +96,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wrbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out   = fs.String("o", "BENCH_telemetry.json", "output file (- for stdout)")
-		iters = fs.Int("iters", 30, "iterations per scenario")
-		only  = fs.String("scenario", "", "run only the named scenarios (comma-separated)")
-		list  = fs.Bool("list", false, "list scenarios and exit")
+		out      = fs.String("o", "BENCH_telemetry.json", "output file (- for stdout)")
+		iters    = fs.Int("iters", 30, "iterations per scenario")
+		only     = fs.String("scenario", "", "run only the named scenarios (comma-separated)")
+		list     = fs.Bool("list", false, "list scenarios and exit")
+		baseline = fs.String("baseline", "", "trajectory file to guard against")
+		guard    = fs.String("guard", "", "regression guards, comma-separated scenario:metric:factor entries;\nexit 1 if a metric exceeds factor x its -baseline value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,7 +137,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	defer telemetry.EnableDefault()()
-	output := Output{Iters: *iters}
+	output := Output{Meta: collectMeta(), Iters: *iters}
 	for _, s := range scenarios {
 		fmt.Fprintf(stderr, "wrbench: %s (%d iters)...\n", s.name, *iters)
 		sp := telemetry.Default().StartSpan("bench." + s.name)
@@ -135,6 +177,77 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *out != "-" {
 		fmt.Fprintf(stderr, "wrbench: trajectory written to %s\n", *out)
 	}
+	if *guard != "" {
+		if *baseline == "" {
+			fmt.Fprintln(stderr, "wrbench: -guard requires -baseline")
+			return 2
+		}
+		base, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "wrbench: %v\n", err)
+			return 2
+		}
+		var baseOut Output
+		if err := json.Unmarshal(base, &baseOut); err != nil {
+			fmt.Fprintf(stderr, "wrbench: baseline %s: %v\n", *baseline, err)
+			return 2
+		}
+		if code := checkGuards(*guard, &baseOut, &output, stderr); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+// checkGuards enforces coarse regression guards: each entry names a
+// scenario metric and the slack factor the current run is allowed over
+// the baseline. Returns 1 on regression, 2 on malformed input, 0 when
+// every guard holds.
+func checkGuards(guards string, base, cur *Output, stderr io.Writer) int {
+	metric := func(o *Output, scen, name string) (float64, bool) {
+		for _, s := range o.Scenarios {
+			if s.Name == scen {
+				v, ok := s.Metrics[name]
+				return v, ok
+			}
+		}
+		return 0, false
+	}
+	failed := false
+	for _, g := range strings.Split(guards, ",") {
+		parts := strings.Split(strings.TrimSpace(g), ":")
+		if len(parts) != 3 {
+			fmt.Fprintf(stderr, "wrbench: bad guard %q (want scenario:metric:factor)\n", g)
+			return 2
+		}
+		scen, name := parts[0], parts[1]
+		factor, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || factor <= 0 {
+			fmt.Fprintf(stderr, "wrbench: bad guard factor %q\n", parts[2])
+			return 2
+		}
+		baseV, ok := metric(base, scen, name)
+		if !ok {
+			fmt.Fprintf(stderr, "wrbench: guard %s: metric not in baseline\n", g)
+			return 2
+		}
+		curV, ok := metric(cur, scen, name)
+		if !ok {
+			fmt.Fprintf(stderr, "wrbench: guard %s: metric not in this run\n", g)
+			return 2
+		}
+		if curV > baseV*factor {
+			fmt.Fprintf(stderr, "wrbench: REGRESSION %s/%s: %.0f > %.1fx baseline %.0f\n",
+				scen, name, curV, factor, baseV)
+			failed = true
+		} else {
+			fmt.Fprintf(stderr, "wrbench: guard ok %s/%s: %.0f <= %.1fx baseline %.0f\n",
+				scen, name, curV, factor, baseV)
+		}
+	}
+	if failed {
+		return 1
+	}
 	return 0
 }
 
@@ -165,9 +278,15 @@ func allScenarios() []scenario {
 			return metrics, nil
 		}},
 		{"tracing-overhead", func(iters int) (map[string]float64, error) {
-			// T2: simulation alone vs simulation + trace + encode.
+			// T2: simulation alone vs simulation + trace + encode. Both
+			// loops also count heap allocations, so the trajectory records
+			// the tracing layer's allocation share (the number
+			// trace.FromExecution's preallocation pass drives down).
 			w := weakrace.LockedCounter(4, 8, -1)
 			cfg := weakrace.SimConfig{Model: weakrace.WO, Seed: 1}
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			simMallocs := ms.Mallocs
 			simStart := time.Now()
 			for i := 0; i < iters; i++ {
 				if _, err := weakrace.Simulate(w.Prog, cfg); err != nil {
@@ -175,6 +294,9 @@ func allScenarios() []scenario {
 				}
 			}
 			simNS := time.Since(simStart).Nanoseconds()
+			runtime.ReadMemStats(&ms)
+			simMallocs = ms.Mallocs - simMallocs
+			fullMallocs := ms.Mallocs
 			fullStart := time.Now()
 			for i := 0; i < iters; i++ {
 				res, err := weakrace.Simulate(w.Prog, cfg)
@@ -187,19 +309,26 @@ func allScenarios() []scenario {
 				}
 			}
 			fullNS := time.Since(fullStart).Nanoseconds()
+			runtime.ReadMemStats(&ms)
+			fullMallocs = ms.Mallocs - fullMallocs
 			metrics := map[string]float64{
-				"simulate_ns_per_iter": float64(simNS) / float64(iters),
-				"traced_ns_per_iter":   float64(fullNS) / float64(iters),
+				"simulate_ns_per_iter":     float64(simNS) / float64(iters),
+				"traced_ns_per_iter":       float64(fullNS) / float64(iters),
+				"simulate_allocs_per_iter": float64(simMallocs) / float64(iters),
+				"traced_allocs_per_iter":   float64(fullMallocs) / float64(iters),
 			}
 			if simNS > 0 {
 				metrics["overhead_ratio"] = float64(fullNS) / float64(simNS)
 			}
+			if fullMallocs >= simMallocs {
+				metrics["tracing_allocs_per_iter"] = float64(fullMallocs-simMallocs) / float64(iters)
+			}
 			return metrics, nil
 		}},
 		{"postmortem-scaling", func(iters int) (map[string]float64, error) {
-			// T3: analysis cost as the trace grows (4..32 segments).
+			// T3: analysis cost as the trace grows (4..64 segments).
 			metrics := map[string]float64{}
-			for _, segments := range []int{4, 8, 16, 32} {
+			for _, segments := range []int{4, 8, 16, 32, 64} {
 				w := weakrace.RandomWorkload(weakrace.RandomParams{
 					Seed: 5, CPUs: 4, Segments: segments, UnlockedFraction: 0.3,
 				})

@@ -114,3 +114,59 @@ func TestRunErrors(t *testing.T) {
 		t.Fatalf("unwritable output: exit = %d", got)
 	}
 }
+
+func TestMetaBlockAndSegments64(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-scenario", "postmortem-scaling", "-iters", "1", "-o", "-"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	var o Output
+	if err := json.Unmarshal(out.Bytes(), &o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Meta.GoVersion == "" || o.Meta.GOMAXPROCS <= 0 || o.Meta.GOOS == "" || o.Meta.GOARCH == "" {
+		t.Fatalf("meta block incomplete: %+v", o.Meta)
+	}
+	for _, key := range []string{"segments_32_ns_per_iter", "segments_64_ns_per_iter"} {
+		if o.Scenarios[0].Metrics[key] <= 0 {
+			t.Fatalf("metric %s missing: %+v", key, o.Scenarios[0].Metrics)
+		}
+	}
+}
+
+func TestRegressionGuard(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	var out, errb bytes.Buffer
+	if got := run([]string{"-scenario", "full-pipeline", "-iters", "2", "-o", base}, &out, &errb); got != 0 {
+		t.Fatalf("baseline run: exit = %d (stderr: %s)", got, errb.String())
+	}
+	// A generous factor against our own fresh baseline must pass.
+	args := []string{"-scenario", "full-pipeline", "-iters", "2", "-o", filepath.Join(dir, "cur.json"),
+		"-baseline", base, "-guard", "full-pipeline:data_races_per_iter:100"}
+	errb.Reset()
+	if got := run(args, &out, &errb); got != 0 {
+		t.Fatalf("passing guard: exit = %d (stderr: %s)", got, errb.String())
+	}
+	if !strings.Contains(errb.String(), "guard ok") {
+		t.Fatalf("no guard confirmation in stderr:\n%s", errb.String())
+	}
+	// An impossible factor must fail with exit 1.
+	args[len(args)-1] = "full-pipeline:data_races_per_iter:0.000001"
+	errb.Reset()
+	if got := run(args, &out, &errb); got != 1 {
+		t.Fatalf("regressing guard: exit = %d, want 1 (stderr: %s)", got, errb.String())
+	}
+	if !strings.Contains(errb.String(), "REGRESSION") {
+		t.Fatalf("no regression message:\n%s", errb.String())
+	}
+	// Malformed guards and a missing baseline are usage errors.
+	if got := run([]string{"-scenario", "full-pipeline", "-iters", "1", "-o", "-",
+		"-guard", "full-pipeline:data_races_per_iter:2"}, &out, &errb); got != 2 {
+		t.Fatalf("guard without baseline: exit = %d, want 2", got)
+	}
+	if got := run([]string{"-scenario", "full-pipeline", "-iters", "1", "-o", "-",
+		"-baseline", base, "-guard", "nonsense"}, &out, &errb); got != 2 {
+		t.Fatalf("malformed guard: exit = %d, want 2", got)
+	}
+}

@@ -147,6 +147,11 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 	results := make([]*seedResult, cfg.Seeds)
 	errs := make([]error, cfg.Seeds)
 
+	// One detector arena per in-flight worker: the megabyte-scale scratch
+	// (race records, SCC stacks, partner lists) is reused across the seeds
+	// a worker analyzes instead of reallocated per seed.
+	arenas := sync.Pool{New: func() any { return core.NewArena() }}
+
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Workers)
 	for seed := 0; seed < cfg.Seeds; seed++ {
@@ -175,7 +180,9 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 			// Workers: 1 — the campaign already saturates the machine across
 			// seeds; nesting the per-location race-search pool inside the
 			// seed pool would only oversubscribe it.
-			a, err := core.Analyze(trace.FromExecution(r.Exec), core.Options{Pairing: cfg.Pairing, Workers: 1})
+			arena := arenas.Get().(*core.Arena)
+			a, err := core.Analyze(trace.FromExecution(r.Exec), core.Options{Pairing: cfg.Pairing, Workers: 1, Arena: arena})
+			arenas.Put(arena)
 			if err != nil {
 				errs[seed] = err
 				return
@@ -271,10 +278,14 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 	return rep, nil
 }
 
-// Render writes the campaign report.
+// Render writes the campaign report. The header carries the aggregate
+// distinct-race count and the failed-seed ratio so a long report is
+// skimmable from its first line.
 func (r *Report) Render(w io.Writer) error {
-	_, err := fmt.Fprintf(w, "campaign: %s on %s, %d executions (%d racy, %d incomplete)\n",
-		r.Config.Workload.Name, r.Config.Model, r.Executions, r.Racy, r.Incomplete)
+	seeds := r.Executions + r.Failed
+	_, err := fmt.Fprintf(w, "campaign: %s on %s, %d executions (%d racy, %d incomplete), %d distinct races, %d/%d seeds failed\n",
+		r.Config.Workload.Name, r.Config.Model, r.Executions, r.Racy, r.Incomplete,
+		len(r.Races), r.Failed, seeds)
 	if err != nil {
 		return err
 	}

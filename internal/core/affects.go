@@ -14,7 +14,7 @@ func (a *Analysis) Affects(ri, rj int) bool {
 	x, y := a.Races[ri], a.Races[rj]
 	for _, from := range []EventID{x.A, x.B} {
 		for _, to := range []EventID{y.A, y.B} {
-			if a.AugReach.Reaches(int(from), int(to)) {
+			if a.augReaches(int(from), int(to)) {
 				return true
 			}
 		}
@@ -27,7 +27,7 @@ func (a *Analysis) Affects(ri, rj int) bool {
 // strongly connected component is what makes a partition, not an
 // ordering).
 func (a *Analysis) AffectedBy(ri int) []int {
-	scc := a.AugReach.SCC()
+	scc := a.AugSCC
 	comp := scc.Comp[int(a.Races[ri].A)]
 	var out []int
 	for _, rj := range a.DataRaces {
@@ -58,7 +58,7 @@ func (a *Analysis) RaceOfPartition(ri int) int {
 	if !a.Races[ri].Data {
 		return -1
 	}
-	comp := a.AugReach.SCC().Comp[int(a.Races[ri].A)]
+	comp := a.AugSCC.Comp[int(a.Races[ri].A)]
 	for pi := range a.Partitions {
 		if a.Partitions[pi].Component == comp {
 			return pi

@@ -62,7 +62,46 @@ type Options struct {
 	// partial results (per-pair location sets and data flags) that are
 	// merged and then sorted deterministically.
 	Workers int
+	// ExplicitAug materializes the augmented graph G′ the way §4.2 writes
+	// it down: clone hb1, add a doubly-directed edge per race, build a
+	// transitive closure over it (Analysis.Aug/AugReach). The default
+	// (false) runs Tarjan over an implicit adjacency and answers partition
+	// ordering with targeted condensation reachability — same Analysis,
+	// none of the edge materialization. The explicit path is kept as the
+	// reference implementation for the equivalence crosscheck and for
+	// callers that want the closure for ad-hoc queries.
+	ExplicitAug bool
+	// Arena, when non-nil, supplies reusable per-Analyze scratch buffers
+	// (race records, SCC stacks, race-partner lists). A campaign hands one
+	// arena per in-flight seed down so repeated analyses stop re-allocating
+	// the same megabyte-scale buffers. An Arena must not be shared by
+	// concurrent Analyze calls.
+	Arena *Arena
 }
+
+// Arena holds the per-Analyze scratch buffers that are NOT retained by
+// the returned Analysis: the flat race-record buffers of the sweep, the
+// implicit-G′ partner lists, and the graph layer's Tarjan and
+// condensation scratch. Zero value is ready to use; see Options.Arena.
+type Arena struct {
+	cpuOf   []int32   // cpuOf[event] — filled per analysis
+	extras  [][]int32 // per-node race-partner lists (min partner per CPU)
+	touched []int32   // nodes with non-empty extras, for O(touched) reset
+	recs    []pairRec // sequential sweep's record buffer
+	recsTmp []pairRec // radix sort's ping-pong buffer
+	digits  []int32   // radix sort's counting buffer
+	scratch graph.Scratch
+}
+
+// NewArena returns an empty arena. Buffers grow to the working-set size
+// of the analyses run through it and are then reused.
+func NewArena() *Arena { return &Arena{} }
+
+// arenaPool backs Analyze calls that did not supply an Options.Arena, so
+// every caller gets scratch reuse across analyses; an explicit arena
+// still wins (deterministic per-worker reuse, e.g. one per in-flight
+// campaign seed).
+var arenaPool = sync.Pool{New: func() any { return &Arena{} }}
 
 // Race is a higher-level race between two events (§4.1): A and B access a
 // common location that at least one writes, and no hb1 path connects them.
@@ -108,10 +147,20 @@ type Analysis struct {
 	// HBReach answers hb1 ordering queries.
 	HBReach *graph.Reachability
 	// Aug is the augmented graph G′: HB plus a doubly-directed edge per
-	// race.
+	// race. Populated only under Options.ExplicitAug; the default path
+	// never materializes G′ (its SCCs are computed over an implicit
+	// adjacency — see buildImplicitAug).
 	Aug *graph.Digraph
-	// AugReach answers affect-ordering queries on G′.
+	// AugReach answers affect-ordering queries on G′. Populated only
+	// under Options.ExplicitAug.
 	AugReach *graph.Reachability
+	// AugSCC is the component structure of G′ — the partitions of §4.2.
+	// Always populated (on the implicit path it comes from the overlay
+	// Tarjan run; on the explicit path from AugReach). Component ids may
+	// differ between the two paths (adjacency order steers Tarjan's
+	// numbering) but the components themselves, and everything derived
+	// from them, are identical.
+	AugSCC *graph.SCC
 
 	// Races lists every race (data and synchronization), sorted by (A, B).
 	Races []Race
@@ -126,8 +175,10 @@ type Analysis struct {
 
 	base []int // base[c] = EventID of processor c's first event
 
-	candidatePairs int64 // conflicting cross-CPU pairs tested by findRaces
-	raceWorkers    int   // worker count the race search actually used
+	augCond        *graph.CondReach // implicit path's partition-order oracle
+	augEdges       int64            // implicit partner entries, or Aug.M() when explicit
+	candidatePairs int64            // conflicting unordered pairs the sweep emitted
+	raceWorkers    int              // worker count the race search actually used
 }
 
 // ID returns the EventID for an event reference.
@@ -164,6 +215,14 @@ func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
 		}
 	}
 	a := &Analysis{Trace: t, Options: opts}
+	if a.Options.Arena == nil {
+		ar := arenaPool.Get().(*Arena)
+		a.Options.Arena = ar
+		defer func() {
+			a.Options.Arena = opts.Arena // don't leak the pooled arena to the caller
+			arenaPool.Put(ar)
+		}()
+	}
 
 	// Dense event numbering, processor-major.
 	a.base = make([]int, t.NumCPUs)
@@ -188,8 +247,14 @@ func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
 	a.findRaces()
 	sp.End()
 	sp = reg.StartSpan("detect.augment")
-	a.buildAugmented()
-	a.AugReach = graph.NewReachabilityLazy(a.Aug)
+	if opts.ExplicitAug {
+		a.buildAugmented()
+		a.AugReach = graph.NewReachabilityLazy(a.Aug)
+		a.AugSCC = a.AugReach.SCC()
+		a.augEdges = int64(a.Aug.M())
+	} else {
+		a.buildImplicitAug()
+	}
 	sp.End()
 	sp = reg.StartSpan("detect.partition")
 	a.partition()
@@ -208,21 +273,25 @@ func (a *Analysis) flushTelemetry(reg *telemetry.Registry) {
 	reg.Counter("detect.analyses").Inc()
 	reg.Counter("detect.events").Add(int64(a.NumEvents))
 	reg.Counter("detect.hb_edges").Add(int64(a.HB.M()))
-	reg.Counter("detect.aug_edges").Add(int64(a.Aug.M()))
+	// detect.aug_edges counts the augmentation work actually represented:
+	// per-node race-partner entries on the implicit path (at most
+	// racy-nodes × (CPUs−1), since partners collapse to the po-minimal
+	// event per CPU), or G′'s materialized edge count under ExplicitAug.
+	reg.Counter("detect.aug_edges").Add(a.augEdges)
 	reg.Counter("detect.races").Add(int64(len(a.Races)))
 	reg.Counter("detect.data_races").Add(int64(len(a.DataRaces)))
 	reg.Counter("detect.partitions").Add(int64(len(a.Partitions)))
 	reg.Counter("detect.first_partitions").Add(int64(len(a.FirstPartitions)))
 	reg.Counter("detect.race_candidates").Add(a.candidatePairs)
 	reg.Gauge("detect.find_races.workers").SetMax(int64(a.raceWorkers))
-	scc := a.AugReach.SCC()
-	reg.Counter("detect.scc.components").Add(int64(scc.NumComponents()))
+	reg.Counter("detect.scc.components").Add(int64(a.AugSCC.NumComponents()))
 	// detect.scc.max_size is the largest SCC of the AUGMENTED graph G′
 	// per analysis — the partition-structure view. The graph layer's
 	// graph.scc.max_size gauge instead tracks the largest SCC across
-	// every reachability build (hb1 and augmented). Both reuse the size
-	// Tarjan tracked while closing components; nothing rescans Members.
-	reg.Gauge("detect.scc.max_size").SetMax(int64(scc.MaxSize()))
+	// every SCC computation (hb1 and augmented, explicit or implicit).
+	// Both reuse the size Tarjan tracked while closing components;
+	// nothing rescans Members.
+	reg.Gauge("detect.scc.max_size").SetMax(int64(a.AugSCC.MaxSize()))
 }
 
 // buildHB constructs the happens-before-1 graph: po edges between
@@ -267,18 +336,28 @@ const sweepThreshold = 2048
 //
 // The search is a per-location sweep over CPU-bucketed accesses:
 // accesses are collected processor-major, so each location's slice is
-// made of contiguous same-CPU segments, and pairing a segment only
-// against later segments skips same-processor pairs (always po-ordered)
-// wholesale instead of testing and discarding each one. The surviving
-// conflicting pairs are filtered by the reachability layer's O(1)
-// component-id/topological-level pre-checks before any bit-set closure
-// row is consulted (or, in lazy mode, materialized).
+// made of contiguous same-CPU segments (one per processor, po-ascending
+// within), and pairing a segment only against later segments skips
+// same-processor pairs (always po-ordered) wholesale.
+//
+// Against one later segment T, an access x needs no per-pair ordering
+// tests: program order makes ordering monotone along T, so the events of
+// T that reach x form a PREFIX of T (y⇝x implies y′⇝y⇝x for every
+// earlier y′), the events x reaches form a SUFFIX (x⇝y implies x⇝y′ for
+// every later y′), and the hb1-unordered partners of x are exactly the
+// interval between them. Both boundaries are monotone non-decreasing as
+// x advances through its own segment (later x is reached by more of T
+// and reaches less of it), so one two-pointer pass spends O(|S|+|T|)
+// amortized reachability queries per segment pair — not O(|S|·|T|) — and
+// the interval's pairs are emitted with no ordering query at all. Each
+// query that does run still goes through the reachability layer's O(1)
+// component-id/topological-level pre-checks before touching (or, in lazy
+// mode, materializing) a closure row.
 //
 // Locations are fanned across a bounded worker pool (the campaign's
-// semaphore pattern, here an atomic work index). Each worker accumulates
-// a partial map of races keyed by packed event pair; partials merge by
-// location-set union and data-flag OR — both commutative — and the final
-// sort over packed keys makes the Analysis byte-identical to the
+// semaphore pattern, here an atomic work index). Each worker appends
+// flat (pair, location, data) records; partials are concatenated and
+// sorted deterministically, so the Analysis is byte-identical to the
 // sequential path for every worker count.
 func (a *Analysis) findRaces() {
 	// Keyed by location, sparse: traces legitimately declare large address
@@ -343,11 +422,17 @@ func (a *Analysis) findRaces() {
 	// no per-race allocations on the hot path; weak executions routinely
 	// produce tens of thousands of synchronization races from contending
 	// spin loops, and pointer-chasing accumulation dominated the old
-	// search.
+	// search. Worker 0's record buffer comes from the arena (when one is
+	// supplied) so repeated sequential analyses reuse it.
 	var next atomic.Int64
-	sweep := func() ([]pairRec, int64) {
-		var recs []pairRec
+	type segment struct {
+		start, end int // accs[start:end], one CPU
+		writes     int // write accesses within
+	}
+	sweep := func(buf []pairRec) ([]pairRec, int64) {
+		recs := buf[:0]
 		var cand int64
+		var segs []segment // reused across this worker's locations
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= len(locs) {
@@ -355,49 +440,89 @@ func (a *Analysis) findRaces() {
 			}
 			loc := locs[i]
 			accs := perLoc[loc]
+			segs = segs[:0]
 			for s := 0; s < len(accs); {
 				e := s + 1
 				for e < len(accs) && accs[e].cpu == accs[s].cpu {
 					e++
 				}
-				// Segment [s,e) is one CPU; pair it against every later
-				// segment's accesses only.
+				w := 0
 				for _, x := range accs[s:e] {
-					for _, y := range accs[e:] {
-						if !x.write && !y.write {
-							continue // two reads never conflict
-						}
-						cand++
-						if a.HBReach.Ordered(int(x.ev), int(y.ev)) {
-							continue
-						}
-						lo, hi := x.ev, y.ev
-						if lo > hi {
-							lo, hi = hi, lo
-						}
-						recs = append(recs, pairRec{
-							key:  pairKey(lo, hi),
-							loc:  loc,
-							data: !x.sync || !y.sync,
-						})
+					if x.write {
+						w++
 					}
 				}
+				segs = append(segs, segment{start: s, end: e, writes: w})
 				s = e
+			}
+			for si, S := range segs {
+				for _, T := range segs[si+1:] {
+					if S.writes == 0 && T.writes == 0 {
+						continue // read-only × read-only: no conflicts at all
+					}
+					// Conflicting pairs in S×T = all pairs minus read-read
+					// pairs, counted wholesale (the quantity the per-pair
+					// loop used to tally one test at a time).
+					sn, tn := S.end-S.start, T.end-T.start
+					cand += int64(sn*tn - (sn-S.writes)*(tn-T.writes))
+					// p: end of T's prefix reaching x. q: start of T's
+					// suffix reached by x. Both only move forward while x
+					// advances; [p,q) is x's hb1-unordered interval of T.
+					p, q := T.start, T.start
+					for xi := S.start; xi < S.end; xi++ {
+						x := accs[xi]
+						for p < T.end && a.HBReach.Reaches(int(accs[p].ev), int(x.ev)) {
+							p++
+						}
+						if q < p {
+							// On an hb1 cycle the prefix and suffix can
+							// overlap; the unordered interval is empty there.
+							q = p
+						}
+						for q < T.end && !a.HBReach.Reaches(int(x.ev), int(accs[q].ev)) {
+							q++
+						}
+						for yi := p; yi < q; yi++ {
+							y := accs[yi]
+							if !x.write && !y.write {
+								continue // two reads never conflict
+							}
+							lo, hi := x.ev, y.ev
+							if lo > hi {
+								lo, hi = hi, lo
+							}
+							recs = append(recs, pairRec{
+								key:  pairKey(lo, hi),
+								loc:  loc,
+								data: !x.sync || !y.sync,
+							})
+						}
+					}
+				}
 			}
 		}
 	}
 
+	arena := a.Options.Arena
 	partials := make([][]pairRec, workers)
 	counts := make([]int64, workers)
 	if workers == 1 {
-		partials[0], counts[0] = sweep()
+		var buf []pairRec
+		if arena != nil {
+			buf = arena.recs
+		}
+		partials[0], counts[0] = sweep(buf)
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				partials[w], counts[w] = sweep()
+				var buf []pairRec
+				if w == 0 && arena != nil {
+					buf = arena.recs
+				}
+				partials[w], counts[w] = sweep(buf)
 			}(w)
 		}
 		wg.Wait()
@@ -407,40 +532,48 @@ func (a *Analysis) findRaces() {
 	// (pair, location) — a total order, since each (event pair, location)
 	// combination is produced at most once — so the record sequence, and
 	// with it the Analysis, is byte-identical for every worker count and
-	// work-stealing schedule.
-	nRecs := 0
-	for _, p := range partials {
-		nRecs += len(p)
+	// work-stealing schedule. The sequential path sorts its single
+	// partial in place (no copy); the records are dead after the coalesce
+	// below, so the buffer returns to the arena either way.
+	var recs []pairRec
+	if workers == 1 {
+		recs = partials[0]
+	} else {
+		nRecs := 0
+		for _, p := range partials {
+			nRecs += len(p)
+		}
+		recs = make([]pairRec, 0, nRecs)
+		for _, p := range partials {
+			recs = append(recs, p...)
+		}
 	}
-	recs := make([]pairRec, 0, nRecs)
-	for _, p := range partials {
-		recs = append(recs, p...)
+	if arena != nil {
+		arena.recs = partials[0]
 	}
 	for _, c := range counts {
 		a.candidatePairs += c
 	}
-	slices.SortFunc(recs, func(x, y pairRec) int {
-		if x.key != y.key {
-			if x.key < y.key {
-				return -1
-			}
-			return 1
-		}
-		return x.loc - y.loc
-	})
+	recs = sortRecsByKey(recs, arena)
 
 	// Coalesce sorted runs into races. Packed keys order exactly like the
-	// (A, B) lexicographic order the report promises. Race structs, their
-	// location sets, and the sets' backing words come from three slab
-	// allocations sized in a counting pass — not one allocation per race.
+	// (A, B) lexicographic order the report promises; within a run the
+	// record order is irrelevant — location-set insertion and the data
+	// flag are commutative, and slab sizing takes the run's max location.
+	// Race structs, their location sets, and the sets' backing words come
+	// from three slab allocations sized in a counting pass — not one
+	// allocation per race.
 	nRaces, totalWords := 0, 0
 	for i := 0; i < len(recs); {
-		j := i + 1
+		j, maxLoc := i+1, recs[i].loc
 		for j < len(recs) && recs[j].key == recs[i].key {
+			if recs[j].loc > maxLoc {
+				maxLoc = recs[j].loc
+			}
 			j++
 		}
 		nRaces++
-		totalWords += recs[j-1].loc/64 + 1 // locs ascend within a run
+		totalWords += maxLoc/64 + 1
 		i = j
 	}
 	slab := make([]uint64, totalWords)
@@ -448,11 +581,14 @@ func (a *Analysis) findRaces() {
 	a.Races = make([]Race, nRaces)
 	ri := 0
 	for i := 0; i < len(recs); {
-		j := i + 1
+		j, maxLoc := i+1, recs[i].loc
 		for j < len(recs) && recs[j].key == recs[i].key {
+			if recs[j].loc > maxLoc {
+				maxLoc = recs[j].loc
+			}
 			j++
 		}
-		w := recs[j-1].loc/64 + 1
+		w := maxLoc/64 + 1
 		sets[ri] = *bitset.Wrap(slab[:w:w])
 		slab = slab[w:]
 		r := &a.Races[ri]
@@ -471,6 +607,67 @@ func (a *Analysis) findRaces() {
 		ri++
 		i = j
 	}
+}
+
+// sortRecsByKey sorts the sweep's records by packed pair key — the only
+// order the coalesce needs — with an LSD radix sort over 11-bit digits.
+// Digits that are zero in every key are skipped wholesale: event ids are
+// dense, so a trace with n events uses only ~2·log₂(n) key bits and the
+// usual record sort is two or three counting passes, not a comparison
+// sort of 24-byte structs. Ping-pong and counting buffers come from the
+// arena. The returned slice aliases either recs or the arena's buffer.
+func sortRecsByKey(recs []pairRec, ar *Arena) []pairRec {
+	const digitBits = 11
+	const radix = 1 << digitBits
+	if len(recs) < 2*radix {
+		// Counting passes would be dominated by sweeping the count
+		// array; a comparison sort wins on small traces.
+		slices.SortFunc(recs, func(x, y pairRec) int {
+			if x.key < y.key {
+				return -1
+			} else if x.key > y.key {
+				return 1
+			}
+			return 0
+		})
+		return recs
+	}
+	var orKeys uint64
+	for i := range recs {
+		orKeys |= recs[i].key
+	}
+	if cap(ar.recsTmp) < len(recs) {
+		ar.recsTmp = make([]pairRec, len(recs))
+	}
+	if cap(ar.digits) < radix {
+		ar.digits = make([]int32, radix)
+	}
+	count := ar.digits[:radix]
+	src, dst := recs, ar.recsTmp[:len(recs)]
+	for shift := 0; shift < 64; shift += digitBits {
+		if (orKeys>>shift)&(radix-1) == 0 {
+			continue // this digit is zero in every key: identity pass
+		}
+		for d := range count {
+			count[d] = 0
+		}
+		for i := range src {
+			count[(src[i].key>>shift)&(radix-1)]++
+		}
+		sum := int32(0)
+		for d := range count {
+			c := count[d]
+			count[d] = sum
+			sum += c
+		}
+		for i := range src {
+			d := (src[i].key >> shift) & (radix - 1)
+			dst[count[d]] = src[i]
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	return src
 }
 
 // pairRec is one (conflicting unordered pair, location) observation from
@@ -507,10 +704,110 @@ func (a *Analysis) buildAugmented() {
 	a.Aug = g
 }
 
+// buildImplicitAug computes the partition structure of the augmented
+// graph G′ without materializing G′: Tarjan runs over the implicit
+// adjacency hb1 ⊕ extras, where extras[u] keeps, per partner CPU, only
+// u's po-MINIMAL race partner on that CPU.
+//
+// Collapsing the race edges this way preserves G′'s transitive closure
+// exactly. A dropped edge u→v (v racing u on CPU d) is simulated by the
+// kept edge u→m — m the minimal partner of u on d, so m ≤ v — followed
+// by the program-order chain m⇝v inside d's event stream; the reverse
+// edge v→u is simulated symmetrically through v's minimal partner on u's
+// CPU. Kept edges are a subset of the dropped set's closure, so the two
+// closures — and with them the SCCs (as node sets), the condensation
+// reachability, the partitions, and the first-partition flags of
+// Theorems 4.1/4.2 — coincide with the explicit path's. Only raw
+// component IDs may differ (Tarjan numbering follows adjacency order).
+//
+// Entry count is bounded by racy-nodes × (CPUs−1), versus two edges per
+// race pair — the ≥10x detect.aug_edges drop on race-heavy traces.
+// Partition ordering is answered by memoized per-source DFS over the
+// condensation (graph.CondReach), never a full closure.
+func (a *Analysis) buildImplicitAug() {
+	ar := a.Options.Arena
+	if ar == nil {
+		ar = &Arena{}
+	}
+	n := a.NumEvents
+	if cap(ar.cpuOf) < n {
+		ar.cpuOf = make([]int32, n)
+	}
+	cpuOf := ar.cpuOf[:n]
+	for c, evs := range a.Trace.PerCPU {
+		base := a.base[c]
+		for i := range evs {
+			cpuOf[base+i] = int32(c)
+		}
+	}
+	// Reset only the nodes the previous analysis touched, keeping the
+	// per-node backing arrays. ar.extras keeps its high-water length so
+	// stale touched entries always index validly.
+	for _, u := range ar.touched {
+		ar.extras[u] = ar.extras[u][:0]
+	}
+	ar.touched = ar.touched[:0]
+	if len(ar.extras) < n {
+		grown := make([][]int32, n)
+		copy(grown, ar.extras)
+		ar.extras = grown
+	}
+	extras := ar.extras[:n]
+
+	var nEntries int64
+	addPartner := func(u, v EventID) {
+		lst := extras[u]
+		vc := cpuOf[v]
+		for _, w := range lst {
+			if cpuOf[w] == vc {
+				return // already hold the po-minimal partner on v's CPU
+			}
+		}
+		if len(lst) == 0 {
+			ar.touched = append(ar.touched, int32(u))
+		}
+		extras[u] = append(lst, int32(v))
+		nEntries++
+	}
+	// Races are sorted by (A, B) and deduplicated, so a node's partners
+	// arrive in ascending event order (B-side partners, all below the
+	// node, scan before its A-side partners, all above) — the first
+	// partner seen per CPU is the minimal one.
+	for _, r := range a.Races {
+		addPartner(r.A, r.B)
+		addPartner(r.B, r.A)
+	}
+
+	scc := graph.StronglyConnectedOverlay(a.HB, extras, &ar.scratch)
+	a.AugSCC = scc
+	dag := graph.CondensationOverlay(a.HB, extras, scc, &ar.scratch)
+	a.augCond = graph.NewCondReach(dag, scc)
+	a.augEdges = nEntries
+}
+
+// augCompReaches answers component-level G′ reachability through
+// whichever oracle the options built: the explicit closure, or the
+// implicit path's memoized condensation DFS.
+func (a *Analysis) augCompReaches(c1, c2 int) bool {
+	if a.AugReach != nil {
+		return a.AugReach.ComponentReaches(c1, c2)
+	}
+	return a.augCond.ComponentReaches(c1, c2)
+}
+
+// augReaches answers event-level G′ reachability (Definition 3.3's
+// affects paths).
+func (a *Analysis) augReaches(u, v int) bool {
+	if a.AugReach != nil {
+		return a.AugReach.Reaches(u, v)
+	}
+	return a.augCond.Reaches(u, v)
+}
+
 // partition groups the data races by the SCCs of G′ and computes the first
 // partitions under the partial order P of Definition 4.1.
 func (a *Analysis) partition() {
-	scc := a.AugReach.SCC()
+	scc := a.AugSCC
 	byComp := map[int]*Partition{}
 	for _, ri := range a.DataRaces {
 		r := a.Races[ri]
@@ -550,7 +847,7 @@ func (a *Analysis) partition() {
 			if i == j {
 				continue
 			}
-			if a.AugReach.ComponentReaches(q.Component, p.Component) {
+			if a.augCompReaches(q.Component, p.Component) {
 				p.First = false
 				break
 			}
@@ -568,7 +865,7 @@ func (a *Analysis) partition() {
 // PartitionPrecedes reports whether partition i precedes partition j in
 // the order P: a path exists in G′ from an event of i to an event of j.
 func (a *Analysis) PartitionPrecedes(i, j int) bool {
-	return a.AugReach.ComponentReaches(a.Partitions[i].Component, a.Partitions[j].Component)
+	return a.augCompReaches(a.Partitions[i].Component, a.Partitions[j].Component)
 }
 
 // LowerLevelRace describes one lower-level (operation-granularity) race

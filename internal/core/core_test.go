@@ -519,7 +519,7 @@ func TestQuickDetectorInvariants(t *testing.T) {
 			}
 		}
 		// (b) each partition's events share one SCC of G′.
-		sccs := a.AugReach.SCC()
+		sccs := a.AugSCC
 		for _, p := range a.Partitions {
 			for _, ev := range p.Events {
 				if sccs.Comp[int(ev)] != p.Component {

@@ -12,6 +12,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -22,10 +23,25 @@ import (
 // Digraph is a directed graph over nodes 0..N-1 with adjacency lists.
 // Parallel edges are permitted (and harmless for reachability/SCC);
 // AddEdgeUnique suppresses them where the caller prefers.
+//
+// A Digraph is not safe for concurrent use while it is being mutated;
+// HasEdge and AddEdgeUnique may build a per-node successor index on
+// high-degree nodes, so even query methods count as mutation here.
 type Digraph struct {
 	adj  [][]int
 	nEdg int
+	// idx[u] is a successor set for node u, built lazily once u's degree
+	// crosses idxThreshold so HasEdge/AddEdgeUnique stay O(1) instead of
+	// O(out-degree) — the linear scan is a quadratic trap when a caller
+	// funnels many unique edges through one hub node. nil until any node
+	// needs it; maintained by AddEdge once built.
+	idx []map[int]struct{}
 }
+
+// idxThreshold is the out-degree at which HasEdge/AddEdgeUnique switch
+// from a linear adjacency scan to a per-node successor set. Below it the
+// scan wins on constant factors (and most nodes stay below it).
+const idxThreshold = 16
 
 // New returns a digraph with n nodes and no edges.
 func New(n int) *Digraph {
@@ -53,20 +69,49 @@ func (g *Digraph) AddEdge(u, v int) {
 	g.check(v)
 	g.adj[u] = append(g.adj[u], v)
 	g.nEdg++
+	if g.idx != nil && g.idx[u] != nil {
+		g.idx[u][v] = struct{}{}
+	}
 }
 
-// AddEdgeUnique adds u→v unless an identical edge already exists.
-// It is O(out-degree of u); use it for sparse augmentation edges.
+// succSet returns node u's successor set, building it on first use once
+// u's degree reaches idxThreshold; nil for low-degree nodes.
+func (g *Digraph) succSet(u int) map[int]struct{} {
+	if len(g.adj[u]) < idxThreshold {
+		return nil
+	}
+	if g.idx == nil {
+		g.idx = make([]map[int]struct{}, len(g.adj))
+	}
+	if g.idx[u] == nil {
+		m := make(map[int]struct{}, 2*len(g.adj[u]))
+		for _, w := range g.adj[u] {
+			m[w] = struct{}{}
+		}
+		g.idx[u] = m
+	}
+	return g.idx[u]
+}
+
+// AddEdgeUnique adds u→v unless an identical edge already exists. For
+// low-degree nodes it is an O(out-degree) scan; past idxThreshold it
+// switches to a per-node successor set, so bulk unique insertion through
+// one node is linear overall, not quadratic.
 func (g *Digraph) AddEdgeUnique(u, v int) {
 	g.check(u)
 	g.check(v)
-	for _, w := range g.adj[u] {
-		if w == v {
+	if m := g.succSet(u); m != nil {
+		if _, dup := m[v]; dup {
 			return
 		}
+	} else {
+		for _, w := range g.adj[u] {
+			if w == v {
+				return
+			}
+		}
 	}
-	g.adj[u] = append(g.adj[u], v)
-	g.nEdg++
+	g.AddEdge(u, v)
 }
 
 // Succ returns the successor list of u. The slice is owned by the graph and
@@ -76,10 +121,15 @@ func (g *Digraph) Succ(u int) []int {
 	return g.adj[u]
 }
 
-// HasEdge reports whether the edge u→v exists.
+// HasEdge reports whether the edge u→v exists. O(out-degree) for
+// low-degree nodes; O(1) via the successor set past idxThreshold.
 func (g *Digraph) HasEdge(u, v int) bool {
 	g.check(u)
 	g.check(v)
+	if m := g.succSet(u); m != nil {
+		_, ok := m[v]
+		return ok
+	}
 	for _, w := range g.adj[u] {
 		if w == v {
 			return true
@@ -90,7 +140,8 @@ func (g *Digraph) HasEdge(u, v int) bool {
 
 // Clone returns a deep copy of the graph. The detector clones the
 // happens-before-1 graph before augmenting it with race edges so callers
-// keep an unaugmented view.
+// keep an unaugmented view. The clone's successor index is rebuilt lazily
+// rather than copied.
 func (g *Digraph) Clone() *Digraph {
 	c := &Digraph{adj: make([][]int, len(g.adj)), nEdg: g.nEdg}
 	for i, a := range g.adj {
@@ -136,27 +187,83 @@ func (s *SCC) MaxSize() int { return s.maxSize }
 // test for two race events being in the same partition (§4.2).
 func (s *SCC) SameComponent(u, v int) bool { return s.Comp[u] == s.Comp[v] }
 
+// Scratch holds reusable traversal buffers for StronglyConnectedOverlay
+// and CondensationOverlay: the Tarjan bookkeeping arrays and DFS stacks,
+// plus the packed-key buffer the condensation sort-dedupe uses. Only
+// buffers that are NOT retained by the returned structures live here
+// (SCC.Comp, SCC.Members, and the condensation's adjacency are always
+// freshly allocated — callers keep them after the scratch is reused).
+// A Scratch is not safe for concurrent use; pool one per worker.
+type Scratch struct {
+	index, low         []int
+	onStack            []bool
+	stack              []int
+	callNode, callEdge []int
+	keys               []uint64
+}
+
+func (s *Scratch) ints(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	return (*buf)[:n]
+}
+
 // StronglyConnected computes the SCCs of g using an iterative Tarjan
 // algorithm (iterative so million-node traces cannot overflow the stack).
 func StronglyConnected(g *Digraph) *SCC {
+	return StronglyConnectedOverlay(g, nil, nil)
+}
+
+// StronglyConnectedOverlay computes the SCCs of the graph g ⊕ extra: the
+// node set of g with, for every node u, the successors g.Succ(u) followed
+// by extra[u]. The overlay graph is never materialized — this is how the
+// detector runs Tarjan over the augmented graph G′ (hb1 edges plus
+// per-node race-partner lists) without cloning a multi-million-edge
+// digraph. extra may be nil (plain SCCs of g); s may be nil (scratch is
+// allocated locally). The returned SCC's Comp/Members are freshly
+// allocated and remain valid after s is reused.
+func StronglyConnectedOverlay(g *Digraph, extra [][]int32, s *Scratch) *SCC {
 	n := g.N()
+	if extra != nil && len(extra) != n {
+		panic(fmt.Sprintf("graph: overlay size %d, graph size %d", len(extra), n))
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
 	const unvisited = -1
-	index := make([]int, n)
-	low := make([]int, n)
+	index := s.ints(&s.index, n)
+	low := s.ints(&s.low, n)
 	comp := make([]int, n)
-	onStack := make([]bool, n)
+	if cap(s.onStack) < n {
+		s.onStack = make([]bool, n)
+	}
+	onStack := s.onStack[:n]
 	for i := range index {
 		index[i] = unvisited
 		comp[i] = unvisited
+		onStack[i] = false
 	}
 	var (
-		stack    []int // Tarjan's node stack
-		members  [][]int
-		maxSize  int
-		nextIdx  int
-		callNode []int // explicit DFS stack: node
-		callEdge []int // explicit DFS stack: next successor index to visit
+		members [][]int
+		maxSize int
+		nextIdx int
 	)
+	stack := s.stack[:0]       // Tarjan's node stack
+	callNode := s.callNode[:0] // explicit DFS stack: node
+	callEdge := s.callEdge[:0] // explicit DFS stack: next successor index to visit
+	// succ returns v's ei-th successor in the overlay adjacency, or -1
+	// when exhausted: g's own successors first, then the extra list.
+	succ := func(v, ei int) int {
+		if a := g.adj[v]; ei < len(a) {
+			return a[ei]
+		} else if extra != nil {
+			if x := extra[v]; ei-len(a) < len(x) {
+				return int(x[ei-len(a)])
+			}
+		}
+		return -1
+	}
 	for root := 0; root < n; root++ {
 		if index[root] != unvisited {
 			continue
@@ -171,10 +278,8 @@ func StronglyConnected(g *Digraph) *SCC {
 		for len(callNode) > 0 {
 			v := callNode[len(callNode)-1]
 			ei := callEdge[len(callEdge)-1]
-			succ := g.adj[v]
-			if ei < len(succ) {
+			if w := succ(v, ei); w >= 0 {
 				callEdge[len(callEdge)-1]++
-				w := succ[ei]
 				if index[w] == unvisited {
 					index[w] = nextIdx
 					low[w] = nextIdx
@@ -217,6 +322,14 @@ func StronglyConnected(g *Digraph) *SCC {
 			}
 		}
 	}
+	s.stack, s.callNode, s.callEdge = stack[:0], callNode[:0], callEdge[:0]
+	// graph.scc.max_size tracks the largest SCC across EVERY SCC
+	// computation in the process — hb1 graphs, explicit augmented graphs,
+	// and implicit overlays alike. The per-analysis augmented-graph-only
+	// view is detect.scc.max_size (see core.flushTelemetry).
+	if reg := telemetry.Default(); reg.Enabled() {
+		reg.Gauge("graph.scc.max_size").SetMax(int64(maxSize))
+	}
 	return &SCC{Comp: comp, Members: members, maxSize: maxSize}
 }
 
@@ -224,24 +337,128 @@ func StronglyConnected(g *Digraph) *SCC {
 // c1→c2 whenever some edge of g crosses from component c1 to c2. Duplicate
 // cross edges are collapsed.
 func Condensation(g *Digraph, scc *SCC) *Digraph {
+	return CondensationOverlay(g, nil, scc, nil)
+}
+
+// CondensationOverlay builds the condensation DAG of the overlay graph
+// g ⊕ extra (see StronglyConnectedOverlay) under the given component
+// assignment. Cross edges are deduplicated by sorting packed (c1,c2)
+// keys — no per-edge map — and the key buffer comes from s when non-nil.
+// The returned DAG is freshly allocated and survives scratch reuse.
+func CondensationOverlay(g *Digraph, extra [][]int32, scc *SCC, s *Scratch) *Digraph {
 	k := scc.NumComponents()
 	dag := New(k)
-	seen := make(map[[2]int]bool)
+	var keys []uint64
+	if s != nil {
+		keys = s.keys[:0]
+	}
 	for u, a := range g.adj {
 		cu := scc.Comp[u]
 		for _, v := range a {
-			cv := scc.Comp[v]
-			if cu == cv {
-				continue
+			if cv := scc.Comp[v]; cu != cv {
+				keys = append(keys, uint64(cu)<<32|uint64(cv))
 			}
-			key := [2]int{cu, cv}
-			if !seen[key] {
-				seen[key] = true
-				dag.AddEdge(cu, cv)
+		}
+		if extra != nil {
+			for _, v := range extra[u] {
+				if cv := scc.Comp[v]; cu != cv {
+					keys = append(keys, uint64(cu)<<32|uint64(cv))
+				}
 			}
 		}
 	}
+	slices.Sort(keys)
+	prev := uint64(1)<<63 | 1<<31 // component ids are < 2³¹, so this never collides
+	for _, key := range keys {
+		if key == prev {
+			continue
+		}
+		prev = key
+		dag.AddEdge(int(key>>32), int(key&0xffffffff))
+	}
+	if s != nil {
+		s.keys = keys[:0]
+	}
 	return dag
+}
+
+// CondReach answers component-level reachability queries on a
+// condensation DAG without building its transitive closure: the
+// descendant set of a source component is computed by one memoized DFS
+// the first time that component is queried. It exists for the partition
+// order of Definition 4.1, where only the k data-race components (k ≪ C)
+// are ever sources — the full closure pays for C rows to serve k.
+// Queries are safe for concurrent use.
+type CondReach struct {
+	scc  *SCC
+	dag  *Digraph
+	rows []atomic.Pointer[bitset.Set]
+	mu   sync.Mutex // serializes DFS materialization
+}
+
+// NewCondReach wraps a condensation DAG (components numbered in reverse
+// topological order, as StronglyConnectedOverlay produces) for memoized
+// reachability queries. No closure work happens until the first query.
+func NewCondReach(dag *Digraph, scc *SCC) *CondReach {
+	return &CondReach{scc: scc, dag: dag, rows: make([]atomic.Pointer[bitset.Set], dag.N())}
+}
+
+// SCC returns the component structure the queries are defined over.
+func (r *CondReach) SCC() *SCC { return r.scc }
+
+// ComponentReaches reports whether component c1 reaches c2 in the DAG.
+func (r *CondReach) ComponentReaches(c1, c2 int) bool {
+	if c1 == c2 {
+		return true
+	}
+	if c1 < c2 {
+		// Reverse-topological numbering: edges only go to lower ids.
+		return false
+	}
+	row := r.rows[c1].Load()
+	if row == nil {
+		row = r.materialize(c1)
+	}
+	return row.Contains(c2)
+}
+
+// Reaches reports whether node u reaches node v in the underlying graph.
+func (r *CondReach) Reaches(u, v int) bool {
+	return r.ComponentReaches(r.scc.Comp[u], r.scc.Comp[v])
+}
+
+// materialize runs one DFS from c, reusing any descendant rows already
+// built, and publishes the descendant set with an atomic store so
+// concurrent queries on built rows never take the mutex.
+func (r *CondReach) materialize(c int) *bitset.Set {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if row := r.rows[c].Load(); row != nil {
+		return row // lost the race to another materializer
+	}
+	row := bitset.New(r.dag.N())
+	row.Add(c)
+	stack := []int{c}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range r.dag.Succ(u) {
+			if row.Contains(v) {
+				continue
+			}
+			if rv := r.rows[v].Load(); rv != nil {
+				row.Union(rv)
+				continue
+			}
+			row.Add(v)
+			stack = append(stack, v)
+		}
+	}
+	r.rows[c].Store(row)
+	if reg := telemetry.Default(); reg.Enabled() {
+		reg.Counter("graph.condreach.rows_built").Inc()
+	}
+	return row
 }
 
 // Reachability answers "is there a path u⇝v?" queries on an arbitrary
@@ -338,11 +555,6 @@ func newReachability(g *Digraph, lazy bool) *Reachability {
 		// term the lazy mode and the level pre-check exist to avoid.
 		reg.Counter("graph.reach.row_unions").Add(int64(unions))
 		reg.Counter("graph.reach.rows_built").Add(int64(built))
-		// graph.scc.max_size tracks the largest SCC across EVERY
-		// reachability build in the process — hb1 graphs and augmented
-		// graphs alike. The per-analysis augmented-graph-only view is
-		// detect.scc.max_size (see core.flushTelemetry).
-		reg.Gauge("graph.scc.max_size").SetMax(int64(scc.MaxSize()))
 	}
 	return r
 }

@@ -167,12 +167,47 @@ func FromExecution(e *sim.Execution) *Trace {
 		NumLocations: e.NumLocations,
 		PerCPU:       make([][]*Event, e.NumCPUs),
 	}
+	// Counting pass: derive every structure's final size from the op
+	// streams before building anything, so construction never regrows a
+	// slice or rehashes a map. An op stream determines the event count
+	// exactly — one event per sync op plus one per maximal run of data ops.
+	perCPUEvents := make([]int, e.NumCPUs)
+	perCPUSyncs := make([]int, e.NumCPUs)
+	syncWrites := 0
+	for c := 0; c < e.NumCPUs; c++ {
+		inComp := false
+		for _, op := range e.OpsOf(c) {
+			if op.Kind.IsSync() {
+				if inComp {
+					perCPUEvents[c]++
+					inComp = false
+				}
+				perCPUEvents[c]++
+				perCPUSyncs[c]++
+				if op.Kind.IsWrite() {
+					syncWrites++
+				}
+			} else {
+				inComp = true
+			}
+		}
+		if inComp {
+			perCPUEvents[c]++
+		}
+	}
+
 	// opEvent[id] is the event that contains operation id (filled for sync
 	// writes; used to resolve acquire pairings in the second pass).
-	opEvent := make(map[int]EventRef, len(e.Ops))
-	opRole := make(map[int]memmodel.Role, len(e.Ops))
+	opEvent := make(map[int]EventRef, syncWrites)
+	opRole := make(map[int]memmodel.Role, syncWrites)
 
+	wordsPer := (e.NumLocations + 63) / 64
 	for c := 0; c < e.NumCPUs; c++ {
+		// One Event slab per processor, plus one word slab backing every
+		// computation event's two access sets.
+		slab := make([]Event, perCPUEvents[c])
+		words := make([]uint64, 2*wordsPer*(perCPUEvents[c]-perCPUSyncs[c]))
+		t.PerCPU[c] = make([]*Event, 0, perCPUEvents[c])
 		var cur *Event // open computation event, if any
 		flush := func() {
 			if cur != nil {
@@ -183,7 +218,8 @@ func FromExecution(e *sim.Execution) *Trace {
 		for _, op := range e.OpsOf(c) {
 			if op.Kind.IsSync() {
 				flush()
-				ev := &Event{
+				ev := &slab[len(t.PerCPU[c])]
+				*ev = Event{
 					Kind:     Sync,
 					Role:     op.Kind.Role(),
 					Loc:      op.Loc,
@@ -200,10 +236,14 @@ func FromExecution(e *sim.Execution) *Trace {
 				continue
 			}
 			if cur == nil {
-				cur = &Event{
+				cur = &slab[len(t.PerCPU[c])]
+				reads := bitset.Wrap(words[:wordsPer:wordsPer])
+				writes := bitset.Wrap(words[wordsPer : 2*wordsPer : 2*wordsPer])
+				words = words[2*wordsPer:]
+				*cur = Event{
 					Kind:     Comp,
-					Reads:    bitset.New(e.NumLocations),
-					Writes:   bitset.New(e.NumLocations),
+					Reads:    reads,
+					Writes:   writes,
 					ReadPC:   map[program.Addr]int{},
 					WritePC:  map[program.Addr]int{},
 					SyncSeq:  -1,
@@ -228,7 +268,7 @@ func FromExecution(e *sim.Execution) *Trace {
 	// Second pass: resolve acquire pairings from observed write ops. Sync
 	// operations map 1:1, in order, onto a processor's sync events.
 	for c := 0; c < e.NumCPUs; c++ {
-		var syncEvents []*Event
+		syncEvents := make([]*Event, 0, perCPUSyncs[c])
 		for _, ev := range t.PerCPU[c] {
 			if ev.Kind == Sync {
 				syncEvents = append(syncEvents, ev)
