@@ -8,6 +8,7 @@
 //	racedetect fig2.wrt
 //	racedetect -graph -pairing liberal trace1.wrt trace2.wrt
 //	racedetect -dot out.dot fig2set.d
+//	racedetect -explain -html report.html -flight flight/ fig2.wrt
 //
 // Exit status: 0 if every trace is data-race-free, 1 if any trace has
 // data races, 2 on errors.
@@ -15,15 +16,20 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"weakrace/internal/core"
 	"weakrace/internal/memmodel"
+	"weakrace/internal/provenance"
 	"weakrace/internal/report"
 	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
 	"weakrace/internal/trace"
 )
 
@@ -42,12 +48,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metrics    = fs.String("metrics", "", "dump a JSON telemetry snapshot on exit to this file (- for stdout)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		explain    = fs.Bool("explain", false, "print per-race witness explanations (certificates, first-partition chains)")
+		dotParts   = fs.String("dot-partitions", "", "write the partition condensation DAG in Graphviz DOT form to this file")
+		htmlOut    = fs.String("html", "", "write a single-file HTML race report to this file\n(multiple inputs get numbered suffixes)")
+		flight     = fs.String("flight", "", "write a flight-recorder directory: flight.jsonl, trace.json (Perfetto), witnesses.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: racedetect [-graph] [-dot file] [-pairing conservative|liberal] [-metrics file|-] trace.wrt ...")
+		fmt.Fprintln(stderr, "usage: racedetect [-graph] [-dot file] [-explain] [-html file] [-flight dir] [-pairing conservative|liberal] [-metrics file|-] trace.wrt ...")
 		return 2
 	}
 	var policy memmodel.PairingPolicy
@@ -71,14 +81,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer stopProfiles()
 
+	var fr *export.Recorder
+	if *flight != "" {
+		fr = export.NewRecorder()
+	}
+	// Witness sets per input, written into the flight directory so the
+	// structural log and the explanations travel together.
+	type inputWitnesses struct {
+		Input     string                `json:"input"`
+		Witnesses []*provenance.Witness `json:"witnesses"`
+	}
+	var witnessed []inputWitnesses
+
 	anyRaces := false
-	for _, path := range fs.Args() {
+	for i, path := range fs.Args() {
 		tr, err := readTrace(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "racedetect: %s: %v\n", path, err)
 			return 2
 		}
-		a, err := core.Analyze(tr, core.Options{Pairing: policy, SkipValidate: true})
+		a, err := core.Analyze(tr, core.Options{Pairing: policy, SkipValidate: true, Flight: fr})
 		if err != nil {
 			fmt.Fprintf(stderr, "racedetect: %s: %v\n", path, err)
 			return 2
@@ -108,9 +130,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "racedetect: %v\n", err)
 			return 2
 		}
+		var ex *provenance.Explainer
+		if *explain || *htmlOut != "" || *dotParts != "" || fr != nil {
+			ex = provenance.NewExplainer(a)
+		}
+		if *dotParts != "" {
+			f, err := os.Create(*dotParts)
+			if err == nil {
+				err = report.RenderPartitionDOT(f, ex)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "racedetect: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "partition DOT written to %s\n", *dotParts)
+		}
+		if *explain {
+			if err := report.RenderExplanations(stdout, ex); err != nil {
+				fmt.Fprintf(stderr, "racedetect: %v\n", err)
+				return 2
+			}
+		}
+		if *htmlOut != "" {
+			name := numberedName(*htmlOut, i, fs.NArg())
+			f, err := os.Create(name)
+			if err == nil {
+				err = report.RenderHTML(f, ex)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "racedetect: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "HTML report written to %s\n", name)
+		}
+		if fr != nil {
+			ws, err := ex.All()
+			if err != nil {
+				fmt.Fprintf(stderr, "racedetect: %v\n", err)
+				return 2
+			}
+			witnessed = append(witnessed, inputWitnesses{Input: path, Witnesses: ws})
+		}
 		if !a.RaceFree() {
 			anyRaces = true
 		}
+	}
+	if fr != nil {
+		if err := fr.WriteDir(*flight); err != nil {
+			fmt.Fprintf(stderr, "racedetect: %v\n", err)
+			return 2
+		}
+		data, err := json.MarshalIndent(witnessed, "", " ")
+		if err == nil {
+			err = os.WriteFile(filepath.Join(*flight, "witnesses.json"), append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "racedetect: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "flight recording written to %s\n", *flight)
 	}
 	if *metrics != "" {
 		if err := telemetry.DumpDefault(*metrics, stdout); err != nil {
@@ -122,6 +206,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// numberedName returns base unchanged for a single input and inserts a
+// 1-based index before the extension otherwise, so several inputs each
+// get their own HTML report.
+func numberedName(base string, i, n int) string {
+	if n == 1 {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return fmt.Sprintf("%s.%d%s", strings.TrimSuffix(base, ext), i+1, ext)
 }
 
 // readTrace loads a trace from a path: a directory is a per-processor

@@ -11,6 +11,7 @@ import (
 	"weakrace/internal/memmodel"
 	"weakrace/internal/sim"
 	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
 	"weakrace/internal/trace"
 	"weakrace/internal/workload"
 )
@@ -159,5 +160,79 @@ func TestRunCorruptTrace(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "racedetect:") {
 		t.Fatalf("stderr missing error: %s", errb.String())
+	}
+}
+
+// TestRunProvenanceFlags: -explain prints witnesses, -html writes one
+// report per input (numbered when there are several), and -flight writes
+// a parseable flight directory with a witnesses.json entry per input.
+func TestRunProvenanceFlags(t *testing.T) {
+	dir := t.TempDir()
+	racy, clean, _, _ := writeTraces(t, dir)
+	htmlPath := filepath.Join(dir, "report.html")
+	flightDir := filepath.Join(dir, "flight")
+	var out, errb bytes.Buffer
+	got := run([]string{"-explain", "-html", htmlPath, "-flight", flightDir, racy, clean}, &out, &errb)
+	if got != 1 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	for _, want := range []string{"witnesses for", "certificate:", "FIRST (Theorem 4.2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	// Two inputs: numbered HTML reports, racy first.
+	for i, want := range []string{"DATA RACES DETECTED", "NO DATA RACES"} {
+		data, err := os.ReadFile(filepath.Join(dir, "report."+string(rune('1'+i))+".html"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("HTML %d missing %q", i+1, want)
+		}
+	}
+	// Flight directory: a parseable JSONL log covering both analyses, a
+	// Chrome trace, and per-input witness sets.
+	f, err := os.Open(filepath.Join(flightDir, export.FlightLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := export.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas := 0
+	for _, rec := range recs {
+		if rec.Kind == export.KindMeta {
+			metas++
+		}
+	}
+	if metas != 2 {
+		t.Fatalf("flight log has %d meta records for 2 inputs", metas)
+	}
+	var traceTop struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	data, err := os.ReadFile(filepath.Join(flightDir, export.ChromeTraceName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &traceTop); err != nil || len(traceTop.TraceEvents) == 0 {
+		t.Fatalf("chrome trace unusable: %v", err)
+	}
+	var witnessed []struct {
+		Input     string            `json:"input"`
+		Witnesses []json.RawMessage `json:"witnesses"`
+	}
+	data, err = os.ReadFile(filepath.Join(flightDir, "witnesses.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &witnessed); err != nil {
+		t.Fatal(err)
+	}
+	if len(witnessed) != 2 || witnessed[0].Input != racy || len(witnessed[0].Witnesses) == 0 || len(witnessed[1].Witnesses) != 0 {
+		t.Fatalf("witnesses.json wrong: %+v", witnessed)
 	}
 }

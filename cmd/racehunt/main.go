@@ -9,6 +9,11 @@
 //	racehunt -workload buggy-counter -model WO -seeds 500
 //	racehunt -workload buggy-counter -seeds 500 -progress -metrics -
 //	racehunt -workload dekker -seeds 2000 -cpuprofile cpu.pprof
+//	racehunt -workload race-chain -seeds 100 -explain -html report.html -flight flight/
+//
+// With -explain, -html, or -flight the hunt replays the top race's
+// example seed once more and explains that execution in full; the
+// flight directory additionally holds one summary record per seed.
 package main
 
 import (
@@ -18,8 +23,14 @@ import (
 	"os"
 
 	"weakrace/internal/campaign"
+	"weakrace/internal/core"
 	"weakrace/internal/memmodel"
+	"weakrace/internal/provenance"
+	"weakrace/internal/report"
+	"weakrace/internal/sim"
 	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
+	"weakrace/internal/trace"
 	"weakrace/internal/workload"
 )
 
@@ -56,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		progress   = fs.Bool("progress", false, "print periodic campaign progress to stderr")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		explain    = fs.Bool("explain", false, "replay the top race's example seed and print witness explanations")
+		htmlOut    = fs.String("html", "", "write an HTML race report for the top race's example seed to this file")
+		flight     = fs.String("flight", "", "write a flight-recorder directory: per-seed summaries plus the replayed example in full")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -103,14 +117,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	rep, err := campaign.RunWithOptions(campaign.Config{
+	var fr *export.Recorder
+	if *flight != "" {
+		fr = export.NewRecorder()
+		opts.Flight = fr
+	}
+
+	cfg := campaign.Config{
 		Workload:   ctor(),
 		Model:      model,
 		Seeds:      *seeds,
 		RetireProb: *retireProb,
 		Pairing:    pairing,
 		Workers:    *workers,
-	}, opts)
+	}
+	rep, err := campaign.RunWithOptions(cfg, opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "racehunt: %v\n", err)
 		return 2
@@ -118,6 +139,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := rep.Render(stdout); err != nil {
 		fmt.Fprintf(stderr, "racehunt: %v\n", err)
 		return 2
+	}
+	if *explain || *htmlOut != "" || fr != nil {
+		if code := explainExample(cfg, rep, *explain, *htmlOut, fr, stdout, stderr); code != 0 {
+			return code
+		}
+	}
+	if fr != nil {
+		if err := fr.WriteDir(*flight); err != nil {
+			fmt.Fprintf(stderr, "racehunt: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "racehunt: flight recording written to %s\n", *flight)
 	}
 	if *metrics != "" {
 		if err := telemetry.DumpDefault(*metrics, stdout); err != nil {
@@ -127,6 +160,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if !rep.RaceFree() {
 		return 1
+	}
+	return 0
+}
+
+// explainExample replays the campaign's top race (most frequent; its
+// example seed prefers a first-partition occurrence) and explains that
+// one execution in full: text witnesses to stdout under -explain, an
+// HTML report under -html, and the full structural log into the flight
+// recorder when one is attached. A race-free campaign has nothing to
+// explain; that is a note, not an error.
+func explainExample(cfg campaign.Config, rep *campaign.Report, explain bool, htmlOut string, fr *export.Recorder, stdout, stderr io.Writer) int {
+	if rep.RaceFree() {
+		fmt.Fprintln(stderr, "racehunt: no data races in any execution; nothing to explain")
+		return 0
+	}
+	seed := rep.Races[0].ExampleSeed
+	r, err := sim.Run(cfg.Workload.Prog, sim.Config{
+		Model: cfg.Model, Seed: seed,
+		RetireProb: cfg.RetireProb,
+		InitMemory: cfg.Workload.InitMemory,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "racehunt: replay seed %d: %v\n", seed, err)
+		return 2
+	}
+	a, err := core.Analyze(trace.FromExecution(r.Exec), core.Options{Pairing: cfg.Pairing, Flight: fr})
+	if err != nil {
+		fmt.Fprintf(stderr, "racehunt: replay seed %d: %v\n", seed, err)
+		return 2
+	}
+	ex := provenance.NewExplainer(a)
+	if explain {
+		fmt.Fprintf(stdout, "replay of seed %d (top race's example):\n", seed)
+		if err := report.RenderExplanations(stdout, ex); err != nil {
+			fmt.Fprintf(stderr, "racehunt: %v\n", err)
+			return 2
+		}
+	}
+	if htmlOut != "" {
+		f, err := os.Create(htmlOut)
+		if err == nil {
+			err = report.RenderHTML(f, ex)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "racehunt: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "racehunt: HTML report for seed %d written to %s\n", seed, htmlOut)
 	}
 	return 0
 }

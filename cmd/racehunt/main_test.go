@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
 )
 
 func TestRunCleanWorkload(t *testing.T) {
@@ -169,5 +170,83 @@ func TestRunErrors(t *testing.T) {
 		if got := run(args, &out, &errb); got != 2 {
 			t.Fatalf("args %v: exit = %d, want 2", args, got)
 		}
+	}
+}
+
+// TestRunStdoutPipeClean: the campaign report (and witness explanations)
+// are the tool's product and go to stdout; progress and every other
+// diagnostic goes to stderr, so `racehunt ... | tee report.txt` stays
+// clean. Every diagnostic line carries the "racehunt:" prefix — none may
+// appear on stdout.
+func TestRunStdoutPipeClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	got := run([]string{"-workload", "race-chain", "-seeds", "30", "-progress", "-explain"}, &out, &errb)
+	if got != 1 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "racehunt:") {
+			t.Fatalf("diagnostic leaked to stdout: %q", line)
+		}
+	}
+	if !strings.Contains(errb.String(), "progress") {
+		t.Fatalf("progress missing from stderr:\n%s", errb.String())
+	}
+	if !strings.Contains(out.String(), "campaign:") || !strings.Contains(out.String(), "witnesses for") {
+		t.Fatalf("stdout lacks report or explanations:\n%s", out.String())
+	}
+}
+
+// TestRunProvenanceFlags: -flight writes one seed summary per seed plus
+// the replayed example's full log; -html writes the example's report.
+func TestRunProvenanceFlags(t *testing.T) {
+	dir := t.TempDir()
+	htmlPath := filepath.Join(dir, "hunt.html")
+	flightDir := filepath.Join(dir, "flight")
+	var out, errb bytes.Buffer
+	got := run([]string{"-workload", "race-chain", "-seeds", "15", "-html", htmlPath, "-flight", flightDir}, &out, &errb)
+	if got != 1 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	data, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "DATA RACES DETECTED") {
+		t.Fatal("HTML report lacks verdict")
+	}
+	f, err := os.Open(filepath.Join(flightDir, export.FlightLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := export.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, metas := 0, 0
+	for _, rec := range recs {
+		switch rec.Kind {
+		case export.KindSeed:
+			seeds++
+		case export.KindMeta:
+			metas++
+		}
+	}
+	if seeds != 15 {
+		t.Fatalf("%d seed summaries for 15 seeds", seeds)
+	}
+	if metas != 1 {
+		t.Fatalf("%d full analysis dumps; want exactly the replayed example", metas)
+	}
+
+	// A race-free hunt has nothing to replay: still succeeds, notes it.
+	out.Reset()
+	errb.Reset()
+	if got := run([]string{"-workload", "locked-counter", "-seeds", "10", "-explain"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	if !strings.Contains(errb.String(), "nothing to explain") {
+		t.Fatalf("stderr missing race-free note:\n%s", errb.String())
 	}
 }

@@ -102,6 +102,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list     = fs.Bool("list", false, "list scenarios and exit")
 		baseline = fs.String("baseline", "", "trajectory file to guard against")
 		guard    = fs.String("guard", "", "regression guards, comma-separated scenario:metric:factor entries;\nexit 1 if a metric exceeds factor x its -baseline value")
+		flight   = fs.String("flight", "", "after the scenarios, run one segments-32 analysis with a flight recorder\nand write flight.jsonl + trace.json (Perfetto) into this directory")
+		htmlOut  = fs.String("html", "", "with -flight or alone: write the segments-32 run's HTML race report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -177,6 +179,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *out != "-" {
 		fmt.Fprintf(stderr, "wrbench: trajectory written to %s\n", *out)
 	}
+	if *flight != "" || *htmlOut != "" {
+		if err := captureProvenance(*flight, *htmlOut, stderr); err != nil {
+			fmt.Fprintf(stderr, "wrbench: %v\n", err)
+			return 2
+		}
+	}
 	if *guard != "" {
 		if *baseline == "" {
 			fmt.Fprintln(stderr, "wrbench: -guard requires -baseline")
@@ -197,6 +205,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// captureProvenance runs the postmortem-scaling scenario's segments-32
+// point once with a flight recorder attached and exports the recording
+// (flight.jsonl + Perfetto trace.json) and/or the HTML race report —
+// the artifacts CI archives from its perf-smoke run. Runs after the
+// timed scenarios so it cannot perturb them.
+func captureProvenance(flightDir, htmlOut string, stderr io.Writer) error {
+	w := weakrace.RandomWorkload(weakrace.RandomParams{
+		Seed: 5, CPUs: 4, Segments: 32, UnlockedFraction: 0.3,
+	})
+	res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{Model: weakrace.WO, Seed: 1})
+	if err != nil {
+		return err
+	}
+	fr := weakrace.NewFlightRecorder()
+	a, err := weakrace.Detect(weakrace.TraceExecution(res.Exec), weakrace.DetectOptions{Flight: fr})
+	if err != nil {
+		return err
+	}
+	if flightDir != "" {
+		if err := fr.WriteDir(flightDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrbench: flight recording (segments-32) written to %s\n", flightDir)
+	}
+	if htmlOut != "" {
+		f, err := os.Create(htmlOut)
+		if err == nil {
+			err = weakrace.WriteHTMLReport(f, weakrace.NewExplainer(a))
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrbench: HTML report (segments-32) written to %s\n", htmlOut)
+	}
+	return nil
 }
 
 // checkGuards enforces coarse regression guards: each entry names a

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"weakrace/internal/telemetry/export"
 )
 
 func TestRunList(t *testing.T) {
@@ -168,5 +170,50 @@ func TestRegressionGuard(t *testing.T) {
 	if got := run([]string{"-scenario", "full-pipeline", "-iters", "1", "-o", "-",
 		"-baseline", base, "-guard", "nonsense"}, &out, &errb); got != 2 {
 		t.Fatalf("malformed guard: exit = %d, want 2", got)
+	}
+}
+
+// TestProvenanceCapture: -flight/-html run the segments-32 analysis once
+// after the timed scenarios and write the CI artifacts; the stdout
+// trajectory stays pipe-clean JSON.
+func TestProvenanceCapture(t *testing.T) {
+	dir := t.TempDir()
+	flightDir := filepath.Join(dir, "flight")
+	htmlPath := filepath.Join(dir, "report.html")
+	var out, errb bytes.Buffer
+	got := run([]string{"-scenario", "postmortem-scaling", "-iters", "1", "-o", "-",
+		"-flight", flightDir, "-html", htmlPath}, &out, &errb)
+	if got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	var o Output
+	if err := json.Unmarshal(out.Bytes(), &o); err != nil {
+		t.Fatalf("stdout is not the JSON trajectory: %v", err)
+	}
+	f, err := os.Open(filepath.Join(flightDir, export.FlightLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := export.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, rec := range recs {
+		kinds[rec.Kind]++
+	}
+	if kinds[export.KindMeta] != 1 || kinds[export.KindEvent] == 0 || kinds[export.KindEdge] == 0 {
+		t.Fatalf("flight log incomplete: %v", kinds)
+	}
+	if _, err := os.Stat(filepath.Join(flightDir, export.ChromeTraceName)); err != nil {
+		t.Fatal(err)
+	}
+	html, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "<!DOCTYPE html>") {
+		t.Fatal("HTML report malformed")
 	}
 }

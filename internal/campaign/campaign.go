@@ -22,6 +22,7 @@ import (
 	"weakrace/internal/memmodel"
 	"weakrace/internal/sim"
 	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
 	"weakrace/internal/trace"
 	"weakrace/internal/workload"
 )
@@ -99,6 +100,13 @@ type Options struct {
 	// done strictly increasing from 1 to total. Calls are serialized but
 	// come from worker goroutines; keep the callback fast.
 	Progress func(done, total int)
+	// Flight, when non-nil, records one summary record per seed (duration,
+	// race/partition counts, failure) into the flight recorder. The
+	// campaign deliberately does NOT forward the recorder into each seed's
+	// core.Analyze: a 500-seed hunt wants 500 summaries, not 500 full
+	// event/edge dumps. Replay the interesting seed with a recorder
+	// attached to get the full log.
+	Flight *export.Recorder
 }
 
 // Run executes the campaign, fanning executions across workers. The
@@ -163,6 +171,33 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 			defer seedDone()
 			sp := reg.StartSpan("campaign.seed")
 			defer sp.End()
+			// The seed summary is timed and emitted only when a recorder is
+			// attached; the default path costs one nil check.
+			var seedStart time.Time
+			if opts.Flight != nil {
+				seedStart = time.Now()
+			}
+			emitSeed := func(a *core.Analysis, incomplete bool, err error) {
+				if opts.Flight == nil {
+					return
+				}
+				rec := &export.SeedRec{
+					Seed:       int64(seed),
+					DurNS:      int64(time.Since(seedStart)),
+					Incomplete: incomplete,
+				}
+				if err != nil {
+					rec.Failed, rec.Error = true, err.Error()
+				} else {
+					rec.Events = a.NumEvents
+					rec.Races = len(a.Races)
+					rec.DataRaces = len(a.DataRaces)
+					rec.Partitions = len(a.Partitions)
+					rec.FirstPartitions = len(a.FirstPartitions)
+					rec.Racy = !a.RaceFree()
+				}
+				opts.Flight.Emit(export.Record{Kind: export.KindSeed, Seed: rec})
+			}
 			r, err := simRun(cfg.Workload.Prog, sim.Config{
 				Model: cfg.Model, Seed: int64(seed),
 				RetireProb: cfg.RetireProb,
@@ -170,6 +205,7 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 			})
 			if err != nil {
 				errs[seed] = err
+				emitSeed(nil, false, err)
 				return
 			}
 			res := &seedResult{
@@ -185,8 +221,10 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 			arenas.Put(arena)
 			if err != nil {
 				errs[seed] = err
+				emitSeed(nil, res.incomplete, err)
 				return
 			}
+			emitSeed(a, res.incomplete, nil)
 			res.racy = !a.RaceFree()
 			for _, ri := range a.DataRaces {
 				pi := a.RaceOfPartition(ri)

@@ -11,6 +11,7 @@ import (
 	"weakrace/internal/program"
 	"weakrace/internal/sim"
 	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
 	"weakrace/internal/workload"
 )
 
@@ -310,5 +311,75 @@ func TestCampaignExampleSeedPrefersFirstPartition(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("stage-0 race missing")
+	}
+}
+
+// TestCampaignFlightSeedSummaries: with a flight recorder attached, the
+// campaign emits exactly one seed summary per seed — aggregate counts
+// for successes, the error for failures — and nothing else (no per-seed
+// event/edge dumps).
+func TestCampaignFlightSeedSummaries(t *testing.T) {
+	realRun := simRun
+	defer func() { simRun = realRun }()
+	injected := errors.New("injected simulator fault")
+	simRun = func(p *program.Program, cfg sim.Config) (*sim.Result, error) {
+		if cfg.Seed == 3 {
+			return nil, injected
+		}
+		return realRun(p, cfg)
+	}
+
+	const seeds = 12
+	fr := export.NewRecorder()
+	rep, err := RunWithOptions(Config{
+		Workload: workload.RaceChain(2),
+		Model:    memmodel.WO,
+		Seeds:    seeds,
+		Workers:  4,
+	}, Options{Flight: fr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := fr.Records()
+	bySeed := map[int64]*export.SeedRec{}
+	for _, rec := range recs {
+		if rec.Kind != export.KindSeed {
+			t.Fatalf("campaign emitted a %q record; only seed summaries belong in a hunt log", rec.Kind)
+		}
+		if bySeed[rec.Seed.Seed] != nil {
+			t.Fatalf("seed %d summarized twice", rec.Seed.Seed)
+		}
+		bySeed[rec.Seed.Seed] = rec.Seed
+	}
+	if len(bySeed) != seeds {
+		t.Fatalf("%d seed summaries for %d seeds", len(bySeed), seeds)
+	}
+	racy := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		s := bySeed[seed]
+		if s == nil {
+			t.Fatalf("seed %d missing from flight log", seed)
+		}
+		if seed == 3 {
+			if !s.Failed || !strings.Contains(s.Error, "injected") {
+				t.Fatalf("failed seed summary wrong: %+v", s)
+			}
+			continue
+		}
+		if s.Failed || s.Error != "" {
+			t.Fatalf("healthy seed %d marked failed: %+v", seed, s)
+		}
+		if s.Events == 0 || s.DurNS <= 0 {
+			t.Fatalf("seed %d summary lacks substance: %+v", seed, s)
+		}
+		if s.Racy {
+			racy++
+			if s.DataRaces == 0 || s.Partitions == 0 || s.FirstPartitions == 0 {
+				t.Fatalf("racy seed %d summary inconsistent: %+v", seed, s)
+			}
+		}
+	}
+	if racy != rep.Racy {
+		t.Errorf("flight log says %d racy seeds, report says %d", racy, rep.Racy)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"weakrace/internal/program"
 	"weakrace/internal/sim"
 	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
 	"weakrace/internal/trace"
 )
 
@@ -77,6 +78,13 @@ type Options struct {
 	// the same megabyte-scale buffers. An Arena must not be shared by
 	// concurrent Analyze calls.
 	Arena *Arena
+	// Flight, when non-nil, attaches a flight recorder: Analyze records
+	// the trace's events, hb1 edges tagged by origin (po/so1), the G′
+	// race-partner edges, the detection phases as a timeline, and the
+	// races and partitions found (see internal/telemetry/export). Nil —
+	// the default — records nothing and costs one pointer check per
+	// phase; the gate mirrors telemetry's atomic Enabled discipline.
+	Flight *export.Recorder
 }
 
 // Arena holds the per-Analyze scratch buffers that are NOT retained by
@@ -205,11 +213,12 @@ func (a *Analysis) RaceFree() bool { return len(a.DataRaces) == 0 }
 // Analyze runs the full post-mortem detection pipeline on a trace.
 func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
 	reg := telemetry.Default()
-	defer reg.StartSpan("detect.analyze").End()
+	fl := newFlight(opts.Flight)
+	defer startPhase(reg, fl, "detect.analyze")()
 	if !opts.SkipValidate {
-		sp := reg.StartSpan("detect.validate")
+		done := startPhase(reg, fl, "detect.validate")
 		err := t.Validate()
-		sp.End()
+		done()
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -233,20 +242,20 @@ func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
 	}
 	a.NumEvents = n
 
-	sp := reg.StartSpan("detect.build_hb")
+	done := startPhase(reg, fl, "detect.build_hb")
 	a.buildHB()
-	sp.End()
-	sp = reg.StartSpan("detect.hb_reach")
+	done()
+	done = startPhase(reg, fl, "detect.hb_reach")
 	// Lazy reachability: the race search's pre-checks (component id,
 	// topological level) answer most ordering queries without closure
 	// rows, so sparse-race traces never materialize the full O(C²/64)
 	// closure of either graph.
 	a.HBReach = graph.NewReachabilityLazy(a.HB)
-	sp.End()
-	sp = reg.StartSpan("detect.find_races")
+	done()
+	done = startPhase(reg, fl, "detect.find_races")
 	a.findRaces()
-	sp.End()
-	sp = reg.StartSpan("detect.augment")
+	done()
+	done = startPhase(reg, fl, "detect.augment")
 	if opts.ExplicitAug {
 		a.buildAugmented()
 		a.AugReach = graph.NewReachabilityLazy(a.Aug)
@@ -255,11 +264,14 @@ func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
 	} else {
 		a.buildImplicitAug()
 	}
-	sp.End()
-	sp = reg.StartSpan("detect.partition")
+	done()
+	done = startPhase(reg, fl, "detect.partition")
 	a.partition()
-	sp.End()
+	done()
 	a.flushTelemetry(reg)
+	if fl != nil {
+		fl.record(a)
+	}
 	return a, nil
 }
 

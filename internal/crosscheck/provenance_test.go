@@ -1,0 +1,153 @@
+package crosscheck
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"weakrace/internal/core"
+	"weakrace/internal/graph"
+	"weakrace/internal/provenance"
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+)
+
+// TestCertificatesAgainstExplicitClosure verifies the witness engine's
+// absence certificates against a fully materialized transitive closure
+// of the hb1 graph. The engine computes each boundary with two binary
+// searches over CondReach; here every boundary is recomputed by linear
+// scan over graph.NewReachability, the monotonicity the searches rely
+// on is checked event by event, and the racing partner is confirmed to
+// lie strictly inside the bracket (i.e. the certificate really proves
+// hb1-unorderedness).
+func TestCertificatesAgainstExplicitClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	witnessed := 0
+	for trial := 0; trial < 40; trial++ {
+		w := randomWorkload(rng, true)
+		model := weakModel(rng)
+		seed := rng.Int63n(1000)
+		r, err := sim.Run(w.Prog, sim.Config{Model: model, Seed: seed, InitMemory: w.InitMemory})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Analyze(trace.FromExecution(r.Exec), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.RaceFree() {
+			continue
+		}
+		closure := graph.NewReachability(a.HB)
+		ws, err := provenance.NewExplainer(a).All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wit := range ws {
+			witnessed++
+			checkBoundary(t, a, closure, wit.A.Event, wit.Certificate.A, wit.B)
+			checkBoundary(t, a, closure, wit.B.Event, wit.Certificate.B, wit.A)
+		}
+	}
+	if witnessed < 20 {
+		t.Fatalf("only %d witnesses checked; generator drifted", witnessed)
+	}
+}
+
+// checkBoundary recomputes the bracket that event x cuts out of the
+// partner's processor stream by brute force over the explicit closure
+// and compares it with the certificate's boundary.
+func checkBoundary(t *testing.T, a *core.Analysis, closure *graph.Reachability, x int, b provenance.Boundary, partner provenance.Side) {
+	t.Helper()
+	if b.CPU != partner.CPU || b.Partner != partner.Index {
+		t.Fatalf("boundary names cpu %d partner %d; racing side is P%d index %d",
+			b.CPU, b.Partner, partner.CPU+1, partner.Index)
+	}
+	stream := a.Trace.PerCPU[b.CPU]
+	at := func(j int) int { return int(a.ID(trace.EventRef{CPU: b.CPU, Index: j})) }
+
+	// Brute-force bracket over the explicit closure, plus the
+	// monotonicity check: reaching-x must be a prefix of the stream and
+	// reached-by-x a suffix, or the engine's binary searches are unsound.
+	lastPred, firstSucc := -1, len(stream)
+	for j := range stream {
+		if closure.Reaches(at(j), x) {
+			if j != lastPred+1 {
+				t.Fatalf("events reaching %d on P%d are not a prefix: gap before index %d", x, b.CPU+1, j)
+			}
+			lastPred = j
+		}
+	}
+	for j := len(stream) - 1; j >= 0; j-- {
+		if closure.Reaches(x, at(j)) {
+			if j != firstSucc-1 {
+				t.Fatalf("events reached by %d on P%d are not a suffix: gap after index %d", x, b.CPU+1, j)
+			}
+			firstSucc = j
+		}
+	}
+	if b.LastPred != lastPred || b.FirstSucc != firstSucc {
+		t.Fatalf("certificate bracket (%d, %d) for event %d on P%d; explicit closure says (%d, %d)",
+			b.LastPred, b.FirstSucc, x, b.CPU+1, lastPred, firstSucc)
+	}
+	// The bracket must actually prove the race: the partner strictly
+	// inside means neither direction of hb1 orders the pair.
+	if !(b.Partner > b.LastPred && b.Partner < b.FirstSucc) {
+		t.Fatalf("partner index %d not strictly inside bracket (%d, %d): certificate proves nothing",
+			b.Partner, b.LastPred, b.FirstSucc)
+	}
+	if closure.Ordered(x, at(b.Partner)) {
+		t.Fatalf("event %d and partner %d are hb1-ordered; race report is wrong", x, at(b.Partner))
+	}
+}
+
+// TestWitnessesImplicitVsExplicitAug: the witness engine must produce
+// byte-identical explanations whether the analysis ran on the default
+// implicit augmented graph or on a materialized G′ — partitions, first
+// flags, certificates, and affected-by chains all included.
+func TestWitnessesImplicitVsExplicitAug(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	compared := 0
+	for trial := 0; trial < 30; trial++ {
+		w := randomWorkload(rng, true)
+		model := weakModel(rng)
+		seed := rng.Int63n(1000)
+		r, err := sim.Run(w.Prog, sim.Config{Model: model, Seed: seed, InitMemory: w.InitMemory})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.FromExecution(r.Exec)
+		imp, err := core.Analyze(tr, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := core.Analyze(tr, core.Options{ExplicitAug: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		impW, err := provenance.NewExplainer(imp).All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		expW, err := provenance.NewExplainer(exp).All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		impJSON, err := json.Marshal(impW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expJSON, err := json.Marshal(expW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(impJSON) != string(expJSON) {
+			t.Fatalf("trial %d (%s, %v, seed %d): witnesses differ between implicit and explicit G′:\nimplicit: %s\nexplicit: %s",
+				trial, w.Name, model, seed, impJSON, expJSON)
+		}
+		compared += len(impW)
+	}
+	if compared < 20 {
+		t.Fatalf("only %d witnesses compared; generator drifted", compared)
+	}
+}

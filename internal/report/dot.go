@@ -7,6 +7,7 @@ import (
 
 	"weakrace/internal/core"
 	"weakrace/internal/memmodel"
+	"weakrace/internal/provenance"
 	"weakrace/internal/trace"
 )
 
@@ -84,4 +85,39 @@ func eventLabel(ev *trace.Event) string {
 		return fmt.Sprintf("%s(%d)", ev.Role, ev.Loc)
 	}
 	return fmt.Sprintf("R%s W%s", ev.Reads, ev.Writes)
+}
+
+// RenderPartitionDOT writes the condensation view of the augmented graph
+// in Graphviz DOT form: one node per data-race partition, colored by
+// first status exactly as the HTML report colors its DAG (first filled
+// red, non-first hollow), labeled with the partition's race-partner edge
+// and event counts, and connected by the immediate edges of the
+// partition order P — the transitive reduction, so the drawing matches
+// Definition 4.1 without clutter.
+func RenderPartitionDOT(w io.Writer, e *provenance.Explainer) error {
+	a := e.Analysis()
+	var sb strings.Builder
+	sb.WriteString("digraph partitions {\n")
+	sb.WriteString("  rankdir=LR;\n")
+	sb.WriteString("  node [shape=box, fontname=\"Helvetica\", fontsize=10];\n")
+	fmt.Fprintf(&sb, "  label=%q;\n", fmt.Sprintf("data-race partitions: %s (%s, seed %d) — %d first of %d",
+		a.Trace.ProgramName, a.Trace.Model, a.Trace.Seed, len(a.FirstPartitions), len(a.Partitions)))
+	for pi, p := range a.Partitions {
+		attrs := "color=\"#59636e\""
+		if p.First {
+			attrs = "style=filled, fillcolor=\"#ffd6d6\", color=red, penwidth=2"
+		}
+		fmt.Fprintf(&sb, "  p%d [label=%q, %s];\n", pi,
+			fmt.Sprintf("partition %d%s\n%d race edge(s), %d event(s)",
+				pi, map[bool]string{true: " ★", false: ""}[p.First], len(p.Races), len(p.Events)),
+			attrs)
+	}
+	for i, outs := range e.ImmediateSuccessors() {
+		for _, j := range outs {
+			fmt.Fprintf(&sb, "  p%d -> p%d [label=\"precedes\", fontsize=8];\n", i, j)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
 }

@@ -2,11 +2,13 @@ package report
 
 import (
 	"bytes"
+	"regexp"
 	"strings"
 	"testing"
 
 	"weakrace/internal/core"
 	"weakrace/internal/memmodel"
+	"weakrace/internal/provenance"
 	"weakrace/internal/trace"
 	"weakrace/internal/workload"
 )
@@ -55,5 +57,65 @@ func TestRenderDOTRaceFree(t *testing.T) {
 	}
 	if !strings.Contains(out, "style=dashed, label=\"so1\"") {
 		t.Fatal("so1 edge missing")
+	}
+}
+
+// TestRenderPartitionDOT: the condensation DOT mirrors the HTML DAG —
+// one node per partition, first partitions filled red, race-edge counts
+// in the labels, and exactly the immediate precedence edges.
+func TestRenderPartitionDOT(t *testing.T) {
+	r, err := workload.RunFig2Stale(memmodel.WO, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(trace.FromExecution(r.Exec), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := provenance.NewExplainer(a)
+	var buf bytes.Buffer
+	if err := RenderPartitionDOT(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph partitions {",
+		"fillcolor=\"#ffd6d6\"", // first partitions filled, like the HTML
+		"race edge(s)",          // partner-edge counts in labels
+		"precedes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("partition DOT missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, " ★"); got != len(a.FirstPartitions) {
+		t.Errorf("%d first markers for %d first partitions", got, len(a.FirstPartitions))
+	}
+	nodes := regexp.MustCompile(`(?m)^  p\d+ \[`).FindAllString(out, -1)
+	if len(nodes) != len(a.Partitions) {
+		t.Errorf("%d nodes for %d partitions", len(nodes), len(a.Partitions))
+	}
+	edges := 0
+	for _, outs := range e.ImmediateSuccessors() {
+		edges += len(outs)
+	}
+	if got := strings.Count(out, " -> "); got != edges {
+		t.Errorf("%d DOT edges for %d immediate precedence edges", got, edges)
+	}
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatal("unbalanced braces in partition DOT")
+	}
+}
+
+// A race-free analysis yields an empty condensation: a valid DOT graph
+// with no partition nodes.
+func TestRenderPartitionDOTRaceFree(t *testing.T) {
+	a := analyzeWorkload(t, workload.Figure1b(), 1)
+	var buf bytes.Buffer
+	if err := RenderPartitionDOT(&buf, provenance.NewExplainer(a)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "p0 [") {
+		t.Fatal("race-free condensation has nodes")
 	}
 }

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"weakrace/internal/provenance"
+)
+
+// RenderExplanations writes the per-race witness explanations as text: for
+// each data race the conflicting accesses, the lower-level candidates, the
+// hb1-unorderedness certificate, and the partition verdict — with the
+// affected-by chain back to a first partition when the race is not first.
+func RenderExplanations(w io.Writer, e *provenance.Explainer) error {
+	a := e.Analysis()
+	ws, err := e.All()
+	if err != nil {
+		return err
+	}
+	t := a.Trace
+	if _, err := fmt.Fprintf(w, "witnesses for %q (model %s, seed %d): %d data race(s)\n",
+		t.ProgramName, t.Model, t.Seed, len(ws)); err != nil {
+		return err
+	}
+	for _, wit := range ws {
+		if err := renderWitness(w, wit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderWitness(w io.Writer, wit *provenance.Witness) error {
+	locs := make([]string, len(wit.Locations))
+	for i, loc := range wit.Locations {
+		locs[i] = fmt.Sprint(loc)
+	}
+	if _, err := fmt.Fprintf(w, "race %d ⟨%s, %s⟩ on location(s) {%s}\n",
+		wit.Race, wit.A.Ref, wit.B.Ref, strings.Join(locs, ", ")); err != nil {
+		return err
+	}
+	for _, s := range []provenance.Side{wit.A, wit.B} {
+		if _, err := fmt.Fprintf(w, "  %s = CPU %d event %d: %s\n", s.Ref, s.CPU, s.Index, s.Desc); err != nil {
+			return err
+		}
+	}
+	for _, ll := range wit.LowerLevel {
+		if _, err := fmt.Fprintf(w, "  lower-level: %s\n", ll); err != nil {
+			return err
+		}
+	}
+	cert := wit.Certificate
+	for _, half := range []struct {
+		x, stream string
+		b         provenance.Boundary
+	}{
+		{wit.A.Ref, wit.B.Ref, cert.A},
+		{wit.B.Ref, wit.A.Ref, cert.B},
+	} {
+		if _, err := fmt.Fprintf(w,
+			"  certificate: on P%d, last event reaching %s is %s and first event %s reaches is %s; %s at index %d lies strictly between ⇒ unordered\n",
+			half.b.CPU+1, half.x, orNone(half.b.PredRef), half.x, orNone(half.b.SuccRef),
+			half.stream, half.b.Partner); err != nil {
+			return err
+		}
+	}
+	verdict := "NON-FIRST"
+	if wit.First {
+		verdict = "FIRST (Theorem 4.2: a race of this partition occurs under sequential consistency)"
+	}
+	if _, err := fmt.Fprintf(w, "  partition %d: %s\n", wit.Partition, verdict); err != nil {
+		return err
+	}
+	if len(wit.Chain) > 0 {
+		hops := make([]string, len(wit.Chain))
+		for i, pi := range wit.Chain {
+			hops[i] = fmt.Sprintf("partition %d", pi)
+		}
+		if _, err := fmt.Fprintf(w, "  affected by (Definition 3.3): %s\n",
+			strings.Join(hops, " ⇒ ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func orNone(ref string) string {
+	if ref == "-" {
+		return "(none)"
+	}
+	return ref
+}
+
+// WriteWitnessesJSON writes the witnesses as an indented JSON array —
+// the machine-readable companion of RenderExplanations, and the format
+// the provenance golden tests pin.
+func WriteWitnessesJSON(w io.Writer, ws []*provenance.Witness) error {
+	data, err := json.MarshalIndent(ws, "", " ")
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"weakrace/internal/core"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/provenance"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// explainFig2 analyzes the deterministic Figure 2b anomaly (first and
+// non-first partitions) and returns its explainer.
+func explainFig2(t *testing.T) *provenance.Explainer {
+	t.Helper()
+	r, err := workload.RunFig2Stale(memmodel.WO, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(trace.FromExecution(r.Exec), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return provenance.NewExplainer(a)
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/report -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output diverges from %s:\ngot:\n%s\nwant:\n%s\n(run go test ./internal/report -update if intended)", path, got, want)
+	}
+}
+
+// The text explanation for the Figure 2b anomaly is pinned: it is the
+// format developers and scripts read, so changes must be deliberate.
+func TestRenderExplanationsGolden(t *testing.T) {
+	e := explainFig2(t)
+	var buf bytes.Buffer
+	if err := RenderExplanations(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"witnesses for", "certificate:", "lies strictly between ⇒ unordered",
+		"FIRST (Theorem 4.2", "affected by (Definition 3.3)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+	checkGolden(t, "explain_fig2_wo_1.golden", buf.Bytes())
+}
+
+// WriteWitnessesJSON must emit exactly the witnesses' canonical JSON —
+// parseable, and element-for-element equal to what the explainer
+// produced.
+func TestWriteWitnessesJSON(t *testing.T) {
+	e := explainFig2(t)
+	ws, err := e.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWitnessesJSON(&buf, ws); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []*provenance.Witness
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(ws) {
+		t.Fatalf("round-trip lost witnesses: %d != %d", len(parsed), len(ws))
+	}
+	for i := range ws {
+		a, _ := json.Marshal(ws[i])
+		b, _ := json.Marshal(parsed[i])
+		if string(a) != string(b) {
+			t.Errorf("witness %d changed through serialization:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+func TestExplainRenderersPropagateWriteErrors(t *testing.T) {
+	e := explainFig2(t)
+	if err := RenderExplanations(&failWriter{}, e); err == nil {
+		t.Error("RenderExplanations swallowed write error")
+	}
+	if err := RenderExplanations(&failWriter{n: 3}, e); err == nil {
+		t.Error("RenderExplanations swallowed mid-stream write error")
+	}
+	ws, err := e.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteWitnessesJSON(&failWriter{}, ws); err == nil {
+		t.Error("WriteWitnessesJSON swallowed write error")
+	}
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"weakrace/internal/provenance"
+	"weakrace/internal/workload"
+)
+
+func TestRenderHTMLRacy(t *testing.T) {
+	e := explainFig2(t)
+	var buf bytes.Buffer
+	if err := RenderHTML(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"DATA RACES DETECTED",
+		"Partition DAG",
+		"<svg",
+		"unorderedness certificate",
+		"First partitions",
+		"Non-first partitions",
+		"affected by:",
+		"Theorem 4.2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// The page is self-contained: no scripts, no external fetches.
+	for _, forbid := range []string{"<script", "http://", "https://", "<no value>"} {
+		if strings.Contains(out, forbid) {
+			t.Errorf("HTML contains forbidden %q", forbid)
+		}
+	}
+	// One DAG node and one drill-down per partition, first ones open.
+	a := e.Analysis()
+	if got := strings.Count(out, "<details"); got != len(a.Partitions) {
+		t.Errorf("%d <details> blocks for %d partitions", got, len(a.Partitions))
+	}
+	if got := strings.Count(out, "<rect"); got != len(a.Partitions) {
+		t.Errorf("%d DAG nodes for %d partitions", got, len(a.Partitions))
+	}
+	if got := strings.Count(out, "★"); got != len(a.FirstPartitions) {
+		t.Errorf("%d first markers for %d first partitions", got, len(a.FirstPartitions))
+	}
+	// Every SVG edge is an immediate precedence edge, drawn left-to-right.
+	edges := 0
+	for _, outs := range provenance.NewExplainer(a).ImmediateSuccessors() {
+		edges += len(outs)
+	}
+	if got := strings.Count(out, "<line"); got != edges {
+		t.Errorf("%d SVG edges for %d immediate precedence edges", got, edges)
+	}
+	for _, m := range regexp.MustCompile(`<line x1="(\d+)"[^>]*x2="(\d+)"`).FindAllStringSubmatch(out, -1) {
+		x1, _ := strconv.Atoi(m[1])
+		x2, _ := strconv.Atoi(m[2])
+		if x1 >= x2 {
+			t.Errorf("SVG edge does not point left-to-right: %s", m[0])
+		}
+	}
+	// Elementary well-formedness: paired tags balance.
+	for _, tag := range []string{"details", "div", "ul", "li", "svg", "g"} {
+		open := len(regexp.MustCompile(`<`+tag+`[\s>]`).FindAllString(out, -1))
+		closed := strings.Count(out, "</"+tag+">")
+		if open != closed {
+			t.Errorf("unbalanced <%s>: %d open, %d closed", tag, open, closed)
+		}
+	}
+}
+
+func TestRenderHTMLRaceFree(t *testing.T) {
+	a := analyzeWorkload(t, workload.Figure1b(), 1)
+	var buf bytes.Buffer
+	if err := RenderHTML(&buf, provenance.NewExplainer(a)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "NO DATA RACES") {
+		t.Fatalf("race-free HTML lacks verdict:\n%s", out)
+	}
+	if strings.Contains(out, "<svg") || strings.Contains(out, "<details") {
+		t.Error("race-free HTML should not render a DAG or drill-downs")
+	}
+}
+
+// Program names are attacker-ish strings as far as HTML is concerned;
+// the template must escape them.
+func TestRenderHTMLEscapesProgramName(t *testing.T) {
+	a := analyzeWorkload(t, workload.Figure1b(), 1)
+	a.Trace.ProgramName = `<script>alert("x")</script>`
+	var buf bytes.Buffer
+	if err := RenderHTML(&buf, provenance.NewExplainer(a)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>") {
+		t.Fatal("program name not escaped")
+	}
+}
+
+func TestRenderHTMLPropagatesWriteErrors(t *testing.T) {
+	e := explainFig2(t)
+	if err := RenderHTML(&failWriter{}, e); err == nil {
+		t.Error("RenderHTML swallowed write error")
+	}
+}

@@ -1,0 +1,205 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// dialect Perfetto and chrome://tracing load): ph is the event type
+// ("X" complete, "i" instant, "M" metadata), ts/dur are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// usFromNS converts a nanosecond offset to trace-event microseconds.
+func usFromNS(ns int64) float64 { return float64(ns) / 1e3 }
+
+// interval is one X event before lane assignment.
+type interval struct {
+	name       string
+	start, end int64 // ns
+	args       map[string]any
+}
+
+// assignLanes packs possibly-overlapping intervals of one track into
+// lanes: an interval goes to the first lane where it either nests inside
+// the lane's innermost open interval or starts after everything on the
+// lane has ended. Well-nested phase stacks (detect.analyze wrapping its
+// sub-phases) therefore collapse to a single lane; genuinely concurrent
+// work (campaign seeds) fans out. Returns the lane index per interval
+// (in the sorted order it also returns) and the lane count.
+func assignLanes(ivs []interval) (sorted []interval, lanes []int, numLanes int) {
+	sorted = append(sorted, ivs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].start != sorted[j].start {
+			return sorted[i].start < sorted[j].start
+		}
+		return sorted[i].end > sorted[j].end // longer first: parents before children
+	})
+	lanes = make([]int, len(sorted))
+	var open [][]int64 // per lane, stack of open interval end times
+	for i, iv := range sorted {
+		placed := false
+		for l := range open {
+			st := open[l]
+			for len(st) > 0 && st[len(st)-1] <= iv.start {
+				st = st[:len(st)-1]
+			}
+			if len(st) == 0 || st[len(st)-1] >= iv.end {
+				open[l] = append(st, iv.end)
+				lanes[i] = l
+				placed = true
+				break
+			}
+			open[l] = st
+		}
+		if !placed {
+			open = append(open, []int64{iv.end})
+			lanes[i] = len(open) - 1
+		}
+	}
+	return sorted, lanes, len(open)
+}
+
+// WriteChromeTrace exports the recorder's timeline as Chrome trace-event
+// JSON: each phase record becomes a complete ("X") event, campaign seed
+// summaries become complete events on a "campaign" track, races become
+// instant ("i") events, and process/thread names are set with metadata
+// ("M") events. Tracks are grouped into thread lanes so overlapping
+// intervals never share a lane.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, r.Records())
+}
+
+// WriteChromeTrace exports the given records (see Recorder.WriteChromeTrace).
+func WriteChromeTrace(w io.Writer, recs []Record) error {
+	byTrack := map[string][]interval{}
+	trackOf := func(rec Record) string {
+		if rec.Phase != nil && rec.Phase.Track != "" {
+			return rec.Phase.Track
+		}
+		return fmt.Sprintf("analysis %d", rec.Seq)
+	}
+	var instants []chromeEvent // tids patched after lane assignment
+	instantTrack := []string{}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case KindPhase:
+			t := trackOf(rec)
+			byTrack[t] = append(byTrack[t], interval{
+				name:  rec.Phase.Name,
+				start: rec.Phase.StartNS,
+				end:   rec.Phase.StartNS + rec.Phase.DurNS,
+			})
+		case KindSeed:
+			s := rec.Seed
+			name := fmt.Sprintf("seed %d", s.Seed)
+			if s.Failed {
+				name += " (failed)"
+			}
+			start := rec.TS - s.DurNS
+			if start < 0 {
+				start = 0
+			}
+			byTrack["campaign"] = append(byTrack["campaign"], interval{
+				name:  name,
+				start: start,
+				end:   rec.TS,
+				args: map[string]any{
+					"seed":             s.Seed,
+					"events":           s.Events,
+					"races":            s.Races,
+					"data_races":       s.DataRaces,
+					"partitions":       s.Partitions,
+					"first_partitions": s.FirstPartitions,
+					"racy":             s.Racy,
+				},
+			})
+		case KindRace:
+			instants = append(instants, chromeEvent{
+				Name: fmt.Sprintf("race ⟨%s, %s⟩", rec.Race.ARef, rec.Race.BRef),
+				Ph:   "i",
+				TS:   usFromNS(rec.TS),
+				PID:  chromePID,
+				Cat:  "race",
+				S:    "t",
+				Args: map[string]any{"locs": rec.Race.Locs, "data": rec.Race.Data},
+			})
+			instantTrack = append(instantTrack, trackOf(rec))
+		}
+	}
+
+	tracks := make([]string, 0, len(byTrack))
+	for t := range byTrack {
+		tracks = append(tracks, t)
+	}
+	sort.Strings(tracks)
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": "weakrace flight recorder"},
+	}}}
+	nextTID := 1
+	trackBaseTID := map[string]int{}
+	for _, t := range tracks {
+		sorted, lanes, numLanes := assignLanes(byTrack[t])
+		trackBaseTID[t] = nextTID
+		for l := 0; l < numLanes; l++ {
+			name := t
+			if l > 0 {
+				name = fmt.Sprintf("%s [lane %d]", t, l)
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: chromePID, TID: nextTID + l,
+				Args: map[string]any{"name": name},
+			})
+		}
+		for i, iv := range sorted {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: iv.name,
+				Ph:   "X",
+				TS:   usFromNS(iv.start),
+				Dur:  usFromNS(iv.end - iv.start),
+				PID:  chromePID,
+				TID:  nextTID + lanes[i],
+				Cat:  "phase",
+				Args: iv.args,
+			})
+		}
+		nextTID += numLanes
+	}
+	for i, ev := range instants {
+		if base, ok := trackBaseTID[instantTrack[i]]; ok {
+			ev.TID = base
+		} else {
+			ev.TID = 0
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(&out); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	return nil
+}

@@ -297,3 +297,75 @@ func TestDumpDefault(t *testing.T) {
 	}
 	reg.Reset()
 }
+
+// TestSnapshotConcurrentWithUpdates runs a dedicated snapshot reader
+// against writers that only touch histograms and spans — the shapes the
+// flight recorder and campaign lean on. Under -race this pins the
+// Snapshot/update concurrency contract; the assertions pin snapshot
+// self-consistency: per-phase bucket sums never exceed the phase count,
+// counts never decrease between successive snapshots, and min <= max.
+func TestSnapshotConcurrentWithUpdates(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	const writers = 4
+	const iters = 400
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Phase("p.hist").Observe(time.Duration(i%7) * time.Millisecond)
+				sp := r.StartSpan("p.span")
+				sp.End()
+			}
+		}(w)
+	}
+	var lastHist, lastSpan int64
+	snapshots := 0
+	for lastHist < writers*iters || lastSpan < writers*iters {
+		s := r.Snapshot()
+		snapshots++
+		for name, ph := range s.Phases {
+			var bucketSum int64
+			for _, b := range ph.Buckets {
+				bucketSum += b.Count
+			}
+			// Count and buckets are read without a global freeze, so a
+			// concurrent Observe can be visible in one and not yet the
+			// other; each alone must never exceed the writers' total and
+			// min/max must stay ordered once anything was observed.
+			if ph.Count > writers*iters || bucketSum > writers*iters {
+				t.Fatalf("%s: impossible counts: count=%d buckets=%d", name, ph.Count, bucketSum)
+			}
+			if ph.Count > 0 && ph.MinNS > ph.MaxNS {
+				t.Fatalf("%s: min %d > max %d", name, ph.MinNS, ph.MaxNS)
+			}
+		}
+		if c := s.Phases["p.hist"].Count; c < lastHist {
+			t.Fatalf("p.hist count went backwards: %d -> %d", lastHist, c)
+		} else {
+			lastHist = c
+		}
+		if c := s.Phases["p.span"].Count; c < lastSpan {
+			t.Fatalf("p.span count went backwards: %d -> %d", lastSpan, c)
+		} else {
+			lastSpan = c
+		}
+	}
+	wg.Wait()
+	if snapshots < 2 {
+		t.Fatalf("only %d snapshots taken; reader never overlapped the writers", snapshots)
+	}
+	final := r.Snapshot()
+	for _, name := range []string{"p.hist", "p.span"} {
+		ph := final.Phases[name]
+		var bucketSum int64
+		for _, b := range ph.Buckets {
+			bucketSum += b.Count
+		}
+		if ph.Count != writers*iters || bucketSum != writers*iters {
+			t.Fatalf("%s final: count=%d buckets=%d, want %d", name, ph.Count, bucketSum, writers*iters)
+		}
+	}
+}

@@ -32,9 +32,11 @@ import (
 	"weakrace/internal/memmodel"
 	"weakrace/internal/onthefly"
 	"weakrace/internal/program"
+	"weakrace/internal/provenance"
 	"weakrace/internal/report"
 	"weakrace/internal/scp"
 	"weakrace/internal/sim"
+	"weakrace/internal/telemetry/export"
 	"weakrace/internal/trace"
 	"weakrace/internal/workload"
 )
@@ -225,6 +227,39 @@ func WriteGraph(w io.Writer, a *Analysis) error { return report.RenderGraph(w, a
 // WriteDOT renders the augmented happens-before-1 graph in Graphviz DOT
 // form (first-partition events highlighted, races as red double edges).
 func WriteDOT(w io.Writer, a *Analysis) error { return report.RenderDOT(w, a) }
+
+// Provenance: flight recording and per-race witness explanations.
+type (
+	// FlightRecorder is the structured event log of the detection stack;
+	// attach one via DetectOptions.Flight, then export it with
+	// WriteDir/WriteJSONL/WriteChromeTrace.
+	FlightRecorder = export.Recorder
+	// Explainer answers witness queries against one analysis.
+	Explainer = provenance.Explainer
+	// Witness is the full explanation of one reported race: conflicting
+	// accesses, hb1-unorderedness certificate, partition verdict, and the
+	// affected-by chain for non-first partitions.
+	Witness = provenance.Witness
+)
+
+// NewFlightRecorder returns an empty flight recorder.
+func NewFlightRecorder() *FlightRecorder { return export.NewRecorder() }
+
+// NewExplainer prepares a witness engine for the analysis.
+func NewExplainer(a *Analysis) *Explainer { return provenance.NewExplainer(a) }
+
+// WriteExplanations renders the per-race witness explanations as text.
+func WriteExplanations(w io.Writer, e *Explainer) error { return report.RenderExplanations(w, e) }
+
+// WriteHTMLReport renders the single-file HTML race report: verdict,
+// partition DAG (first partitions highlighted), and per-race witness
+// drill-downs.
+func WriteHTMLReport(w io.Writer, e *Explainer) error { return report.RenderHTML(w, e) }
+
+// WritePartitionDOT renders the condensation of the augmented graph in
+// Graphviz DOT form: partitions as nodes (first ones highlighted, race
+// edge counts in labels) connected by immediate precedence edges.
+func WritePartitionDOT(w io.Writer, e *Explainer) error { return report.RenderPartitionDOT(w, e) }
 
 // Sequential-consistency machinery (Condition 3.4, §3).
 type (
