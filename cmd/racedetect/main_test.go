@@ -126,9 +126,16 @@ func TestRunMetrics(t *testing.T) {
 	if snap.Counters["detect.analyses"] != 2 {
 		t.Errorf("detect.analyses = %d, want 2", snap.Counters["detect.analyses"])
 	}
-	for _, name := range []string{"detect.events", "detect.races", "trace.decode.calls", "trace.decode.bytes", "graph.reach.builds"} {
+	for _, name := range []string{"detect.events", "detect.races", "trace.decode.calls", "trace.decode.bytes", "detect.vc_builds", "graph.vc.builds"} {
 		if snap.Counters[name] <= 0 {
 			t.Errorf("counter %q = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	// The default timestamp path never builds a closure; the reachability
+	// row counters must be absent rather than misleading zeros.
+	for _, name := range []string{"graph.reach.builds", "graph.reach.rows_built"} {
+		if v, ok := snap.Counters[name]; ok {
+			t.Errorf("counter %q = %d present without a closure build", name, v)
 		}
 	}
 	if snap.Phases["detect.analyze"].Count != 2 {

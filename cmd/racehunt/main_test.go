@@ -91,7 +91,8 @@ func TestRunMetricsAndProgress(t *testing.T) {
 		"detect.events",
 		"detect.races",
 		"detect.scc.components",
-		"graph.reach.builds",
+		"detect.vc_builds",
+		"detect.vc_window_queries",
 		telemetry.Name("sim.runs", "model", "WO"),
 		telemetry.Name("sim.steps", "model", "WO"),
 	} {

@@ -374,9 +374,14 @@ func allScenarios() []scenario {
 			return metrics, nil
 		}},
 		{"postmortem-scaling", func(iters int) (map[string]float64, error) {
-			// T3: analysis cost as the trace grows (4..64 segments).
+			// T3: analysis cost as the trace grows (4..128 segments). The
+			// detector's vc_* counter deltas ride along, normalized per
+			// iteration, so the trajectory records the timestamp layer's
+			// footprint (and a baseline diff catches a silent fallback to
+			// the closure path — vc_builds would drop to zero).
 			metrics := map[string]float64{}
-			for _, segments := range []int{4, 8, 16, 32, 64} {
+			before := telemetry.Default().Snapshot()
+			for _, segments := range []int{4, 8, 16, 32, 64, 128} {
 				w := weakrace.RandomWorkload(weakrace.RandomParams{
 					Seed: 5, CPUs: 4, Segments: segments, UnlockedFraction: 0.3,
 				})
@@ -397,6 +402,15 @@ func allScenarios() []scenario {
 				key := fmt.Sprintf("segments_%d", segments)
 				metrics[key+"_ns_per_iter"] = float64(time.Since(start).Nanoseconds()) / float64(iters)
 				metrics[key+"_events"] = float64(events)
+			}
+			after := telemetry.Default().Snapshot()
+			for _, name := range []string{
+				"detect.vc_builds",
+				"detect.vc_window_queries",
+				"detect.vc_hb_fastpath_hits",
+			} {
+				short := strings.TrimPrefix(name, "detect.")
+				metrics[short+"_per_iter"] = float64(after.Counters[name]-before.Counters[name]) / float64(iters)
 			}
 			return metrics, nil
 		}},

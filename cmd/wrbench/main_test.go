@@ -54,9 +54,28 @@ func TestRunAllScenarios(t *testing.T) {
 	}
 	// The pipeline ran with telemetry enabled: simulator and detector
 	// counters must be present in the embedded snapshot.
-	for _, name := range []string{"detect.analyses", "detect.races", "trace.builds", "graph.reach.builds"} {
+	for _, name := range []string{"detect.analyses", "detect.races", "trace.builds", "detect.vc_builds"} {
 		if o.Telemetry.Counters[name] <= 0 {
 			t.Errorf("counter %q = %d, want > 0", name, o.Telemetry.Counters[name])
+		}
+	}
+	// postmortem-scaling carries the scaling trajectory up to the
+	// segments-128 point plus the timestamp layer's per-iteration
+	// footprint — the metrics the perf-smoke baseline guards.
+	for _, s := range o.Scenarios {
+		if s.Name != "postmortem-scaling" {
+			continue
+		}
+		for _, m := range []string{
+			"segments_64_ns_per_iter",
+			"segments_128_ns_per_iter",
+			"segments_128_events",
+			"vc_builds_per_iter",
+			"vc_window_queries_per_iter",
+		} {
+			if s.Metrics[m] <= 0 {
+				t.Errorf("postmortem-scaling metric %q = %v, want > 0", m, s.Metrics[m])
+			}
 		}
 	}
 	// model-throughput exercises every model.

@@ -155,10 +155,20 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 	results := make([]*seedResult, cfg.Seeds)
 	errs := make([]error, cfg.Seeds)
 
-	// One detector arena per in-flight worker: the megabyte-scale scratch
-	// (race records, SCC stacks, partner lists) is reused across the seeds
-	// a worker analyzes instead of reallocated per seed.
-	arenas := sync.Pool{New: func() any { return core.NewArena() }}
+	// One scratch set per in-flight worker: the detector arena's
+	// megabyte-scale buffers (race records, SCC stacks, partner lists) AND
+	// the trace builder's event/word slabs are reused across the seeds a
+	// worker analyzes instead of reallocated per seed. The trace arena's
+	// slabs are retained by the trace the analysis holds, so a set goes
+	// back to the pool only when its seed's closure — the analysis's whole
+	// lifetime — exits.
+	type seedScratch struct {
+		core  *core.Arena
+		trace *trace.Arena
+	}
+	scratches := sync.Pool{New: func() any {
+		return &seedScratch{core: core.NewArena(), trace: trace.NewArena()}
+	}}
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Workers)
@@ -216,9 +226,10 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 			// Workers: 1 — the campaign already saturates the machine across
 			// seeds; nesting the per-location race-search pool inside the
 			// seed pool would only oversubscribe it.
-			arena := arenas.Get().(*core.Arena)
-			a, err := core.Analyze(trace.FromExecution(r.Exec), core.Options{Pairing: cfg.Pairing, Workers: 1, Arena: arena})
-			arenas.Put(arena)
+			scratch := scratches.Get().(*seedScratch)
+			defer scratches.Put(scratch)
+			a, err := core.Analyze(trace.FromExecutionInto(r.Exec, scratch.trace),
+				core.Options{Pairing: cfg.Pairing, Workers: 1, Arena: scratch.core})
 			if err != nil {
 				errs[seed] = err
 				emitSeed(nil, res.incomplete, err)

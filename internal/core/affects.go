@@ -12,9 +12,24 @@ package core
 // mutually reachable through its own doubly-directed edge).
 func (a *Analysis) Affects(ri, rj int) bool {
 	x, y := a.Races[ri], a.Races[rj]
-	for _, from := range []EventID{x.A, x.B} {
-		for _, to := range []EventID{y.A, y.B} {
-			if a.augReaches(int(from), int(to)) {
+	from := [2]EventID{x.A, x.B}
+	to := [2]EventID{y.A, y.B}
+	// hb1 ⊆ G′, so when the timestamp layer is live its O(1) epoch
+	// compares get first shot at every pair before any condensation DFS:
+	// an hb1-ordered pair anywhere settles the whole relation.
+	if a.HBTime != nil {
+		for _, u := range from {
+			for _, v := range to {
+				if a.HBTime.Reaches(int(u), int(v)) {
+					vcFastpathHit()
+					return true
+				}
+			}
+		}
+	}
+	for _, u := range from {
+		for _, v := range to {
+			if a.augReaches(int(u), int(v)) {
 				return true
 			}
 		}

@@ -27,6 +27,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"slices"
 	"sort"
@@ -45,7 +46,7 @@ import (
 
 // EventID is a dense global index over all events of a trace
 // (processor-major: all of P1's events, then P2's, ...).
-type EventID int
+type EventID int32
 
 // Options configures an analysis.
 type Options struct {
@@ -63,6 +64,17 @@ type Options struct {
 	// partial results (per-pair location sets and data flags) that are
 	// merged and then sorted deterministically.
 	Workers int
+	// ExplicitClosure answers hb1 ordering queries with the lazy bitset
+	// transitive closure (graph.NewReachabilityLazy, Analysis.HBReach) the
+	// way PRs 2–3 did. The default (false) timestamps hb1 in one
+	// topological pass instead (graph.Timestamps, Analysis.HBTime): every
+	// ordering query becomes an O(1) per-CPU epoch compare and the race
+	// sweep reads its interval boundaries straight from the clocks, with
+	// no closure rows at all. The two paths produce byte-identical
+	// analyses; the closure path is kept as the reference oracle for the
+	// crosscheck harness and for callers that want HBReach for ad-hoc
+	// component-level queries.
+	ExplicitClosure bool
 	// ExplicitAug materializes the augmented graph G′ the way §4.2 writes
 	// it down: clone hb1, add a doubly-directed edge per race, build a
 	// transitive closure over it (Analysis.Aug/AugReach). The default
@@ -92,13 +104,26 @@ type Options struct {
 // implicit-G′ partner lists, and the graph layer's Tarjan and
 // condensation scratch. Zero value is ready to use; see Options.Arena.
 type Arena struct {
-	cpuOf   []int32   // cpuOf[event] — filled per analysis
-	extras  [][]int32 // per-node race-partner lists (min partner per CPU)
-	touched []int32   // nodes with non-empty extras, for O(touched) reset
-	recs    []pairRec // sequential sweep's record buffer
-	recsTmp []pairRec // radix sort's ping-pong buffer
-	digits  []int32   // radix sort's counting buffer
-	scratch graph.Scratch
+	cpuOf     []int32     // cpuOf[event] — filled per analysis
+	posOf     []int32     // posOf[event]: index within its CPU's stream
+	degOf     []int32     // buildHB's out-degree counting buffer
+	extras    [][]int32   // per-node race-partner lists (min partner per CPU)
+	pmask     []uint32    // per-node bitmask of partner CPUs (≤32 CPUs)
+	touched   []int32     // nodes with non-empty extras, for O(touched) reset
+	recs      []pairRec   // sequential sweep's record buffer
+	recsW     [][]pairRec // parallel workers' record buffers (w ≥ 1)
+	recsMerge []pairRec   // parallel merge's concatenation buffer
+	digits    []int32     // radix sort's counting buffer
+	recsTmp   []pairRec   // radix sort's ping-pong buffer
+	// locSlot interns locations into stable accLists slots, so repeated
+	// analyses through one arena reuse the per-location access buffers
+	// instead of rebuilding a map of freshly grown slices every time.
+	locSlot  map[int]int32
+	accLists [][]access
+	slotLoc  []int32       // slot → location value (inverse of locSlot)
+	canon    []*bitset.Set // slot → current analysis's canonical {loc} set
+	locsBuf  []int         // locations touched by the current analysis
+	scratch  graph.Scratch
 }
 
 // NewArena returns an empty arena. Buffers grow to the working-set size
@@ -152,7 +177,17 @@ type Analysis struct {
 
 	// HB is the happens-before-1 graph (po ∪ so1 edges).
 	HB *graph.Digraph
-	// HBReach answers hb1 ordering queries.
+	// HBTime is the hb1 vector-clock timestamp layer: one topological
+	// pass assigns every event's SCC a forward clock and a backward
+	// frontier, making ordering queries O(1) epoch compares and giving
+	// the race sweep and the provenance certificates their per-CPU
+	// interval boundaries directly. Populated on the default path; nil
+	// under Options.ExplicitClosure. Query hb1 ordering through
+	// HBReaches/HBOrdered/HBWindow, which dispatch to whichever oracle
+	// the options built.
+	HBTime *graph.Timestamps
+	// HBReach answers hb1 ordering queries with the closure oracle.
+	// Populated only under Options.ExplicitClosure.
 	HBReach *graph.Reachability
 	// Aug is the augmented graph G′: HB plus a doubly-directed edge per
 	// race. Populated only under Options.ExplicitAug; the default path
@@ -183,10 +218,17 @@ type Analysis struct {
 
 	base []int // base[c] = EventID of processor c's first event
 
-	augCond        *graph.CondReach // implicit path's partition-order oracle
-	augEdges       int64            // implicit partner entries, or Aug.M() when explicit
-	candidatePairs int64            // conflicting unordered pairs the sweep emitted
-	raceWorkers    int              // worker count the race search actually used
+	augCond         *graph.CondReach // implicit path's partition-order oracle
+	augEdges        int64            // implicit partner entries, or Aug.M() when explicit
+	candidatePairs  int64            // conflicting unordered pairs the sweep emitted
+	raceWorkers     int              // worker count the race search actually used
+	vcWindowQueries int64            // sweep boundary lookups answered by HBTime
+	// pairShift is the bit width of this trace's event ids: packed pair
+	// keys are lo<<pairShift | hi, so they span only 2·⌈log₂ n⌉ bits and
+	// the radix sort runs the fewest counting passes the ids allow.
+	// Packing tightly (instead of a fixed <<32) preserves the (lo, hi)
+	// lexicographic order the coalesce and the report depend on.
+	pairShift uint
 }
 
 // ID returns the EventID for an event reference.
@@ -209,6 +251,50 @@ func (a *Analysis) Event(id EventID) *trace.Event {
 // hardware satisfying Condition 3.4(1) this certifies that the execution
 // was sequentially consistent.
 func (a *Analysis) RaceFree() bool { return len(a.DataRaces) == 0 }
+
+// HBReaches reports u ⇝ v in hb1 (reflexively: HBReaches(u, u) is true),
+// dispatching to whichever ordering oracle the options built — the
+// vector-clock timestamps by default, the explicit closure under
+// Options.ExplicitClosure. The two oracles agree on every pair (the
+// crosscheck harness pins this), so callers never need to know which ran.
+func (a *Analysis) HBReaches(u, v EventID) bool {
+	if a.HBTime != nil {
+		return a.HBTime.Reaches(int(u), int(v))
+	}
+	return a.HBReach.Reaches(int(u), int(v))
+}
+
+// HBOrdered reports whether u and v are hb1-ordered either way — the
+// negation of the paper's race condition "not ordered by hb1".
+func (a *Analysis) HBOrdered(u, v EventID) bool {
+	return a.HBReaches(u, v) || a.HBReaches(v, u)
+}
+
+// HBWindow brackets event x against processor cpu's stream: lastPred is
+// the index of the last event of that stream that happens-before-1 x
+// (-1 when none), firstSucc the index of the first event x
+// happens-before-1 (the stream length when none). Program order makes
+// the reaching events a prefix and the reached events a suffix, so
+// events strictly inside (lastPred, firstSucc) are exactly the ones
+// unordered with x — the absence certificate provenance emits. On the
+// timestamp path both bounds are two slab reads; under ExplicitClosure
+// they are recovered by binary search over the monotone closure
+// predicates.
+func (a *Analysis) HBWindow(x EventID, cpu int) (lastPred, firstSucc int) {
+	if a.HBTime != nil {
+		predCount, succPos := a.HBTime.Window(int(x), cpu)
+		return int(predCount) - 1, int(succPos)
+	}
+	n := len(a.Trace.PerCPU[cpu])
+	base := a.base[cpu]
+	lastPred = sort.Search(n, func(j int) bool {
+		return !a.HBReach.Reaches(base+j, int(x))
+	}) - 1
+	firstSucc = sort.Search(n, func(j int) bool {
+		return a.HBReach.Reaches(int(x), base+j)
+	})
+	return lastPred, firstSucc
+}
 
 // Analyze runs the full post-mortem detection pipeline on a trace.
 func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
@@ -242,15 +328,26 @@ func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
 	}
 	a.NumEvents = n
 
+	a.fillStreamIndex()
+
 	done := startPhase(reg, fl, "detect.build_hb")
 	a.buildHB()
 	done()
 	done = startPhase(reg, fl, "detect.hb_reach")
-	// Lazy reachability: the race search's pre-checks (component id,
-	// topological level) answer most ordering queries without closure
-	// rows, so sparse-race traces never materialize the full O(C²/64)
-	// closure of either graph.
-	a.HBReach = graph.NewReachabilityLazy(a.HB)
+	if opts.ExplicitClosure {
+		// Lazy closure oracle: the race search's pre-checks (component id,
+		// topological level) answer most ordering queries without closure
+		// rows, so sparse-race traces never materialize the full O(C²/64)
+		// closure.
+		a.HBReach = graph.NewReachabilityLazy(a.HB)
+	} else {
+		// Default path: one topological pass timestamps hb1 — O(events ×
+		// CPUs) total, no rows ever, and the sweep's interval boundaries
+		// fall out of the clocks for free.
+		ar := a.Options.Arena
+		a.HBTime = graph.NewTimestamps(a.HB, ar.cpuOf[:a.NumEvents], ar.posOf[:a.NumEvents],
+			t.NumCPUs, &ar.scratch)
+	}
 	done()
 	done = startPhase(reg, fl, "detect.find_races")
 	a.findRaces()
@@ -275,6 +372,29 @@ func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
 	return a, nil
 }
 
+// fillStreamIndex fills the arena's per-event stream tables: cpuOf maps
+// an event to its processor, posOf to its index within that processor's
+// stream. The timestamp layer consumes them as clock coordinates and
+// buildImplicitAug reuses cpuOf for partner-CPU dedup.
+func (a *Analysis) fillStreamIndex() {
+	ar := a.Options.Arena
+	n := a.NumEvents
+	if cap(ar.cpuOf) < n {
+		ar.cpuOf = make([]int32, n)
+	}
+	if cap(ar.posOf) < n {
+		ar.posOf = make([]int32, n)
+	}
+	cpuOf, posOf := ar.cpuOf[:n], ar.posOf[:n]
+	for c, evs := range a.Trace.PerCPU {
+		base := a.base[c]
+		for i := range evs {
+			cpuOf[base+i] = int32(c)
+			posOf[base+i] = int32(i)
+		}
+	}
+}
+
 // flushTelemetry batches the analysis's structural counters into the
 // registry — the event/edge/race/SCC scaling numbers every perf PR
 // reports against.
@@ -296,6 +416,21 @@ func (a *Analysis) flushTelemetry(reg *telemetry.Registry) {
 	reg.Counter("detect.first_partitions").Add(int64(len(a.FirstPartitions)))
 	reg.Counter("detect.race_candidates").Add(a.candidatePairs)
 	reg.Gauge("detect.find_races.workers").SetMax(int64(a.raceWorkers))
+	// detect.vc_* is the timestamp layer's footprint: analyses that used
+	// it, its component/clock sizes, and the sweep boundary lookups it
+	// answered (each replacing an amortized run of closure queries).
+	// Absent entirely when the closure path ran instead — mirroring
+	// graph.reach.*, which now only appears when a closure was actually
+	// built. detect.vc_hb_fastpath_hits (the G′ queries the hb1 clock
+	// settles before any condensation DFS) is incremented live at the
+	// query site instead: Definition-3.3 queries arrive through the
+	// Affects API after the analysis — and its flush — have finished.
+	if a.HBTime != nil {
+		reg.Counter("detect.vc_builds").Inc()
+		reg.Counter("detect.vc_components").Add(int64(a.HBTime.SCC().NumComponents()))
+		reg.Gauge("detect.vc_width").SetMax(int64(a.HBTime.Width()))
+		reg.Counter("detect.vc_window_queries").Add(a.vcWindowQueries)
+	}
 	reg.Counter("detect.scc.components").Add(int64(a.AugSCC.NumComponents()))
 	// detect.scc.max_size is the largest SCC of the AUGMENTED graph G′
 	// per analysis — the partition-structure view. The graph layer's
@@ -308,18 +443,41 @@ func (a *Analysis) flushTelemetry(reg *telemetry.Registry) {
 
 // buildHB constructs the happens-before-1 graph: po edges between
 // consecutive events of each processor, so1 edges from each paired release
-// to its acquire (Definition 2.2), subject to the pairing policy.
+// to its acquire (Definition 2.2), subject to the pairing policy. A
+// counting pass sizes every adjacency list first, so edge insertion fills
+// one slab — two allocations per analysis instead of one per event.
 func (a *Analysis) buildHB() {
-	g := graph.New(a.NumEvents)
+	ar := a.Options.Arena
+	n := a.NumEvents
+	if cap(ar.degOf) < n {
+		ar.degOf = make([]int32, n)
+	}
+	deg := ar.degOf[:n]
+	for i := range deg {
+		deg[i] = 0
+	}
+	pairs := func(ev *trace.Event) bool {
+		return ev.Kind == trace.Sync && ev.Role == memmodel.RoleAcquire &&
+			ev.Observed.Valid() && a.Options.Pairing.CanPair(ev.ObservedRole)
+	}
+	for c, evs := range a.Trace.PerCPU {
+		for i := range evs {
+			if i+1 < len(evs) {
+				deg[a.base[c]+i]++
+			}
+			if pairs(evs[i]) {
+				deg[a.ID(evs[i].Observed)]++
+			}
+		}
+	}
+	g := graph.NewWithDegrees(deg)
 	for c, evs := range a.Trace.PerCPU {
 		for i := range evs {
 			if i+1 < len(evs) {
 				g.AddEdge(a.base[c]+i, a.base[c]+i+1)
 			}
-			ev := evs[i]
-			if ev.Kind == trace.Sync && ev.Role == memmodel.RoleAcquire &&
-				ev.Observed.Valid() && a.Options.Pairing.CanPair(ev.ObservedRole) {
-				g.AddEdge(int(a.ID(ev.Observed)), a.base[c]+i)
+			if pairs(evs[i]) {
+				g.AddEdge(int(a.ID(evs[i].Observed)), a.base[c]+i)
 			}
 		}
 	}
@@ -333,10 +491,6 @@ type access struct {
 	write bool
 	sync  bool
 }
-
-// pairKey packs a (lo, hi) event pair into one comparable, cheaply
-// sortable word. Event ids are dense indexes, far below 2³².
-func pairKey(lo, hi EventID) uint64 { return uint64(lo)<<32 | uint64(hi) }
 
 // sweepThreshold is the access count below which the race search stays
 // sequential: fanning out goroutines costs more than the sweep itself on
@@ -360,11 +514,13 @@ const sweepThreshold = 2048
 // interval between them. Both boundaries are monotone non-decreasing as
 // x advances through its own segment (later x is reached by more of T
 // and reaches less of it), so one two-pointer pass spends O(|S|+|T|)
-// amortized reachability queries per segment pair — not O(|S|·|T|) — and
-// the interval's pairs are emitted with no ordering query at all. Each
-// query that does run still goes through the reachability layer's O(1)
-// component-id/topological-level pre-checks before touching (or, in lazy
-// mode, materializing) a closure row.
+// amortized boundary work per segment pair — not O(|S|·|T|) — and the
+// interval's pairs are emitted with no ordering query at all. On the
+// default timestamp path the boundaries come from HBTime.Window — two
+// slab reads per x, zero reachability queries; under ExplicitClosure
+// each pointer advance runs one closure query, which still goes through
+// the reachability layer's O(1) component-id/topological-level
+// pre-checks before touching (or, in lazy mode, materializing) a row.
 //
 // Locations are fanned across a bounded worker pool (the campaign's
 // semaphore pattern, here an atomic work index). Each worker appends
@@ -375,10 +531,29 @@ func (a *Analysis) findRaces() {
 	// Keyed by location, sparse: traces legitimately declare large address
 	// spaces while touching few locations, and the analyzer must not
 	// allocate proportionally to the declared size (robustness against
-	// decoded input).
-	perLoc := map[int][]access{}
+	// decoded input). The arena interns each location into a stable slot
+	// whose access buffer survives across analyses — a campaign's repeated
+	// traces stop re-growing hundreds of per-location slices.
+	ar := a.Options.Arena
+	if ar.locSlot == nil {
+		ar.locSlot = map[int]int32{}
+	}
+	for _, loc := range ar.locsBuf {
+		ar.accLists[ar.locSlot[loc]] = ar.accLists[ar.locSlot[loc]][:0]
+	}
+	ar.locsBuf = ar.locsBuf[:0]
 	addAccess := func(loc int, acc access) {
-		perLoc[loc] = append(perLoc[loc], acc)
+		slot, ok := ar.locSlot[loc]
+		if !ok {
+			slot = int32(len(ar.accLists))
+			ar.locSlot[loc] = slot
+			ar.accLists = append(ar.accLists, nil)
+			ar.slotLoc = append(ar.slotLoc, int32(loc))
+		}
+		if len(ar.accLists[slot]) == 0 {
+			ar.locsBuf = append(ar.locsBuf, loc)
+		}
+		ar.accLists[slot] = append(ar.accLists[slot], acc)
 	}
 	total := 0
 	for c, evs := range a.Trace.PerCPU {
@@ -410,10 +585,7 @@ func (a *Analysis) findRaces() {
 		}
 	}
 
-	locs := make([]int, 0, len(perLoc))
-	for loc := range perLoc {
-		locs = append(locs, loc)
-	}
+	locs := ar.locsBuf
 	slices.Sort(locs)
 
 	workers := a.Options.Workers
@@ -437,21 +609,24 @@ func (a *Analysis) findRaces() {
 	// search. Worker 0's record buffer comes from the arena (when one is
 	// supplied) so repeated sequential analyses reuse it.
 	var next atomic.Int64
+	useVC := a.HBTime != nil
+	a.pairShift = uint(bits.Len(uint(a.NumEvents)))
+	shift := a.pairShift
 	type segment struct {
 		start, end int // accs[start:end], one CPU
 		writes     int // write accesses within
 	}
-	sweep := func(buf []pairRec) ([]pairRec, int64) {
+	sweep := func(buf []pairRec) ([]pairRec, int64, int64) {
 		recs := buf[:0]
-		var cand int64
+		var cand, vcq int64
 		var segs []segment // reused across this worker's locations
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= len(locs) {
-				return recs, cand
+				return recs, cand, vcq
 			}
-			loc := locs[i]
-			accs := perLoc[loc]
+			slot := ar.locSlot[locs[i]]
+			accs := ar.accLists[slot]
 			segs = segs[:0]
 			for s := 0; s < len(accs); {
 				e := s + 1
@@ -480,19 +655,41 @@ func (a *Analysis) findRaces() {
 					// p: end of T's prefix reaching x. q: start of T's
 					// suffix reached by x. Both only move forward while x
 					// advances; [p,q) is x's hb1-unordered interval of T.
+					// On the timestamp path both boundaries are read
+					// straight off x's clock: Window gives the exact prefix
+					// count and suffix start of T's WHOLE stream, and
+					// event ids are base+pos within a CPU, so the pointers
+					// advance by threshold compares with no per-pair
+					// ordering query at all.
 					p, q := T.start, T.start
+					tcpu := accs[T.start].cpu
+					tbase := a.base[tcpu]
 					for xi := S.start; xi < S.end; xi++ {
 						x := accs[xi]
-						for p < T.end && a.HBReach.Reaches(int(accs[p].ev), int(x.ev)) {
-							p++
-						}
-						if q < p {
-							// On an hb1 cycle the prefix and suffix can
-							// overlap; the unordered interval is empty there.
-							q = p
-						}
-						for q < T.end && !a.HBReach.Reaches(int(x.ev), int(accs[q].ev)) {
-							q++
+						if useVC {
+							predCount, succPos := a.HBTime.Window(int(x.ev), tcpu)
+							vcq++
+							for p < T.end && int(accs[p].ev)-tbase < int(predCount) {
+								p++
+							}
+							if q < p {
+								// On an hb1 cycle the prefix and suffix can
+								// overlap; the unordered interval is empty.
+								q = p
+							}
+							for q < T.end && int(accs[q].ev)-tbase < int(succPos) {
+								q++
+							}
+						} else {
+							for p < T.end && a.HBReach.Reaches(int(accs[p].ev), int(x.ev)) {
+								p++
+							}
+							if q < p {
+								q = p
+							}
+							for q < T.end && !a.HBReach.Reaches(int(x.ev), int(accs[q].ev)) {
+								q++
+							}
 						}
 						for yi := p; yi < q; yi++ {
 							y := accs[yi]
@@ -504,8 +701,8 @@ func (a *Analysis) findRaces() {
 								lo, hi = hi, lo
 							}
 							recs = append(recs, pairRec{
-								key:  pairKey(lo, hi),
-								loc:  loc,
+								key:  uint64(lo)<<shift | uint64(hi),
+								slot: slot,
 								data: !x.sync || !y.sync,
 							})
 						}
@@ -518,26 +715,32 @@ func (a *Analysis) findRaces() {
 	arena := a.Options.Arena
 	partials := make([][]pairRec, workers)
 	counts := make([]int64, workers)
+	vcqs := make([]int64, workers)
 	if workers == 1 {
-		var buf []pairRec
-		if arena != nil {
-			buf = arena.recs
-		}
-		partials[0], counts[0] = sweep(buf)
+		partials[0], counts[0], vcqs[0] = sweep(arena.recs)
 	} else {
+		// Every worker's record buffer comes from the arena — worker 0 the
+		// sequential path's buffer, the rest from recsW — so a campaign's
+		// steady state appends into pre-grown slabs for every worker.
+		for len(arena.recsW) < workers-1 {
+			arena.recsW = append(arena.recsW, nil)
+		}
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				var buf []pairRec
-				if w == 0 && arena != nil {
-					buf = arena.recs
+				buf := arena.recs
+				if w > 0 {
+					buf = arena.recsW[w-1]
 				}
-				partials[w], counts[w] = sweep(buf)
+				partials[w], counts[w], vcqs[w] = sweep(buf)
 			}(w)
 		}
 		wg.Wait()
+		for w := 1; w < workers; w++ {
+			arena.recsW[w-1] = partials[w]
+		}
 	}
 
 	// Deterministic merge: concatenate the partials and sort by
@@ -546,7 +749,8 @@ func (a *Analysis) findRaces() {
 	// with it the Analysis, is byte-identical for every worker count and
 	// work-stealing schedule. The sequential path sorts its single
 	// partial in place (no copy); the records are dead after the coalesce
-	// below, so the buffer returns to the arena either way.
+	// below, so every buffer (including the merge concatenation) returns
+	// to the arena.
 	var recs []pairRec
 	if workers == 1 {
 		recs = partials[0]
@@ -555,70 +759,92 @@ func (a *Analysis) findRaces() {
 		for _, p := range partials {
 			nRecs += len(p)
 		}
-		recs = make([]pairRec, 0, nRecs)
+		if cap(arena.recsMerge) < nRecs {
+			arena.recsMerge = make([]pairRec, 0, nRecs)
+		}
+		recs = arena.recsMerge[:0]
 		for _, p := range partials {
 			recs = append(recs, p...)
 		}
+		arena.recsMerge = recs
 	}
-	if arena != nil {
-		arena.recs = partials[0]
-	}
-	for _, c := range counts {
-		a.candidatePairs += c
+	arena.recs = partials[0]
+	for w := range counts {
+		a.candidatePairs += counts[w]
+		a.vcWindowQueries += vcqs[w]
 	}
 	recs = sortRecsByKey(recs, arena)
 
-	// Coalesce sorted runs into races. Packed keys order exactly like the
-	// (A, B) lexicographic order the report promises; within a run the
-	// record order is irrelevant — location-set insertion and the data
-	// flag are commutative, and slab sizing takes the run's max location.
-	// Race structs, their location sets, and the sets' backing words come
-	// from three slab allocations sized in a counting pass — not one
-	// allocation per race.
-	nRaces, totalWords := 0, 0
-	for i := 0; i < len(recs); {
-		j, maxLoc := i+1, recs[i].loc
-		for j < len(recs) && recs[j].key == recs[i].key {
-			if recs[j].loc > maxLoc {
-				maxLoc = recs[j].loc
-			}
-			j++
-		}
-		nRaces++
-		totalWords += maxLoc/64 + 1
-		i = j
+	// Canonical singleton location sets, one per distinct location: a
+	// weak execution's contending spin loops produce tens of thousands of
+	// races, and nearly every one involves exactly one location (at
+	// segments-64 it is 49,676 of 49,697). Each (pair, location)
+	// combination occurs at most once in recs, so a run of length one IS
+	// a single-location race — it shares the interned {loc} set instead
+	// of carrying a private set and backing words. That removes the
+	// dominant share of the analysis's retained output, and with it most
+	// of the GC scanning a campaign pays per analysis. Location sets are
+	// owned by the Analysis and must be treated as read-only — races on
+	// the same location alias one set.
+	if cap(ar.canon) < len(ar.accLists) {
+		ar.canon = make([]*bitset.Set, len(ar.accLists))
 	}
-	slab := make([]uint64, totalWords)
-	sets := make([]bitset.Set, nRaces)
-	a.Races = make([]Race, nRaces)
+	canon := ar.canon[:len(ar.accLists)]
+	canonSets := make([]bitset.Set, len(locs))
+	canonWords := 0
+	for _, loc := range locs {
+		canonWords += loc/64 + 1
+	}
+	canonSlab := make([]uint64, canonWords)
+	for i, loc := range locs {
+		w := loc/64 + 1
+		canonSets[i] = *bitset.Wrap(canonSlab[:w:w])
+		canonSets[i].Add(loc)
+		canon[ar.locSlot[loc]] = &canonSets[i]
+		canonSlab = canonSlab[w:]
+	}
+
+	// Coalesce sorted runs into races in a single pass. Packed keys order
+	// exactly like the (A, B) lexicographic order the report promises;
+	// within a run the record order is irrelevant — location-set
+	// insertion and the data flag are commutative. len(recs) bounds the
+	// race count tightly (each record is a distinct (pair, location) and
+	// nearly every pair has one location), so Races is allocated once at
+	// that bound and truncated — no counting pre-pass rescanning the
+	// records, no second zeroing.
+	races := make([]Race, len(recs))
 	ri := 0
 	for i := 0; i < len(recs); {
-		j, maxLoc := i+1, recs[i].loc
+		j, data := i+1, recs[i].data
 		for j < len(recs) && recs[j].key == recs[i].key {
-			if recs[j].loc > maxLoc {
-				maxLoc = recs[j].loc
-			}
+			data = data || recs[j].data
 			j++
 		}
-		w := maxLoc/64 + 1
-		sets[ri] = *bitset.Wrap(slab[:w:w])
-		slab = slab[w:]
-		r := &a.Races[ri]
-		r.A = EventID(recs[i].key >> 32)
-		r.B = EventID(recs[i].key & 0xffffffff)
-		r.Locs = &sets[ri]
-		for _, rec := range recs[i:j] {
-			r.Locs.Add(rec.loc)
-			if rec.data {
-				r.Data = true
+		r := &races[ri]
+		r.A = EventID(recs[i].key >> shift)
+		r.B = EventID(recs[i].key & (1<<shift - 1))
+		r.Data = data
+		if j == i+1 {
+			r.Locs = canon[recs[i].slot]
+		} else {
+			maxLoc := ar.slotLoc[recs[i].slot]
+			for _, rec := range recs[i+1 : j] {
+				if l := ar.slotLoc[rec.slot]; l > maxLoc {
+					maxLoc = l
+				}
+			}
+			r.Locs = bitset.Wrap(make([]uint64, int(maxLoc)/64+1))
+			for _, rec := range recs[i:j] {
+				r.Locs.Add(int(ar.slotLoc[rec.slot]))
 			}
 		}
-		if r.Data {
+		if data {
 			a.DataRaces = append(a.DataRaces, ri)
 		}
 		ri++
 		i = j
 	}
+	a.Races = races[:ri:ri]
 }
 
 // sortRecsByKey sorts the sweep's records by packed pair key — the only
@@ -687,8 +913,8 @@ func sortRecsByKey(recs []pairRec, ar *Arena) []pairRec {
 // sorts and coalesces.
 type pairRec struct {
 	key  uint64 // packed (A, B)
-	loc  int
-	data bool // at least one side is a computation access
+	slot int32  // interned location slot; int32 keeps the record at 16 bytes
+	data bool   // at least one side is a computation access
 }
 
 // buildAugmented clones the hb1 graph and adds a doubly-directed edge for
@@ -703,13 +929,12 @@ type pairRec struct {
 // hb1-ordered pair is not a race.)
 func (a *Analysis) buildAugmented() {
 	g := a.HB.Clone()
-	prev := uint64(1<<64 - 1)
+	prevA, prevB := EventID(-1), EventID(-1)
 	for _, r := range a.Races {
-		key := pairKey(r.A, r.B)
-		if key == prev {
+		if r.A == prevA && r.B == prevB {
 			continue
 		}
-		prev = key
+		prevA, prevB = r.A, r.B
 		g.AddEdge(int(r.A), int(r.B))
 		g.AddEdge(int(r.B), int(r.A))
 	}
@@ -738,43 +963,48 @@ func (a *Analysis) buildAugmented() {
 // condensation (graph.CondReach), never a full closure.
 func (a *Analysis) buildImplicitAug() {
 	ar := a.Options.Arena
-	if ar == nil {
-		ar = &Arena{}
-	}
 	n := a.NumEvents
-	if cap(ar.cpuOf) < n {
-		ar.cpuOf = make([]int32, n)
-	}
-	cpuOf := ar.cpuOf[:n]
-	for c, evs := range a.Trace.PerCPU {
-		base := a.base[c]
-		for i := range evs {
-			cpuOf[base+i] = int32(c)
-		}
-	}
+	cpuOf := ar.cpuOf[:n] // filled once per analysis by fillStreamIndex
 	// Reset only the nodes the previous analysis touched, keeping the
 	// per-node backing arrays. ar.extras keeps its high-water length so
 	// stale touched entries always index validly.
 	for _, u := range ar.touched {
 		ar.extras[u] = ar.extras[u][:0]
+		ar.pmask[u] = 0
 	}
 	ar.touched = ar.touched[:0]
 	if len(ar.extras) < n {
 		grown := make([][]int32, n)
 		copy(grown, ar.extras)
 		ar.extras = grown
+		ar.pmask = make([]uint32, n)
 	}
 	extras := ar.extras[:n]
 
+	// A node saturates after one partner per other CPU, and race-heavy
+	// spin loops call addPartner thousands of times per node — the
+	// per-node CPU bitmask answers the saturated case in one load instead
+	// of rescanning the partner list (traces with >32 CPUs fall back to
+	// the scan).
+	pmask := ar.pmask[:n]
+	useMask := a.Trace.NumCPUs <= 32
+
 	var nEntries int64
 	addPartner := func(u, v EventID) {
-		lst := extras[u]
 		vc := cpuOf[v]
-		for _, w := range lst {
-			if cpuOf[w] == vc {
+		if useMask {
+			if pmask[u]>>uint(vc)&1 != 0 {
 				return // already hold the po-minimal partner on v's CPU
 			}
+			pmask[u] |= 1 << uint(vc)
+		} else {
+			for _, w := range extras[u] {
+				if cpuOf[w] == vc {
+					return
+				}
+			}
 		}
+		lst := extras[u]
 		if len(lst) == 0 {
 			ar.touched = append(ar.touched, int32(u))
 		}
@@ -807,9 +1037,27 @@ func (a *Analysis) augCompReaches(c1, c2 int) bool {
 	return a.augCond.ComponentReaches(c1, c2)
 }
 
+// vcFastpathHit counts a G′ reachability query settled by the hb1 clock
+// pre-check. Incremented live (not at flushTelemetry) because the
+// Definition-3.3 queries arrive through the Affects API after Analyze
+// has already flushed.
+func vcFastpathHit() {
+	if reg := telemetry.Default(); reg.Enabled() {
+		reg.Counter("detect.vc_hb_fastpath_hits").Inc()
+	}
+}
+
 // augReaches answers event-level G′ reachability (Definition 3.3's
-// affects paths).
+// affects paths). hb1 ⊆ G′, so when the timestamp layer is live its O(1)
+// epoch compare settles positive hb1-ordered queries before the
+// condensation oracle (or the explicit closure) is consulted; a negative
+// answer proves nothing about G′ — race edges add paths hb1 lacks — and
+// falls through.
 func (a *Analysis) augReaches(u, v int) bool {
+	if a.HBTime != nil && a.HBTime.Reaches(u, v) {
+		vcFastpathHit()
+		return true
+	}
 	if a.AugReach != nil {
 		return a.AugReach.Reaches(u, v)
 	}

@@ -511,7 +511,7 @@ func TestQuickDetectorInvariants(t *testing.T) {
 		}
 		// (a) every race is a genuinely unordered conflicting pair.
 		for _, r := range a.Races {
-			if a.HBReach.Ordered(int(r.A), int(r.B)) {
+			if a.HBOrdered(r.A, r.B) {
 				return false
 			}
 			if r.Locs.Empty() {

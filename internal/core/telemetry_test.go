@@ -49,7 +49,10 @@ func TestAnalyzeEmitsTelemetry(t *testing.T) {
 		"detect.partitions",
 		"detect.first_partitions",
 		"detect.scc.components",
-		"graph.reach.builds",
+		"detect.vc_builds",
+		"detect.vc_components",
+		"detect.vc_window_queries",
+		"graph.vc.builds",
 		"trace.builds",
 		"trace.events.comp",
 		"trace.events.sync",
@@ -59,6 +62,15 @@ func TestAnalyzeEmitsTelemetry(t *testing.T) {
 	} {
 		if snap.Counters[name] <= 0 {
 			t.Errorf("counter %q = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	// The default path answers hb1 ordering with vector clocks and never
+	// builds a closure: the reachability-row counters must be ABSENT, not
+	// zero — a zero in flight logs must mean "closure built, no rows
+	// needed", never "no closure ran".
+	for _, name := range []string{"graph.reach.builds", "graph.reach.rows_built", "graph.reach.row_unions"} {
+		if v, ok := snap.Counters[name]; ok {
+			t.Errorf("counter %q = %d present on the timestamp path, want absent", name, v)
 		}
 	}
 	if snap.Gauges["detect.scc.max_size"] <= 1 {
@@ -87,6 +99,20 @@ func TestAnalyzeEmitsTelemetry(t *testing.T) {
 	if got, want := snap.Counters["detect.events"],
 		snap.Counters["trace.events.comp"]+snap.Counters["trace.events.sync"]; got != want {
 		t.Errorf("detect.events = %d, trace events = %d", got, want)
+	}
+	// detect.vc_hb_fastpath_hits is incremented live at the Affects query
+	// site, not at flush: Definition-3.3 queries arrive after Analyze.
+	// Every race trivially affects itself through an hb1-reflexive pair,
+	// so one self-query must land on the clock fast path.
+	if snap.Counters["detect.vc_hb_fastpath_hits"] != 0 {
+		t.Errorf("detect.vc_hb_fastpath_hits = %d before any Affects query, want 0",
+			snap.Counters["detect.vc_hb_fastpath_hits"])
+	}
+	if !a.Affects(a.DataRaces[0], a.DataRaces[0]) {
+		t.Error("a race must affect itself")
+	}
+	if got := reg.Snapshot().Counters["detect.vc_hb_fastpath_hits"]; got <= 0 {
+		t.Errorf("detect.vc_hb_fastpath_hits = %d after a self-Affects query, want > 0", got)
 	}
 }
 

@@ -262,7 +262,7 @@ func TestLargePipeline(t *testing.T) {
 	}
 	for _, ri := range a.DataRaces {
 		race := a.Races[ri]
-		if a.HBReach.Ordered(int(race.A), int(race.B)) {
+		if a.HBOrdered(race.A, race.B) {
 			t.Fatal("ordered pair reported as race at scale")
 		}
 	}

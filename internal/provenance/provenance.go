@@ -3,8 +3,9 @@
 // harness) can audit — the conflicting accesses with their processor,
 // segment, and locations; an absence certificate proving the pair is
 // hb1-unordered (the nearest hb1 ancestor and descendant of each event
-// on the other event's processor, computed with O(log n) reachability
-// queries against the existing CondReach/overlay machinery, never a
+// on the other event's processor, read in O(1) off the analysis's
+// vector-clock window — or recovered with O(log n) closure queries when
+// the analysis ran with the explicit-closure oracle — never a
 // materialized closure); the race's partition and whether it is first;
 // and, for non-first partitions, the affected-by chain (Definition 3.3)
 // back to a first partition.
@@ -22,7 +23,6 @@ package provenance
 
 import (
 	"fmt"
-	"sort"
 
 	"weakrace/internal/core"
 	"weakrace/internal/trace"
@@ -204,23 +204,17 @@ func (e *Explainer) side(id core.EventID) Side {
 	}
 }
 
-// boundary brackets event x against processor cpu's stream with two
-// binary searches over the monotone reachability predicates. partnerIdx
-// is the other racing event's index on that stream; for a genuine race
-// it lies strictly inside the bracket (the crosscheck harness asserts
-// this against the explicit closure).
+// boundary brackets event x against processor cpu's stream via the
+// analysis's HBWindow — two slab reads off x's vector clock on the
+// default timestamp path, two binary searches over the monotone closure
+// predicates under ExplicitClosure. partnerIdx is the other racing
+// event's index on that stream; for a genuine race it lies strictly
+// inside the bracket (the crosscheck harness asserts this against the
+// explicit closure).
 func (e *Explainer) boundary(x core.EventID, cpu, partnerIdx int) Boundary {
 	a := e.a
 	n := len(a.Trace.PerCPU[cpu])
-	at := func(j int) int { return int(a.ID(trace.EventRef{CPU: cpu, Index: j})) }
-	// {j : ev(cpu,j) ⇝ x} is a prefix: first j NOT reaching x, minus one.
-	lastPred := sort.Search(n, func(j int) bool {
-		return !a.HBReach.Reaches(at(j), int(x))
-	}) - 1
-	// {j : x ⇝ ev(cpu,j)} is a suffix: first j reached by x.
-	firstSucc := sort.Search(n, func(j int) bool {
-		return a.HBReach.Reaches(int(x), at(j))
-	})
+	lastPred, firstSucc := a.HBWindow(x, cpu)
 	b := Boundary{CPU: cpu, LastPred: lastPred, FirstSucc: firstSucc, Partner: partnerIdx}
 	b.PredRef, b.SuccRef = "-", "-"
 	if lastPred >= 0 {

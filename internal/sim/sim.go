@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"weakrace/internal/memmodel"
 	"weakrace/internal/program"
@@ -137,6 +138,85 @@ type machine struct {
 	retired int64   // buffered writes committed
 	drains  int64   // synchronization-induced buffer drains
 	err     error   // first runtime error (e.g. indexed address out of range)
+	// Per-step scheduler scratch. The step loop rebuilds these every
+	// iteration; as locals they were one heap allocation per append group
+	// per step — the simulator's dominant allocation source.
+	runnable   []int
+	retirable  []int
+	retireLocs []program.Addr // retireOne's first-seen location scratch
+}
+
+// machinePool reuses machine state — memory cells, processor state,
+// store buffers, scheduler scratch, the seeded rng — across runs, so a
+// campaign worker looping over seeds pays the machine's allocations once
+// instead of per seed. Everything a Result retains (the Execution, the
+// final-memory and cycle slices) is allocated fresh per run and never
+// returns to the pool.
+var machinePool = sync.Pool{New: func() any { return new(machine) }}
+
+// reset prepares a pooled machine for one run of p under cfg: reusable
+// buffers keep their capacity and are re-zeroed, caller-retained
+// structures are freshly allocated, and the rng is re-seeded (Seed
+// resets the source to exactly the rand.NewSource(seed) stream, so a
+// pooled machine's schedule is byte-identical to a fresh one's).
+func (m *machine) reset(p *program.Program, cfg Config) {
+	m.prog, m.cfg = p, cfg
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(cfg.Seed))
+	} else {
+		m.rng.Seed(cfg.Seed)
+	}
+	if cap(m.mem) < p.NumLocations {
+		m.mem = make([]memCell, p.NumLocations)
+		m.prev = make([]memCell, p.NumLocations)
+		m.syncSeq = make([]int, p.NumLocations)
+	}
+	m.mem = m.mem[:p.NumLocations]
+	m.prev = m.prev[:p.NumLocations]
+	m.syncSeq = m.syncSeq[:p.NumLocations]
+	for i := range m.mem {
+		m.mem[i] = memCell{writer: InitialWrite}
+		m.prev[i] = memCell{writer: InitialWrite}
+		m.syncSeq[i] = 0
+	}
+	nCPU := p.NumThreads()
+	if cap(m.cpus) < nCPU {
+		m.cpus = make([]cpuState, nCPU)
+	}
+	m.cpus = m.cpus[:nCPU]
+	for c := range m.cpus {
+		cs := &m.cpus[c]
+		if cap(cs.regs) < p.NumRegs {
+			cs.regs = make([]int64, p.NumRegs)
+		}
+		cs.regs = cs.regs[:p.NumRegs]
+		for i := range cs.regs {
+			cs.regs[i] = 0
+		}
+		cs.pc, cs.halted, cs.buf = 0, false, cs.buf[:0]
+	}
+	// Retained by the Result: allocated per run, see machinePool.
+	m.cycles = make([]int64, nCPU)
+	m.exec = &Execution{
+		ProgramName:           p.Name,
+		Model:                 cfg.Model,
+		Seed:                  cfg.Seed,
+		NumCPUs:               nCPU,
+		NumLocations:          p.NumLocations,
+		PerCPU:                make([][]int, nCPU),
+		FirstStaleObservation: -1,
+	}
+	m.step, m.stalls, m.retired, m.drains = 0, 0, 0, 0
+	m.err = nil
+}
+
+// release returns the machine to the pool, dropping every reference the
+// caller may retain (the execution, the cycle slice) or that would pin
+// the program alive.
+func (m *machine) release() {
+	m.prog, m.exec, m.cycles = nil, nil, nil
+	m.cfg = Config{}
+	machinePool.Put(m)
 }
 
 // Run executes the program under the configuration and returns the
@@ -147,29 +227,9 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 	}
 	cfg = cfg.withDefaults()
 	defer telemetry.Default().StartSpan("sim.run").End()
-	m := &machine{
-		prog:    p,
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		mem:     make([]memCell, p.NumLocations),
-		prev:    make([]memCell, p.NumLocations),
-		cpus:    make([]cpuState, p.NumThreads()),
-		syncSeq: make([]int, p.NumLocations),
-		cycles:  make([]int64, p.NumThreads()),
-		exec: &Execution{
-			ProgramName:           p.Name,
-			Model:                 cfg.Model,
-			Seed:                  cfg.Seed,
-			NumCPUs:               p.NumThreads(),
-			NumLocations:          p.NumLocations,
-			PerCPU:                make([][]int, p.NumThreads()),
-			FirstStaleObservation: -1,
-		},
-	}
-	for i := range m.mem {
-		m.mem[i].writer = InitialWrite
-		m.prev[i].writer = InitialWrite
-	}
+	m := machinePool.Get().(*machine)
+	m.reset(p, cfg)
+	defer m.release()
 	for a, v := range cfg.InitMemory {
 		if a < 0 || int(a) >= p.NumLocations {
 			return nil, fmt.Errorf("sim: InitMemory location %d out of range [0,%d)", a, p.NumLocations)
@@ -181,16 +241,13 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 	for i := range m.mem {
 		m.exec.InitMemory[i] = m.mem[i].val
 	}
-	for c := range m.cpus {
-		m.cpus[c].regs = make([]int64, p.NumRegs)
-	}
 
 	completed := false
 	for m.step = 0; m.step < cfg.MaxSteps; m.step++ {
 		if m.err != nil {
 			return nil, fmt.Errorf("sim: step %d: %w", m.step, m.err)
 		}
-		var runnable, retirable []int
+		runnable, retirable := m.runnable[:0], m.retirable[:0]
 		for c := range m.cpus {
 			if !m.cpus[c].halted {
 				runnable = append(runnable, c)
@@ -199,6 +256,7 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 				retirable = append(retirable, c)
 			}
 		}
+		m.runnable, m.retirable = runnable, retirable
 		if m.step < len(cfg.Script) {
 			if err := m.applyScripted(cfg.Script[m.step]); err != nil {
 				return nil, fmt.Errorf("sim: step %d: %w", m.step, err)
@@ -223,12 +281,13 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 	// Drain any writes still buffered (normal completion drains nothing;
 	// MaxSteps exhaustion can leave pending writes behind).
 	for {
-		var retirable []int
+		retirable := m.retirable[:0]
 		for c := range m.cpus {
 			if len(m.cpus[c].buf) > 0 {
 				retirable = append(retirable, c)
 			}
 		}
+		m.retirable = retirable
 		if len(retirable) == 0 {
 			break
 		}
@@ -345,14 +404,24 @@ func (m *machine) retireOne(c int) {
 		m.retireIdx(c, 0)
 		return
 	}
-	seen := map[program.Addr]bool{}
-	var locs []program.Addr
+	// First-seen order (not sorted) keeps rng draws — and with them every
+	// downstream execution — identical to the old map+slice dedup. Store
+	// buffers hold a handful of entries, so the linear membership scan
+	// beats a freshly allocated map.
+	locs := m.retireLocs[:0]
 	for _, e := range buf {
-		if !seen[e.loc] {
-			seen[e.loc] = true
+		known := false
+		for _, l := range locs {
+			if l == e.loc {
+				known = true
+				break
+			}
+		}
+		if !known {
 			locs = append(locs, e.loc)
 		}
 	}
+	m.retireLocs = locs
 	loc := locs[m.rng.Intn(len(locs))]
 	m.retireIdx(c, m.oldestFor(c, loc))
 }

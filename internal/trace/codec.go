@@ -32,6 +32,11 @@ const magic = "WRT1"
 type countingWriter struct {
 	w   *bufio.Writer
 	err error
+	// buf is the varint staging area. A stack `var buf [...]byte` would
+	// escape into w.Write on every call — one heap allocation per varint,
+	// the dominant cost of encoding — so it lives on the writer instead.
+	buf  [binary.MaxVarintLen64]byte
+	keys []int // pcMap's sorted-keys scratch, reused across events
 }
 
 func (cw *countingWriter) byte(b byte) {
@@ -44,18 +49,16 @@ func (cw *countingWriter) uvarint(v uint64) {
 	if cw.err != nil {
 		return
 	}
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	_, cw.err = cw.w.Write(buf[:n])
+	n := binary.PutUvarint(cw.buf[:], v)
+	_, cw.err = cw.w.Write(cw.buf[:n])
 }
 
 func (cw *countingWriter) varint(v int64) {
 	if cw.err != nil {
 		return
 	}
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(buf[:], v)
-	_, cw.err = cw.w.Write(buf[:n])
+	n := binary.PutVarint(cw.buf[:], v)
+	_, cw.err = cw.w.Write(cw.buf[:n])
 }
 
 func (cw *countingWriter) str(s string) {
@@ -66,21 +69,22 @@ func (cw *countingWriter) str(s string) {
 }
 
 func (cw *countingWriter) set(s *bitset.Set) {
-	vals := s.Slice()
-	cw.uvarint(uint64(len(vals)))
+	cw.uvarint(uint64(s.Len()))
 	prev := 0
-	for _, v := range vals {
+	s.Range(func(v int) bool {
 		cw.uvarint(uint64(v - prev))
 		prev = v
-	}
+		return true
+	})
 }
 
 func (cw *countingWriter) pcMap(m map[program.Addr]int) {
-	keys := make([]int, 0, len(m))
+	keys := cw.keys[:0]
 	for k := range m {
 		keys = append(keys, int(k))
 	}
 	sort.Ints(keys)
+	cw.keys = keys
 	cw.uvarint(uint64(len(keys)))
 	for _, k := range keys {
 		cw.uvarint(uint64(k))

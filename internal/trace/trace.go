@@ -153,12 +153,53 @@ func (t *Trace) Event(ref EventRef) *Event {
 	return t.PerCPU[ref.CPU][ref.Index]
 }
 
+// Arena holds the slabs FromExecutionInto carves a Trace out of — the
+// event array, the access-set words, the per-CPU event-pointer lists,
+// and the pairing-resolution maps — so a caller that builds traces in a
+// loop (a campaign worker iterating over seeds) reuses them instead of
+// reallocating per execution. Unlike core.Arena's scratch, these slabs
+// ARE retained by the returned Trace: reusing an arena invalidates every
+// Trace previously built through it, so an arena must only be recycled
+// after its trace (and any Analysis holding it) is dead, and must not be
+// shared by concurrent builds.
+type Arena struct {
+	events  []Event
+	words   []uint64
+	refs    []*Event
+	counts  []int // perCPUEvents ∥ perCPUSyncs, one buffer
+	syncEvs []*Event
+	opEvent map[int]EventRef
+	opRole  map[int]memmodel.Role
+}
+
+// NewArena returns an empty arena. Slabs grow to the working-set size
+// on first use and are reused afterwards.
+func NewArena() *Arena { return &Arena{} }
+
+// grow returns buf resliced to n, reallocating only when capacity is
+// short. The contents are NOT zeroed — every caller overwrites fully.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
 // FromExecution instruments an execution: it groups each processor's
 // consecutive data operations into computation events, emits one
 // synchronization event per synchronization operation, and resolves
 // acquire pairing references.
 func FromExecution(e *sim.Execution) *Trace {
+	return FromExecutionInto(e, nil)
+}
+
+// FromExecutionInto is FromExecution building into ar's slabs (see
+// Arena); a nil arena allocates freshly, exactly like FromExecution.
+func FromExecutionInto(e *sim.Execution, ar *Arena) *Trace {
 	defer telemetry.Default().StartSpan("trace.build").End()
+	if ar == nil {
+		ar = &Arena{}
+	}
 	t := &Trace{
 		ProgramName:  e.ProgramName,
 		Model:        e.Model,
@@ -171,8 +212,10 @@ func FromExecution(e *sim.Execution) *Trace {
 	// streams before building anything, so construction never regrows a
 	// slice or rehashes a map. An op stream determines the event count
 	// exactly — one event per sync op plus one per maximal run of data ops.
-	perCPUEvents := make([]int, e.NumCPUs)
-	perCPUSyncs := make([]int, e.NumCPUs)
+	ar.counts = grow(ar.counts, 2*e.NumCPUs)
+	clear(ar.counts)
+	perCPUEvents := ar.counts[:e.NumCPUs]
+	perCPUSyncs := ar.counts[e.NumCPUs:]
 	syncWrites := 0
 	for c := 0; c < e.NumCPUs; c++ {
 		inComp := false
@@ -198,16 +241,35 @@ func FromExecution(e *sim.Execution) *Trace {
 
 	// opEvent[id] is the event that contains operation id (filled for sync
 	// writes; used to resolve acquire pairings in the second pass).
-	opEvent := make(map[int]EventRef, syncWrites)
-	opRole := make(map[int]memmodel.Role, syncWrites)
+	if ar.opEvent == nil {
+		ar.opEvent = make(map[int]EventRef, syncWrites)
+		ar.opRole = make(map[int]memmodel.Role, syncWrites)
+	} else {
+		clear(ar.opEvent)
+		clear(ar.opRole)
+	}
+	opEvent, opRole := ar.opEvent, ar.opRole
 
-	wordsPer := (e.NumLocations + 63) / 64
+	totalEvents, totalComp := 0, 0
 	for c := 0; c < e.NumCPUs; c++ {
-		// One Event slab per processor, plus one word slab backing every
-		// computation event's two access sets.
-		slab := make([]Event, perCPUEvents[c])
-		words := make([]uint64, 2*wordsPer*(perCPUEvents[c]-perCPUSyncs[c]))
-		t.PerCPU[c] = make([]*Event, 0, perCPUEvents[c])
+		totalEvents += perCPUEvents[c]
+		totalComp += perCPUEvents[c] - perCPUSyncs[c]
+	}
+	wordsPer := (e.NumLocations + 63) / 64
+	// One Event slab for all processors, one word slab backing every
+	// computation event's two access sets, one pointer slab carved into
+	// the per-CPU streams. The word slab must be re-zeroed on reuse — the
+	// builder only ORs bits in.
+	ar.events = grow(ar.events, totalEvents)
+	ar.refs = grow(ar.refs, totalEvents)
+	ar.words = grow(ar.words, 2*wordsPer*totalComp)
+	clear(ar.words)
+	eventsLeft, refsLeft, words := ar.events, ar.refs, ar.words
+	for c := 0; c < e.NumCPUs; c++ {
+		slab := eventsLeft[:perCPUEvents[c]]
+		eventsLeft = eventsLeft[perCPUEvents[c]:]
+		t.PerCPU[c] = refsLeft[:0:perCPUEvents[c]]
+		refsLeft = refsLeft[perCPUEvents[c]:]
 		var cur *Event // open computation event, if any
 		flush := func() {
 			if cur != nil {
@@ -268,12 +330,13 @@ func FromExecution(e *sim.Execution) *Trace {
 	// Second pass: resolve acquire pairings from observed write ops. Sync
 	// operations map 1:1, in order, onto a processor's sync events.
 	for c := 0; c < e.NumCPUs; c++ {
-		syncEvents := make([]*Event, 0, perCPUSyncs[c])
+		syncEvents := grow(ar.syncEvs, perCPUSyncs[c])[:0]
 		for _, ev := range t.PerCPU[c] {
 			if ev.Kind == Sync {
 				syncEvents = append(syncEvents, ev)
 			}
 		}
+		ar.syncEvs = syncEvents
 		si := 0
 		for _, op := range e.OpsOf(c) {
 			if !op.Kind.IsSync() {

@@ -321,3 +321,37 @@ func TestEventRefString(t *testing.T) {
 		t.Fatalf("NoEvent string = %q", got)
 	}
 }
+
+// A trace built through a reused arena must be byte-identical to one
+// built fresh — across executions of different shapes, so slab reuse
+// exercises both the grow and the re-carve paths. Encoded bytes are the
+// equality oracle (the codec serializes every semantic field).
+func TestFromExecutionIntoArenaReuse(t *testing.T) {
+	ar := NewArena()
+	encode := func(tr *Trace) []byte {
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for round := 0; round < 3; round++ {
+		for seed := int64(1); seed <= 5; seed++ {
+			r, err := sim.Run(fig1bProgram(), sim.Config{
+				Model: memmodel.WO, Seed: seed,
+				InitMemory: map[program.Addr]int64{2: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := encode(FromExecution(r.Exec))
+			pooled := FromExecutionInto(r.Exec, ar)
+			if err := pooled.Validate(); err != nil {
+				t.Fatalf("round %d seed %d: arena-built trace invalid: %v", round, seed, err)
+			}
+			if !bytes.Equal(fresh, encode(pooled)) {
+				t.Fatalf("round %d seed %d: arena-built trace differs from fresh build", round, seed)
+			}
+		}
+	}
+}

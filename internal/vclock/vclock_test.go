@@ -144,3 +144,117 @@ func TestQuickJoinIsLUB(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAtOrBefore(t *testing.T) {
+	if !(VC{1, 2}).AtOrBefore(VC{1, 2}) {
+		t.Fatal("AtOrBefore must be reflexive")
+	}
+	if !(VC{1, 2}).AtOrBefore(VC{1, 3}) {
+		t.Fatal("<1,2> is at or before <1,3>")
+	}
+	if (VC{1, 2}).AtOrBefore(VC{0, 3}) {
+		t.Fatal("<1,2> is not at or before <0,3>")
+	}
+}
+
+func TestAtOrBeforeWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for width mismatch")
+		}
+	}()
+	(VC{1}).AtOrBefore(VC{1, 2})
+}
+
+// Property: AtOrBefore is exactly HappensBefore-or-Equal, for arbitrary
+// stamps — the slow-path semantics OrderedFast falls back to.
+func TestQuickAtOrBeforeIsHBOrEqual(t *testing.T) {
+	f := func(xs, ys [4]uint8) bool {
+		a, b := New(4), New(4)
+		for i := 0; i < 4; i++ {
+			a[i] = uint32(xs[i] % 4)
+			b[i] = uint32(ys[i] % 4)
+		}
+		return a.AtOrBefore(b) == (a.HappensBefore(b) || a.Equal(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// OrderedFast's epoch check must agree with the full component scan on
+// every clock family with the release-tick discipline: a clock is
+// exported (released) at most once per epoch interval, at its end,
+// because the owner ticks right after publishing — the protocol the
+// on-the-fly detector follows (it ticks after every operation). The test
+// simulates such a family with random access/release-acquire/tick steps
+// and checks every (access stamp, observer clock) pair both ways.
+func TestQuickOrderedFastAgreesOnJoinFamilies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(4)
+		clocks := make([]VC, p)
+		for i := range clocks {
+			clocks[i] = New(p)
+			clocks[i].Tick(i)
+		}
+		type stamp struct {
+			e Epoch
+			v VC
+		}
+		var stamps []stamp
+		for step := 0; step < 40; step++ {
+			i := rng.Intn(p)
+			switch rng.Intn(3) {
+			case 0: // local access: stamp, then tick
+				stamps = append(stamps, stamp{Epoch{P: i, C: clocks[i].Get(i)}, clocks[i].Clone()})
+				clocks[i].Tick(i)
+			case 1: // release i -> acquire j: whole-clock join, then the
+				// releaser ticks — the discipline that makes epochs exact.
+				j := rng.Intn(p)
+				if j != i {
+					clocks[j].Join(clocks[i])
+					clocks[i].Tick(i)
+				}
+			default: // just advance
+				clocks[i].Tick(i)
+			}
+		}
+		for _, s := range stamps {
+			for i := range clocks {
+				fast := s.e.Covered(clocks[i])
+				slow := s.v.AtOrBefore(clocks[i])
+				if fast != slow {
+					return false
+				}
+				if OrderedFast(s.e, s.v, clocks[i]) != slow {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// On stamps of unknown provenance the epoch check may claim coverage the
+// full clock denies; OrderedFast's contract is then the fast path's
+// answer, and the slow path remains reachable when the epoch is not
+// covered.
+func TestOrderedFastAdversarialStamps(t *testing.T) {
+	// Epoch covered, clock not dominated: fast path decides true.
+	e := Epoch{P: 0, C: 1}
+	v := VC{1, 9}
+	if !OrderedFast(e, v, VC{5, 0}) {
+		t.Fatal("covered epoch must decide true")
+	}
+	// Epoch not covered: the slow path answers, both ways.
+	if OrderedFast(Epoch{P: 0, C: 7}, VC{7, 1}, VC{5, 9}) {
+		t.Fatal("uncovered epoch with non-dominated clock must be false")
+	}
+	if !OrderedFast(Epoch{P: 0, C: 7}, VC{5, 1}, VC{6, 9}) {
+		t.Fatal("uncovered epoch with dominated clock must fall back true")
+	}
+}
