@@ -26,6 +26,7 @@ import (
 
 	"weakrace/internal/core"
 	"weakrace/internal/memmodel"
+	"weakrace/internal/obs"
 	"weakrace/internal/provenance"
 	"weakrace/internal/report"
 	"weakrace/internal/telemetry"
@@ -52,9 +53,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dotParts   = fs.String("dot-partitions", "", "write the partition condensation DAG in Graphviz DOT form to this file")
 		htmlOut    = fs.String("html", "", "write a single-file HTML race report to this file\n(multiple inputs get numbered suffixes)")
 		flight     = fs.String("flight", "", "write a flight-recorder directory: flight.jsonl, trace.json (Perfetto), witnesses.json")
+		httpAddr   = fs.String("http", "", "serve the observability plane (metrics, status, dashboard, pprof) on this address while analyzing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, obs.Options{Tool: "racedetect"})
+		if err != nil {
+			fmt.Fprintf(stderr, "racedetect: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "racedetect: observability plane on http://%s/\n", srv.Addr())
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: racedetect [-graph] [-dot file] [-explain] [-html file] [-flight dir] [-pairing conservative|liberal] [-metrics file|-] trace.wrt ...")

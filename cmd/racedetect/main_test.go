@@ -243,3 +243,23 @@ func TestRunProvenanceFlags(t *testing.T) {
 		t.Fatalf("witnesses.json wrong: %+v", witnessed)
 	}
 }
+
+// TestRunHTTPPlane: -http serves the plane for the analysis's duration
+// and a bad address is a usage error.
+func TestRunHTTPPlane(t *testing.T) {
+	defer func() {
+		telemetry.Default().SetEnabled(false)
+		telemetry.Default().Reset()
+	}()
+	racy, _, _, _ := writeTraces(t, t.TempDir())
+	var out, errb bytes.Buffer
+	if got := run([]string{"-http", "127.0.0.1:0", racy}, &out, &errb); got != 1 {
+		t.Fatalf("exit = %d, want 1 (racy trace); stderr: %s", got, errb.String())
+	}
+	if !strings.Contains(errb.String(), "observability plane on http://127.0.0.1:") {
+		t.Fatalf("no plane address announced:\n%s", errb.String())
+	}
+	if got := run([]string{"-http", "not-an-address", racy}, &out, &errb); got != 2 {
+		t.Fatalf("bad -http addr: exit = %d, want 2", got)
+	}
+}

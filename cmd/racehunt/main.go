@@ -9,6 +9,7 @@
 //	racehunt -workload buggy-counter -model WO -seeds 500
 //	racehunt -workload buggy-counter -seeds 500 -progress -metrics -
 //	racehunt -workload dekker -seeds 2000 -cpuprofile cpu.pprof
+//	racehunt -workload buggy-counter -seeds 100000 -http 127.0.0.1:8077
 //	racehunt -workload race-chain -seeds 100 -explain -html report.html -flight flight/
 //
 // With -explain, -html, or -flight the hunt replays the top race's
@@ -21,10 +22,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"weakrace/internal/campaign"
 	"weakrace/internal/core"
 	"weakrace/internal/memmodel"
+	"weakrace/internal/obs"
 	"weakrace/internal/provenance"
 	"weakrace/internal/report"
 	"weakrace/internal/sim"
@@ -67,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		progress   = fs.Bool("progress", false, "print periodic campaign progress to stderr")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		httpAddr   = fs.String("http", "", "serve the observability plane (metrics, status, live dashboard, pprof) on this address")
 		explain    = fs.Bool("explain", false, "replay the top race's example seed and print witness explanations")
 		htmlOut    = fs.String("html", "", "write an HTML race report for the top race's example seed to this file")
 		flight     = fs.String("flight", "", "write a flight-recorder directory: per-seed summaries plus the replayed example in full")
@@ -101,19 +105,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer stopProfiles()
 
 	var opts campaign.Options
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, obs.Options{Tool: "racehunt"})
+		if err != nil {
+			fmt.Fprintf(stderr, "racehunt: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		opts.Publisher = srv.Publisher()
+		fmt.Fprintf(stderr, "racehunt: observability plane on http://%s/\n", srv.Addr())
+	}
 	if *progress {
+		// Report ~10 lines per campaign: the campaign coalesces the
+		// callback to deciles (with a two-second heartbeat on slow
+		// workloads) and guarantees the final call, so every invocation
+		// prints.
+		opts.ProgressEvery = *seeds / 10
+		opts.ProgressInterval = 2 * time.Second
 		opts.Progress = func(done, total int) {
-			// Report at most ~10 lines per campaign: every decile, plus
-			// the final seed. total comes from the campaign, which applies
-			// its own default when -seeds is 0.
-			step := total / 10
-			if step == 0 {
-				step = 1
-			}
-			if done%step == 0 || done == total {
-				fmt.Fprintf(stderr, "racehunt: progress %d/%d executions (%d%%)\n",
-					done, total, 100*done/total)
-			}
+			fmt.Fprintf(stderr, "racehunt: progress %d/%d executions (%d%%)\n",
+				done, total, 100*done/total)
 		}
 	}
 

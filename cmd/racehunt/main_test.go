@@ -251,3 +251,30 @@ func TestRunProvenanceFlags(t *testing.T) {
 		t.Fatalf("stderr missing race-free note:\n%s", errb.String())
 	}
 }
+
+// TestRunHTTPPlane: -http mounts the observability plane for the run
+// and the campaign still completes; a bad address is a usage error.
+func TestRunHTTPPlane(t *testing.T) {
+	defer func() {
+		// obs.Serve enables the process-default registry; put it back so
+		// other tests see the usual disabled default.
+		telemetry.Default().SetEnabled(false)
+		telemetry.Default().Reset()
+	}()
+	var out, errb bytes.Buffer
+	got := run([]string{
+		"-workload", "buggy-counter", "-seeds", "30", "-http", "127.0.0.1:0",
+	}, &out, &errb)
+	if got != 1 {
+		t.Fatalf("exit = %d, want 1 (races found); stderr: %s", got, errb.String())
+	}
+	if !strings.Contains(errb.String(), "observability plane on http://127.0.0.1:") {
+		t.Fatalf("no plane address announced:\n%s", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if got := run([]string{"-seeds", "5", "-http", "not-an-address"}, &out, &errb); got != 2 {
+		t.Fatalf("bad -http addr: exit = %d, want 2", got)
+	}
+}

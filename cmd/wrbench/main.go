@@ -10,6 +10,9 @@
 //	wrbench -iters 50 -o base.json
 //	wrbench -scenario full-pipeline -o - -iters 10
 //	wrbench -scenario model-throughput,tracing-overhead -iters 3
+//	wrbench -http 127.0.0.1:8077   # live /metrics, /status, dashboard
+//	wrbench -trajectory trend.html           # all BENCH_*.json -> one report
+//	wrbench -trajectory trend.html BENCH_2.json BENCH_5.json
 package main
 
 import (
@@ -19,13 +22,17 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"weakrace"
+	"weakrace/internal/obs"
+	"weakrace/internal/report"
 	"weakrace/internal/telemetry"
 )
 
@@ -104,9 +111,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		guard    = fs.String("guard", "", "regression guards, comma-separated scenario:metric:factor entries;\nexit 1 if a metric exceeds factor x its -baseline value")
 		flight   = fs.String("flight", "", "after the scenarios, run one segments-32 analysis with a flight recorder\nand write flight.jsonl + trace.json (Perfetto) into this directory")
 		htmlOut  = fs.String("html", "", "with -flight or alone: write the segments-32 run's HTML race report to this file")
+		httpAddr = fs.String("http", "", "serve the observability plane (metrics, status, dashboard, pprof) on this address while benching")
+		traject  = fs.String("trajectory", "", "standalone mode: render the checked-in BENCH_*.json files (or the\npositional arguments) into one HTML trend report at this path, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *traject != "" {
+		return renderTrajectory(*traject, fs.Args(), stderr)
+	}
+
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, obs.Options{Tool: "wrbench"})
+		if err != nil {
+			fmt.Fprintf(stderr, "wrbench: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "wrbench: observability plane on http://%s/\n", srv.Addr())
 	}
 
 	scenarios := allScenarios()
@@ -204,6 +227,70 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return code
 		}
 	}
+	return 0
+}
+
+// renderTrajectory is `wrbench -trajectory`: parse each bench point
+// (the given files, default every BENCH_*.json in the working
+// directory), order them by the PR number in the filename, and render
+// the cross-PR trend report.
+func renderTrajectory(out string, files []string, stderr io.Writer) int {
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("BENCH_*.json")
+		if err != nil || len(files) == 0 {
+			fmt.Fprintln(stderr, "wrbench: -trajectory found no BENCH_*.json files (pass them as arguments)")
+			return 2
+		}
+	}
+	// BENCH_10 must sort after BENCH_2: compare the numeric suffix when
+	// both sides have one.
+	num := func(path string) (int, bool) {
+		stem := strings.TrimSuffix(filepath.Base(path), ".json")
+		i := strings.LastIndex(stem, "_")
+		if i < 0 {
+			return 0, false
+		}
+		n, err := strconv.Atoi(stem[i+1:])
+		return n, err == nil
+	}
+	sort.SliceStable(files, func(i, j int) bool {
+		a, aok := num(files[i])
+		b, bok := num(files[j])
+		if aok && bok {
+			return a < b
+		}
+		return files[i] < files[j]
+	})
+
+	var points []report.BenchPoint
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "wrbench: %v\n", err)
+			return 2
+		}
+		label := strings.TrimSuffix(filepath.Base(f), ".json")
+		p, err := report.ParseBenchPoint(label, data)
+		if err != nil {
+			fmt.Fprintf(stderr, "wrbench: %v\n", err)
+			return 2
+		}
+		points = append(points, p)
+	}
+
+	f, err := os.Create(out)
+	if err == nil {
+		err = report.RenderTrajectory(f, points)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "wrbench: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "wrbench: trajectory report over %d bench points written to %s\n", len(points), out)
 	return 0
 }
 
@@ -403,14 +490,14 @@ func allScenarios() []scenario {
 				metrics[key+"_ns_per_iter"] = float64(time.Since(start).Nanoseconds()) / float64(iters)
 				metrics[key+"_events"] = float64(events)
 			}
-			after := telemetry.Default().Snapshot()
+			delta := telemetry.Default().Snapshot().Delta(before)
 			for _, name := range []string{
 				"detect.vc_builds",
 				"detect.vc_window_queries",
 				"detect.vc_hb_fastpath_hits",
 			} {
 				short := strings.TrimPrefix(name, "detect.")
-				metrics[short+"_per_iter"] = float64(after.Counters[name]-before.Counters[name]) / float64(iters)
+				metrics[short+"_per_iter"] = float64(delta.Counters[name]) / float64(iters)
 			}
 			return metrics, nil
 		}},

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -234,5 +235,90 @@ func TestProvenanceCapture(t *testing.T) {
 	}
 	if !strings.Contains(string(html), "<!DOCTYPE html>") {
 		t.Fatal("HTML report malformed")
+	}
+}
+
+func writeBenchFixture(t *testing.T, path, commit string, ns int64) {
+	t.Helper()
+	doc := fmt.Sprintf(`{
+  "meta": {"go_version": "go1.24.0", "gomaxprocs": 1, "goos": "linux", "goarch": "amd64", "commit": %q},
+  "iters": 30,
+  "scenarios": [
+    {"name": "model-throughput", "iters": 30, "total_ns": %d, "ns_per_iter": %d,
+     "metrics": {"cycles_per_op_SC": 2.6}}
+  ]
+}`, commit, ns*30, ns)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrajectoryMode: -trajectory renders the named bench points into
+// one HTML report, ordered by the numeric suffix in the filename.
+func TestTrajectoryMode(t *testing.T) {
+	dir := t.TempDir()
+	// Named out of order, and BENCH_10 must sort after BENCH_2.
+	f10 := filepath.Join(dir, "BENCH_10.json")
+	f2 := filepath.Join(dir, "BENCH_2.json")
+	writeBenchFixture(t, f10, "commit-ten", 500000)
+	writeBenchFixture(t, f2, "commit-two", 800000)
+	out := filepath.Join(dir, "trend.html")
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-trajectory", out, f10, f2}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d; stderr: %s", got, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(data)
+	for _, want := range []string{"model-throughput", "BENCH_2", "BENCH_10", "<svg"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("trajectory HTML missing %q", want)
+		}
+	}
+	if i2, i10 := strings.Index(html, "commit-two"), strings.Index(html, "commit-ten"); i2 < 0 || i10 < 0 || i2 > i10 {
+		t.Errorf("bench points not in numeric order (BENCH_2 at %d, BENCH_10 at %d)", i2, i10)
+	}
+	if !strings.Contains(stderr.String(), "trajectory report over 2 bench points") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+}
+
+// TestTrajectoryGlobDefault: with no positional arguments -trajectory
+// sweeps BENCH_*.json in the working directory.
+func TestTrajectoryGlobDefault(t *testing.T) {
+	dir := t.TempDir()
+	writeBenchFixture(t, filepath.Join(dir, "BENCH_3.json"), "c3", 700000)
+	writeBenchFixture(t, filepath.Join(dir, "BENCH_5.json"), "c5", 600000)
+	t.Chdir(dir)
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-trajectory", "trend.html"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d; stderr: %s", got, stderr.String())
+	}
+	data, err := os.ReadFile("trend.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "BENCH_3") || !strings.Contains(string(data), "BENCH_5") {
+		t.Error("globbed points missing from report")
+	}
+}
+
+func TestTrajectoryErrors(t *testing.T) {
+	dir := t.TempDir()
+	t.Chdir(dir)
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-trajectory", "trend.html"}, &stdout, &stderr); got != 2 {
+		t.Fatalf("empty dir: exit = %d, want 2", got)
+	}
+	bad := filepath.Join(dir, "BENCH_bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"-trajectory", "trend.html", bad}, &stdout, &stderr); got != 2 {
+		t.Fatalf("malformed point: exit = %d, want 2", got)
 	}
 }

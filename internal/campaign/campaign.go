@@ -20,6 +20,7 @@ import (
 
 	"weakrace/internal/core"
 	"weakrace/internal/memmodel"
+	"weakrace/internal/obs"
 	"weakrace/internal/sim"
 	"weakrace/internal/telemetry"
 	"weakrace/internal/telemetry/export"
@@ -96,10 +97,25 @@ func (r *Report) RaceFree() bool { return r.Racy == 0 }
 // Options holds per-run hooks that are not part of the campaign's
 // deterministic configuration.
 type Options struct {
-	// Progress, when set, is called after each execution completes, with
-	// done strictly increasing from 1 to total. Calls are serialized but
-	// come from worker goroutines; keep the callback fast.
+	// Progress, when set, is called as executions complete, with done
+	// strictly increasing and ending exactly at total. Calls are
+	// serialized but come from worker goroutines; keep the callback fast.
+	// By default it fires after every execution; ProgressEvery and
+	// ProgressInterval coalesce it.
 	Progress func(done, total int)
+	// ProgressEvery suppresses Progress until at least this many
+	// executions completed since the last call (the final completion
+	// always fires). 0 or 1 keeps the per-execution default.
+	ProgressEvery int
+	// ProgressInterval, when positive, also fires Progress when this
+	// much time has passed since the last call — so a coarse
+	// ProgressEvery still produces a heartbeat on slow workloads.
+	ProgressInterval time.Duration
+	// Publisher, when non-nil, receives live observability events: a
+	// progress event per completion (the SSE layer coalesces bursts) and
+	// a race event the first time each distinct static race is seen.
+	// With no subscribers each publish costs one atomic load.
+	Publisher *obs.Publisher
 	// Flight, when non-nil, records one summary record per seed (duration,
 	// race/partition counts, failure) into the flight recorder. The
 	// campaign deliberately does NOT forward the recorder into each seed's
@@ -132,18 +148,21 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 	defer reg.StartSpan("campaign.run").End()
 	start := time.Now()
 
-	var progressMu sync.Mutex
-	doneCount := 0
-	seedDone := func() {
-		if opts.Progress == nil {
-			return
-		}
-		// The callback runs under the mutex so done values arrive strictly
-		// increasing even with many workers.
-		progressMu.Lock()
-		doneCount++
-		opts.Progress(doneCount, cfg.Seeds)
-		progressMu.Unlock()
+	// Live observability. The counters let /status and /metrics show a
+	// campaign mid-flight; the distinct-race set feeds first-occurrence
+	// race events. All of it is skipped when nobody is watching: the
+	// registry disabled and no Publisher means seedDone returns at once.
+	telemetryOn := reg.Enabled()
+	var (
+		seedsDoneC, seedsFailedC, seedsRacyC *telemetry.Counter
+		racesDistinctG                       *telemetry.Gauge
+	)
+	if telemetryOn {
+		reg.Gauge("campaign.seeds_total").Set(int64(cfg.Seeds))
+		seedsDoneC = reg.Counter("campaign.seeds_done")
+		seedsFailedC = reg.Counter("campaign.seeds_failed")
+		seedsRacyC = reg.Counter("campaign.seeds_racy")
+		racesDistinctG = reg.Gauge("campaign.races_distinct")
 	}
 
 	type seedResult struct {
@@ -154,6 +173,74 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 	}
 	results := make([]*seedResult, cfg.Seeds)
 	errs := make([]error, cfg.Seeds)
+
+	every := opts.ProgressEvery
+	if every < 1 {
+		every = 1
+	}
+	var (
+		progressMu sync.Mutex
+		doneCount  int
+		lastFired  int
+		lastFireAt = start
+		liveFailed int
+		liveRacy   int
+		liveSeen   = map[core.LowerLevelRace]bool{}
+	)
+	observing := opts.Progress != nil || opts.Publisher != nil || telemetryOn
+	seedDone := func(seed int, res *seedResult, err error) {
+		if !observing {
+			return
+		}
+		if telemetryOn {
+			seedsDoneC.Inc()
+			if err != nil {
+				seedsFailedC.Inc()
+			} else if res != nil && res.racy {
+				seedsRacyC.Inc()
+			}
+		}
+		// Everything below runs under the mutex so done values arrive
+		// strictly increasing even with many workers.
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		doneCount++
+		if err != nil {
+			liveFailed++
+		}
+		if res != nil {
+			if res.racy {
+				liveRacy++
+			}
+			for race := range res.races {
+				if liveSeen[race] {
+					continue
+				}
+				liveSeen[race] = true
+				if telemetryOn {
+					racesDistinctG.Set(int64(len(liveSeen)))
+				}
+				opts.Publisher.Publish(obs.Event{
+					Kind: obs.EventRace, Race: race.String(), Seed: int64(seed),
+				})
+			}
+		}
+		if opts.Progress != nil {
+			fire := doneCount == cfg.Seeds || doneCount-lastFired >= every
+			if !fire && opts.ProgressInterval > 0 {
+				fire = time.Since(lastFireAt) >= opts.ProgressInterval
+			}
+			if fire {
+				lastFired = doneCount
+				lastFireAt = time.Now()
+				opts.Progress(doneCount, cfg.Seeds)
+			}
+		}
+		opts.Publisher.Publish(obs.Event{
+			Kind: obs.EventProgress, Done: doneCount, Total: cfg.Seeds,
+			Failed: liveFailed, Racy: liveRacy, DistinctRaces: len(liveSeen),
+		})
+	}
 
 	// One scratch set per in-flight worker: the detector arena's
 	// megabyte-scale buffers (race records, SCC stacks, partner lists) AND
@@ -178,7 +265,9 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 		go func(seed int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			defer seedDone()
+			// Deferred closure: results[seed]/errs[seed] are in place by
+			// the time the worker returns, whichever path it took.
+			defer func() { seedDone(seed, results[seed], errs[seed]) }()
 			sp := reg.StartSpan("campaign.seed")
 			defer sp.End()
 			// The seed summary is timed and emitted only when a recorder is

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"weakrace/internal/memmodel"
+	"weakrace/internal/obs"
 	"weakrace/internal/program"
 	"weakrace/internal/sim"
 	"weakrace/internal/telemetry"
@@ -381,5 +382,151 @@ func TestCampaignFlightSeedSummaries(t *testing.T) {
 	}
 	if racy != rep.Racy {
 		t.Errorf("flight log says %d racy seeds, report says %d", racy, rep.Racy)
+	}
+}
+
+// TestCampaignProgressCoalescing pins the callback count under
+// ProgressEvery: with N seeds and every=E the callback fires
+// ceil-free — once per E completions plus the guaranteed final call.
+func TestCampaignProgressCoalescing(t *testing.T) {
+	const seeds = 24
+	var calls []int
+	_, err := RunWithOptions(Config{
+		Workload: workload.LockedCounter(3, 3, 1),
+		Model:    memmodel.WO,
+		Seeds:    seeds,
+		Workers:  8,
+	}, Options{
+		ProgressEvery: 10,
+		Progress: func(done, total int) {
+			calls = append(calls, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic cadence: fires at 10, 20, and the final 24 — no
+	// more, no fewer, regardless of worker interleaving.
+	want := []int{10, 20, 24}
+	if !reflect.DeepEqual(calls, want) {
+		t.Fatalf("coalesced progress calls = %v, want %v", calls, want)
+	}
+}
+
+// TestCampaignProgressFinalAlwaysFires: even with a coalescing stride
+// coarser than the campaign, the last completion reports done == total.
+func TestCampaignProgressFinalAlwaysFires(t *testing.T) {
+	const seeds = 7
+	var calls []int
+	_, err := RunWithOptions(Config{
+		Workload: workload.LockedCounter(3, 3, 1),
+		Model:    memmodel.WO,
+		Seeds:    seeds,
+		Workers:  4,
+	}, Options{
+		ProgressEvery: 1000,
+		Progress:      func(done, total int) { calls = append(calls, done) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(calls, []int{seeds}) {
+		t.Fatalf("calls = %v, want just the final %d", calls, seeds)
+	}
+}
+
+// TestCampaignPublisherEvents: a subscribed publisher sees one race
+// event per distinct static race (first occurrence) and progress
+// reaching done == total with a consistent racy tally.
+func TestCampaignPublisherEvents(t *testing.T) {
+	pub := obs.NewPublisher()
+	sub := pub.Subscribe()
+	defer sub.Close()
+
+	const seeds = 16
+	rep, err := RunWithOptions(Config{
+		Workload: workload.LockedCounter(3, 3, 1),
+		Model:    memmodel.WO,
+		Seeds:    seeds,
+		Workers:  4,
+	}, Options{Publisher: pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RaceFree() {
+		t.Fatal("expected the buggy workload to race")
+	}
+
+	evs, dropped := sub.Poll()
+	if dropped != 0 {
+		t.Fatalf("dropped %d events with the default ring", dropped)
+	}
+	raceSeen := map[string]int{}
+	var lastProgress *obs.Event
+	for i := range evs {
+		ev := evs[i]
+		switch ev.Kind {
+		case obs.EventRace:
+			raceSeen[ev.Race]++
+		case obs.EventProgress:
+			lastProgress = &evs[i]
+		}
+	}
+	if len(raceSeen) != len(rep.Races) {
+		t.Fatalf("published %d distinct races, report has %d", len(raceSeen), len(rep.Races))
+	}
+	for race, n := range raceSeen {
+		if n != 1 {
+			t.Errorf("race %q published %d times, want once", race, n)
+		}
+	}
+	if lastProgress == nil {
+		t.Fatal("no progress events published")
+	}
+	if lastProgress.Done != seeds || lastProgress.Total != seeds {
+		t.Fatalf("final progress = %d/%d, want %d/%d",
+			lastProgress.Done, lastProgress.Total, seeds, seeds)
+	}
+	if lastProgress.Racy != rep.Racy || lastProgress.DistinctRaces != len(rep.Races) {
+		t.Fatalf("final progress tallies %+v disagree with report (racy=%d distinct=%d)",
+			lastProgress, rep.Racy, len(rep.Races))
+	}
+}
+
+// TestCampaignLiveCounters: with the registry enabled, the live
+// per-seed counters and gauges settle at the report's values.
+func TestCampaignLiveCounters(t *testing.T) {
+	reg := telemetry.Default()
+	reg.Reset()
+	reg.SetEnabled(true)
+	defer func() {
+		reg.SetEnabled(false)
+		reg.Reset()
+	}()
+	const seeds = 12
+	rep, err := RunWithOptions(Config{
+		Workload: workload.LockedCounter(3, 3, 1),
+		Model:    memmodel.WO,
+		Seeds:    seeds,
+		Workers:  4,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["campaign.seeds_done"]; got != seeds {
+		t.Errorf("campaign.seeds_done = %d, want %d", got, seeds)
+	}
+	if got := snap.Gauges["campaign.seeds_total"]; got != seeds {
+		t.Errorf("campaign.seeds_total = %d, want %d", got, seeds)
+	}
+	if got := snap.Counters["campaign.seeds_racy"]; got != int64(rep.Racy) {
+		t.Errorf("campaign.seeds_racy = %d, want %d", got, rep.Racy)
+	}
+	if got := snap.Gauges["campaign.races_distinct"]; got != int64(len(rep.Races)) {
+		t.Errorf("campaign.races_distinct = %d, want %d", got, len(rep.Races))
+	}
+	if got := snap.Counters["campaign.seeds_failed"]; got != 0 {
+		t.Errorf("campaign.seeds_failed = %d, want 0", got)
 	}
 }

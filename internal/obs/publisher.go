@@ -1,0 +1,218 @@
+// Package obs is the live observability plane: an embeddable HTTP
+// server (metrics, health, status, progress streaming, pprof, and a
+// self-contained dashboard) that any long-running command mounts with
+// one call, and the Publisher the pipeline feeds progress and
+// race-found notifications into.
+//
+// The plane holds the telemetry layer's bargain: unmounted, it costs
+// nothing — no goroutines, no listeners, and a nil Publisher (or one
+// with no subscribers) makes every Publish a single atomic load on the
+// hot path. Mounted, scrapes read point-in-time registry snapshots and
+// subscribers read a bounded ring, so neither can slow or block the
+// pipeline. This is the serving skeleton the planned wrserve streaming
+// daemon mounts unchanged.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event kinds carried on the /events stream.
+const (
+	// EventProgress is a campaign progress tick: seeds done/total plus
+	// failure and race tallies. Coalescible — only the newest matters.
+	EventProgress = "progress"
+	// EventRace announces a distinct race the first time any seed
+	// exhibits it. Never coalesced away.
+	EventRace = "race"
+	// EventPhase reports a completed pipeline phase span. Coalesced to
+	// the newest completion per phase name.
+	EventPhase = "phase"
+	// EventDropped tells a slow subscriber how many events the ring
+	// overwrote while it lagged. Synthesized per subscription, never
+	// stored in the ring.
+	EventDropped = "dropped"
+)
+
+// Event is one notification on the /events stream. Kind selects which
+// of the optional field groups is meaningful.
+type Event struct {
+	Seq    int64  `json:"seq"`
+	UnixNS int64  `json:"unix_ns"`
+	Kind   string `json:"kind"`
+
+	// EventProgress
+	Done          int `json:"done,omitempty"`
+	Total         int `json:"total,omitempty"`
+	Failed        int `json:"failed,omitempty"`
+	Racy          int `json:"racy,omitempty"`
+	DistinctRaces int `json:"distinct_races,omitempty"`
+
+	// EventRace
+	Race string `json:"race,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+
+	// EventPhase
+	Phase string `json:"phase,omitempty"`
+	DurNS int64  `json:"dur_ns,omitempty"`
+
+	// EventDropped
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// DefaultRingSize is the event ring's capacity: enough to ride out a
+// dashboard's coalescing window at full campaign throughput; a
+// subscriber that falls further behind skips ahead and learns how much
+// it missed.
+const DefaultRingSize = 1024
+
+// Publisher fans events out to subscribers through a bounded ring.
+//
+// The hot path is the no-subscriber case: Publish loads one atomic and
+// returns, so instrumentation sites can publish unconditionally. With
+// subscribers, the single writer appends under a mutex shared only
+// with subscriber cursor reads — never with the pipeline's compute —
+// and a full ring overwrites the oldest event rather than blocking.
+// A nil *Publisher accepts (and discards) publishes, so call sites
+// need no nil checks.
+type Publisher struct {
+	subs atomic.Int32
+
+	mu      sync.Mutex
+	ring    []Event
+	seq     int64 // next sequence number; ring holds [seq-len, seq)
+	waiters map[*Subscription]struct{}
+}
+
+// NewPublisher returns a Publisher with the default ring capacity.
+func NewPublisher() *Publisher { return NewPublisherSize(DefaultRingSize) }
+
+// NewPublisherSize returns a Publisher whose ring holds size events.
+func NewPublisherSize(size int) *Publisher {
+	if size < 1 {
+		size = 1
+	}
+	return &Publisher{ring: make([]Event, size), waiters: map[*Subscription]struct{}{}}
+}
+
+// HasSubscribers reports whether any subscription is open — the gate
+// call sites may use to skip building expensive events. Publish does
+// the same check internally.
+func (p *Publisher) HasSubscribers() bool {
+	return p != nil && p.subs.Load() > 0
+}
+
+// Publish stamps ev with a sequence number and wall-clock time and
+// appends it to the ring. With no subscribers (or a nil receiver) it
+// returns after one atomic load.
+func (p *Publisher) Publish(ev Event) {
+	if p == nil || p.subs.Load() == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	p.mu.Lock()
+	ev.Seq = p.seq
+	ev.UnixNS = now
+	p.ring[p.seq%int64(len(p.ring))] = ev
+	p.seq++
+	for s := range p.waiters {
+		select {
+		case s.ready <- struct{}{}:
+		default: // already signaled; it will drain everything on Poll
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Subscription is one reader's cursor into the ring.
+type Subscription struct {
+	p      *Publisher
+	cursor int64
+	ready  chan struct{}
+}
+
+// Subscribe opens a subscription delivering events published from now
+// on. Close it to release the publisher's fast path again.
+func (p *Publisher) Subscribe() *Subscription {
+	s := &Subscription{p: p, ready: make(chan struct{}, 1)}
+	// Count first: a Publish racing with Subscribe must not take the
+	// no-subscriber shortcut after the cursor is placed.
+	p.subs.Add(1)
+	p.mu.Lock()
+	s.cursor = p.seq
+	p.waiters[s] = struct{}{}
+	p.mu.Unlock()
+	return s
+}
+
+// Close releases the subscription.
+func (s *Subscription) Close() {
+	s.p.mu.Lock()
+	delete(s.p.waiters, s)
+	s.p.mu.Unlock()
+	s.p.subs.Add(-1)
+}
+
+// Ready returns a channel that receives a signal when events are
+// pending. One signal may cover many events; Poll drains them all.
+func (s *Subscription) Ready() <-chan struct{} { return s.ready }
+
+// Poll returns the events published since the previous Poll, and how
+// many were overwritten before this subscriber got to them (0 unless it
+// lagged a full ring behind).
+func (s *Subscription) Poll() (evs []Event, dropped int64) {
+	p := s.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	oldest := p.seq - int64(len(p.ring))
+	if oldest < 0 {
+		oldest = 0
+	}
+	if s.cursor < oldest {
+		dropped = oldest - s.cursor
+		s.cursor = oldest
+	}
+	if s.cursor == p.seq {
+		return nil, dropped
+	}
+	evs = make([]Event, 0, p.seq-s.cursor)
+	for ; s.cursor < p.seq; s.cursor++ {
+		evs = append(evs, p.ring[s.cursor%int64(len(p.ring))])
+	}
+	return evs, dropped
+}
+
+// Coalesce reduces a polled batch to what a live consumer needs: every
+// race announcement, the newest progress tick, and the newest
+// completion per phase name, in their original order. The /events
+// handler applies it per flush so a burst of 10^3 seed completions
+// costs one progress line on the wire.
+func Coalesce(evs []Event) []Event {
+	if len(evs) <= 1 {
+		return evs
+	}
+	keep := make([]bool, len(evs))
+	seenProgress := false
+	seenPhase := map[string]bool{}
+	for i := len(evs) - 1; i >= 0; i-- {
+		switch evs[i].Kind {
+		case EventProgress:
+			keep[i] = !seenProgress
+			seenProgress = true
+		case EventPhase:
+			keep[i] = !seenPhase[evs[i].Phase]
+			seenPhase[evs[i].Phase] = true
+		default:
+			keep[i] = true
+		}
+	}
+	out := evs[:0]
+	for i, k := range keep {
+		if k {
+			out = append(out, evs[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPublishNilAndNoSubscribers(t *testing.T) {
+	var nilPub *Publisher
+	nilPub.Publish(Event{Kind: EventProgress}) // must not panic
+	if nilPub.HasSubscribers() {
+		t.Fatal("nil publisher claims subscribers")
+	}
+
+	p := NewPublisher()
+	p.Publish(Event{Kind: EventProgress})
+	if p.HasSubscribers() {
+		t.Fatal("fresh publisher claims subscribers")
+	}
+	// The no-subscriber publish must not have entered the ring: a new
+	// subscriber polls nothing even after it.
+	sub := p.Subscribe()
+	defer sub.Close()
+	if evs, dropped := sub.Poll(); len(evs) != 0 || dropped != 0 {
+		t.Fatalf("got %d events, %d dropped; want none", len(evs), dropped)
+	}
+}
+
+func TestSubscribeDeliversInOrder(t *testing.T) {
+	p := NewPublisher()
+	sub := p.Subscribe()
+	defer sub.Close()
+	for i := 0; i < 5; i++ {
+		p.Publish(Event{Kind: EventRace, Seed: int64(i)})
+	}
+	select {
+	case <-sub.Ready():
+	default:
+		t.Fatal("ready channel not signaled")
+	}
+	evs, dropped := sub.Poll()
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if len(evs) != 5 {
+		t.Fatalf("len = %d, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seed != int64(i) || ev.Seq != int64(i) || ev.UnixNS == 0 {
+			t.Fatalf("event %d = %+v; want seed/seq %d with a timestamp", i, ev, i)
+		}
+	}
+	// Drained: a second poll is empty.
+	if evs, _ := sub.Poll(); len(evs) != 0 {
+		t.Fatalf("second poll returned %d events", len(evs))
+	}
+}
+
+func TestRingOverwriteCountsDropped(t *testing.T) {
+	p := NewPublisherSize(4)
+	sub := p.Subscribe()
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		p.Publish(Event{Kind: EventRace, Seed: int64(i)})
+	}
+	evs, dropped := sub.Poll()
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4 (ring size)", len(evs))
+	}
+	if evs[0].Seed != 6 || evs[3].Seed != 9 {
+		t.Fatalf("kept window = [%d..%d], want [6..9]", evs[0].Seed, evs[3].Seed)
+	}
+}
+
+func TestCloseRestoresFastPath(t *testing.T) {
+	p := NewPublisher()
+	sub := p.Subscribe()
+	if !p.HasSubscribers() {
+		t.Fatal("subscriber not counted")
+	}
+	sub.Close()
+	if p.HasSubscribers() {
+		t.Fatal("closed subscriber still counted")
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	evs := []Event{
+		{Kind: EventProgress, Done: 1},
+		{Kind: EventRace, Race: "r1"},
+		{Kind: EventPhase, Phase: "detect"},
+		{Kind: EventProgress, Done: 2},
+		{Kind: EventPhase, Phase: "simulate"},
+		{Kind: EventPhase, Phase: "detect"},
+		{Kind: EventRace, Race: "r2"},
+		{Kind: EventProgress, Done: 3},
+	}
+	out := Coalesce(evs)
+	want := []struct {
+		kind, key string
+		done      int
+	}{
+		{EventRace, "r1", 0},
+		{EventPhase, "simulate", 0},
+		{EventPhase, "detect", 0},
+		{EventRace, "r2", 0},
+		{EventProgress, "", 3},
+	}
+	if len(out) != len(want) {
+		t.Fatalf("len = %d, want %d: %+v", len(out), len(want), out)
+	}
+	for i, w := range want {
+		ev := out[i]
+		if ev.Kind != w.kind {
+			t.Errorf("out[%d].Kind = %s, want %s", i, ev.Kind, w.kind)
+		}
+		switch w.kind {
+		case EventRace:
+			if ev.Race != w.key {
+				t.Errorf("out[%d].Race = %s, want %s", i, ev.Race, w.key)
+			}
+		case EventPhase:
+			if ev.Phase != w.key {
+				t.Errorf("out[%d].Phase = %s, want %s", i, ev.Phase, w.key)
+			}
+		case EventProgress:
+			if ev.Done != w.done {
+				t.Errorf("out[%d].Done = %d, want %d", i, ev.Done, w.done)
+			}
+		}
+	}
+}
+
+func TestCoalesceSmallBatches(t *testing.T) {
+	if out := Coalesce(nil); len(out) != 0 {
+		t.Fatalf("Coalesce(nil) = %v", out)
+	}
+	one := []Event{{Kind: EventProgress, Done: 7}}
+	if out := Coalesce(one); len(out) != 1 || out[0].Done != 7 {
+		t.Fatalf("Coalesce(one) = %v", out)
+	}
+}
+
+// TestPublisherConcurrent drives publishers, subscribers, and pollers
+// concurrently; meaningful mainly under -race (CI's telemetry-race job
+// covers this package).
+func TestPublisherConcurrent(t *testing.T) {
+	p := NewPublisherSize(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p.Publish(Event{Kind: EventRace, Race: fmt.Sprintf("w%d", w), Seed: int64(i)})
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := p.Subscribe()
+			defer sub.Close()
+			for i := 0; i < 200; i++ {
+				sub.Poll()
+			}
+		}()
+	}
+	wg.Wait()
+}

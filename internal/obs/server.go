@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"weakrace/internal/report"
+	"weakrace/internal/telemetry"
+)
+
+// Options configures a Server. The zero value serves the process-wide
+// default registry with a fresh Publisher.
+type Options struct {
+	// Tool names the process in /status and the dashboard header.
+	// Default "weakrace".
+	Tool string
+	// Registry is the telemetry source. Default telemetry.Default().
+	// Mounting enables it: a plane nobody asked for never turns
+	// collection on, and one that was asked for must have data.
+	Registry *telemetry.Registry
+	// Publisher carries progress/race events to /events subscribers.
+	// Default: a new one, reachable via Server.Publisher. The server
+	// installs a span hook forwarding the registry's completed phases
+	// into it.
+	Publisher *Publisher
+}
+
+// Server is the embeddable observability HTTP plane.
+//
+// Endpoints: / (dashboard), /metrics (Prometheus text exposition),
+// /metrics.json (snapshot JSON), /healthz, /status, /events (SSE), and
+// /debug/pprof/*. Every handler reads point-in-time snapshots or the
+// bounded event ring — none can block or slow the pipeline it observes.
+type Server struct {
+	tool  string
+	reg   *telemetry.Registry
+	pub   *Publisher
+	start time.Time
+	mux   *http.ServeMux
+
+	ln      net.Listener
+	httpSrv *http.Server
+
+	// coalesceWindow batches /events flushes: after a wake-up the
+	// handler waits this long so a burst becomes one flush. Tests set 0.
+	coalesceWindow time.Duration
+	// heartbeat is the SSE keep-alive comment interval.
+	heartbeat time.Duration
+}
+
+// NewServer builds the plane without a listener (for mounting on an
+// existing mux or an httptest server). It enables the registry and
+// installs the phase-completion span hook.
+func NewServer(opts Options) *Server {
+	s := &Server{
+		tool:           opts.Tool,
+		reg:            opts.Registry,
+		pub:            opts.Publisher,
+		start:          time.Now(),
+		coalesceWindow: 100 * time.Millisecond,
+		heartbeat:      15 * time.Second,
+	}
+	if s.tool == "" {
+		s.tool = "weakrace"
+	}
+	if s.reg == nil {
+		s.reg = telemetry.Default()
+	}
+	if s.pub == nil {
+		s.pub = NewPublisher()
+	}
+	s.reg.SetEnabled(true)
+	pub := s.pub
+	s.reg.SetSpanHook(func(name string, d time.Duration) {
+		pub.Publish(Event{Kind: EventPhase, Phase: name, DurNS: int64(d)})
+	})
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/", s.handleDashboard)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/status", s.handleStatus)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Serve mounts the plane on addr ("host:port"; ":0" picks a free port)
+// and serves in a background goroutine. The one call a long-running
+// command needs.
+func Serve(addr string, opts Options) (*Server, error) {
+	s := NewServer(opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Handler returns the plane as an http.Handler for external mounting.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Publisher returns the event publisher the pipeline should feed.
+func (s *Server) Publisher() *Publisher { return s.pub }
+
+// Addr returns the bound listen address ("" without a listener).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and detaches the span hook.
+func (s *Server) Close() error {
+	s.reg.SetSpanHook(nil)
+	if s.httpSrv != nil {
+		return s.httpSrv.Close()
+	}
+	return nil
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := report.RenderDashboard(w, s.tool); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+	if err := s.reg.Snapshot().WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Status is the /status document: process identity, uptime, the phase
+// running right now, live campaign progress (when a campaign reports),
+// and per-phase latency summaries with bucket-interpolated quantiles.
+type Status struct {
+	Tool          string                 `json:"tool"`
+	PID           int                    `json:"pid"`
+	GoVersion     string                 `json:"go_version"`
+	Commit        string                 `json:"commit,omitempty"`
+	StartUnixNS   int64                  `json:"start_unix_ns"`
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	CurrentPhase  string                 `json:"current_phase,omitempty"`
+	Campaign      *CampaignStatus        `json:"campaign,omitempty"`
+	Phases        map[string]PhaseStatus `json:"phases,omitempty"`
+}
+
+// CampaignStatus mirrors the campaign's live counters.
+type CampaignStatus struct {
+	Done          int64 `json:"done"`
+	Total         int64 `json:"total"`
+	Failed        int64 `json:"failed"`
+	Racy          int64 `json:"racy"`
+	DistinctRaces int64 `json:"distinct_races"`
+}
+
+// PhaseStatus summarizes one phase histogram for display.
+type PhaseStatus struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	P50NS   int64 `json:"p50_ns"`
+	P90NS   int64 `json:"p90_ns"`
+	P99NS   int64 `json:"p99_ns"`
+	MaxNS   int64 `json:"max_ns"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	st := Status{
+		Tool:          s.tool,
+		PID:           os.Getpid(),
+		GoVersion:     runtime.Version(),
+		Commit:        vcsRevision(),
+		StartUnixNS:   s.start.UnixNano(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		CurrentPhase:  s.reg.CurrentPhase(),
+	}
+	// A campaign announces itself by setting its seed-total gauge; the
+	// rest of the block reads the live counters it maintains per seed.
+	if total, ok := snap.Gauges["campaign.seeds_total"]; ok {
+		st.Campaign = &CampaignStatus{
+			Done:          snap.Counters["campaign.seeds_done"],
+			Total:         total,
+			Failed:        snap.Counters["campaign.seeds_failed"],
+			Racy:          snap.Counters["campaign.seeds_racy"],
+			DistinctRaces: snap.Gauges["campaign.races_distinct"],
+		}
+	}
+	if len(snap.Phases) > 0 {
+		st.Phases = make(map[string]PhaseStatus, len(snap.Phases))
+		for name, p := range snap.Phases {
+			st.Phases[name] = PhaseStatus{
+				Count:   p.Count,
+				TotalNS: p.TotalNS,
+				P50NS:   p.Quantile(0.50),
+				P90NS:   p.Quantile(0.90),
+				P99NS:   p.Quantile(0.99),
+				MaxNS:   p.MaxNS,
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(st); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub := s.pub.Subscribe()
+	defer sub.Close()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": stream open\n\n")
+	fl.Flush()
+
+	heartbeat := time.NewTicker(s.heartbeat)
+	defer heartbeat.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		case <-sub.Ready():
+			// Let a burst accumulate, then flush it as one coalesced batch.
+			if s.coalesceWindow > 0 {
+				t := time.NewTimer(s.coalesceWindow)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			}
+			evs, dropped := sub.Poll()
+			evs = Coalesce(evs)
+			if dropped > 0 {
+				writeSSE(w, Event{Kind: EventDropped, Dropped: dropped})
+			}
+			for _, ev := range evs {
+				writeSSE(w, ev)
+			}
+			if dropped > 0 || len(evs) > 0 {
+				fl.Flush()
+			}
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+}
+
+// vcsRevision returns the commit baked into the binary, if any.
+func vcsRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" {
+			return kv.Value
+		}
+	}
+	return ""
+}

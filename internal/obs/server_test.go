@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"weakrace/internal/telemetry"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	s := NewServer(Options{Tool: "obstest", Registry: reg})
+	s.coalesceWindow = 0 // tests want immediate flushes
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, reg
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp, string(body)
+}
+
+func TestMountEnablesRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	if reg.Enabled() {
+		t.Fatal("fresh registry should start disabled")
+	}
+	s := NewServer(Options{Registry: reg})
+	defer s.Close()
+	if !reg.Enabled() {
+		t.Fatal("mounting the plane must enable collection")
+	}
+}
+
+func TestMetricsRoundTrip(t *testing.T) {
+	_, ts, reg := newTestServer(t)
+	reg.Counter("detect.analyses").Add(7)
+	reg.Phase("simulate").Observe(3 * time.Microsecond)
+
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.PrometheusContentType {
+		t.Fatalf("content-type = %q, want %q", ct, telemetry.PrometheusContentType)
+	}
+	if !strings.Contains(body, "weakrace_detect_analyses 7") {
+		t.Fatalf("missing counter line in:\n%s", body)
+	}
+
+	// Histogram le edges must appear in strictly increasing order with
+	// +Inf last and cumulative counts.
+	var edges []float64
+	var counts []int64
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "weakrace_simulate_seconds_bucket") {
+			continue
+		}
+		leStart := strings.Index(line, `le="`) + len(`le="`)
+		leEnd := strings.Index(line[leStart:], `"`) + leStart
+		le := line[leStart:leEnd]
+		sp := strings.LastIndex(line, " ")
+		n, err := strconv.ParseInt(line[sp+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket count in %q: %v", line, err)
+		}
+		counts = append(counts, n)
+		if le == "+Inf" {
+			edges = append(edges, 1e308)
+			continue
+		}
+		f, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			t.Fatalf("bad le in %q: %v", line, err)
+		}
+		edges = append(edges, f)
+	}
+	// 12 finite le edges plus +Inf: one line per histogram bucket.
+	if len(edges) != telemetry.NumBuckets {
+		t.Fatalf("got %d bucket lines, want %d", len(edges), telemetry.NumBuckets)
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Fatalf("le edges not increasing at %d: %v", i, edges)
+		}
+		if counts[i] < counts[i-1] {
+			t.Fatalf("bucket counts not cumulative at %d: %v", i, counts)
+		}
+	}
+	if counts[len(counts)-1] != 1 {
+		t.Fatalf("+Inf bucket = %d, want observation count 1", counts[len(counts)-1])
+	}
+}
+
+func TestMetricsJSON(t *testing.T) {
+	_, ts, reg := newTestServer(t)
+	reg.Counter("c").Add(3)
+	resp, body := get(t, ts.URL+"/metrics.json")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if snap.Counters["c"] != 3 {
+		t.Fatalf("counter c = %d, want 3", snap.Counters["c"])
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestStatusShape(t *testing.T) {
+	_, ts, reg := newTestServer(t)
+	reg.Gauge("campaign.seeds_total").Set(100)
+	reg.Counter("campaign.seeds_done").Add(40)
+	reg.Counter("campaign.seeds_failed").Add(2)
+	reg.Counter("campaign.seeds_racy").Add(9)
+	reg.Gauge("campaign.races_distinct").Set(3)
+	for i := 0; i < 10; i++ {
+		reg.Phase("detect").Observe(2 * time.Microsecond)
+	}
+
+	_, body := get(t, ts.URL+"/status")
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if st.Tool != "obstest" || st.PID == 0 || st.GoVersion == "" {
+		t.Fatalf("identity fields wrong: %+v", st)
+	}
+	if st.UptimeSeconds < 0 || st.StartUnixNS == 0 {
+		t.Fatalf("uptime fields wrong: %+v", st)
+	}
+	c := st.Campaign
+	if c == nil {
+		t.Fatal("campaign block missing despite seeds_total gauge")
+	}
+	if c.Done != 40 || c.Total != 100 || c.Failed != 2 || c.Racy != 9 || c.DistinctRaces != 3 {
+		t.Fatalf("campaign = %+v", c)
+	}
+	p, ok := st.Phases["detect"]
+	if !ok {
+		t.Fatalf("phases missing detect: %+v", st.Phases)
+	}
+	if p.Count != 10 || p.P50NS <= 0 || p.P50NS > p.P99NS || p.P99NS > p.MaxNS {
+		t.Fatalf("phase quantiles inconsistent: %+v", p)
+	}
+}
+
+func TestStatusWithoutCampaign(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	_, body := get(t, ts.URL+"/status")
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if st.Campaign != nil {
+		t.Fatalf("campaign block present without a campaign: %+v", st.Campaign)
+	}
+}
+
+func TestDashboardServed(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, body := get(t, ts.URL+"/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if !strings.Contains(body, "obstest") || !strings.Contains(body, "/metrics.json") {
+		t.Fatal("dashboard missing tool name or poll target")
+	}
+	resp, _ = get(t, ts.URL+"/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, body := get(t, ts.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %d", resp.StatusCode)
+	}
+}
+
+// TestEventsStream subscribes over real HTTP and checks that published
+// events arrive framed as SSE, races intact and progress coalesced.
+func TestEventsStream(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatalf("GET /events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, ": stream open") {
+		t.Fatalf("opening comment = %q, %v", line, err)
+	}
+
+	// Wait for the subscription to register before publishing.
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Publisher().HasSubscribers() {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Publisher().Publish(Event{Kind: EventProgress, Done: 1, Total: 10})
+	s.Publisher().Publish(Event{Kind: EventRace, Race: "W-W a", Seed: 4})
+	s.Publisher().Publish(Event{Kind: EventProgress, Done: 2, Total: 10})
+
+	var kinds []string
+	var datas []string
+	timeout := time.After(5 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(kinds) < 2 {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return
+			}
+			line = strings.TrimRight(line, "\n")
+			if strings.HasPrefix(line, "event: ") {
+				kinds = append(kinds, strings.TrimPrefix(line, "event: "))
+			}
+			if strings.HasPrefix(line, "data: ") {
+				datas = append(datas, strings.TrimPrefix(line, "data: "))
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-timeout:
+		t.Fatal("timed out waiting for SSE events")
+	}
+	joined := strings.Join(kinds, ",")
+	if !strings.Contains(joined, "race") || !strings.Contains(joined, "progress") {
+		t.Fatalf("kinds = %v, want race and progress", kinds)
+	}
+	for _, d := range datas {
+		var ev Event
+		if err := json.Unmarshal([]byte(d), &ev); err != nil {
+			t.Fatalf("bad SSE data %q: %v", d, err)
+		}
+		if ev.Kind == EventRace && (ev.Race != "W-W a" || ev.Seed != 4) {
+			t.Fatalf("race event = %+v", ev)
+		}
+	}
+}
+
+// TestSpanHookForwardsPhases checks the server wires completed registry
+// spans into the publisher as phase events.
+func TestSpanHookForwardsPhases(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := NewServer(Options{Registry: reg})
+	defer s.Close()
+	sub := s.Publisher().Subscribe()
+	defer sub.Close()
+
+	reg.StartSpan("hb.order").End()
+	evs, _ := sub.Poll()
+	if len(evs) != 1 || evs[0].Kind != EventPhase || evs[0].Phase != "hb.order" {
+		t.Fatalf("events = %+v, want one phase event for hb.order", evs)
+	}
+
+	// Close detaches the hook: further spans publish nothing.
+	s.Close()
+	sub2 := s.Publisher().Subscribe()
+	defer sub2.Close()
+	reg.StartSpan("hb.order").End()
+	if evs, _ := sub2.Poll(); len(evs) != 0 {
+		t.Fatalf("hook still attached after Close: %+v", evs)
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", Options{Tool: "t", Registry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	addr := s.Addr()
+	if addr == "" {
+		t.Fatal("no bound address")
+	}
+	resp, body := get(t, "http://"+addr+"/healthz")
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz over real listener = %d %q", resp.StatusCode, body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

@@ -1,0 +1,299 @@
+package report
+
+import (
+	"html"
+	"io"
+	"strings"
+)
+
+// RenderDashboard writes the observability plane's live dashboard: one
+// self-contained HTML page (no external assets, no frameworks) that
+// polls /status and /metrics.json once a second, derives rate columns
+// from successive snapshots, trends seeds/sec and distinct races as
+// sparklines, tabulates per-phase latency with the server's
+// bucket-interpolated p50/p90/p99, and tails /events over SSE. The tool
+// name is the only injected value; everything else is static markup.
+func RenderDashboard(w io.Writer, tool string) error {
+	page := strings.ReplaceAll(dashboardHTML, "__TOOL__", html.EscapeString(tool))
+	_, err := io.WriteString(w, page)
+	return err
+}
+
+// dashboardHTML is the page. Styling follows the repo's report look:
+// token-driven colors with a dark mode stepped for its surface, thin
+// marks, recessive chrome. JS avoids template literals (the whole page
+// lives in a Go raw string, which cannot contain backticks).
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>__TOOL__ — weakrace live</title>
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<style>
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --plane: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834;
+  --status-critical: #d03b3b; --status-good: #0ca30c;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --plane: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 20px; background: var(--plane); color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 18px; margin: 0 0 2px; }
+.sub { color: var(--ink-2); font-size: 12px; margin-bottom: 16px; }
+.tiles { display: grid; grid-template-columns: repeat(auto-fit, minmax(180px, 1fr)); gap: 12px; margin-bottom: 16px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px;
+  padding: 12px 14px;
+}
+.tile .label { color: var(--ink-2); font-size: 12px; }
+.tile .value { font-size: 26px; font-weight: 600; margin-top: 2px; }
+.tile .hint { color: var(--ink-3); font-size: 11px; margin-top: 2px; min-height: 14px; }
+.tile svg { display: block; margin-top: 6px; width: 100%; height: 36px; }
+.cards { display: grid; grid-template-columns: 1fr; gap: 12px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px;
+  padding: 14px;
+}
+.card h2 { font-size: 13px; margin: 0 0 8px; color: var(--ink-2); font-weight: 600; }
+table { border-collapse: collapse; width: 100%; font-variant-numeric: tabular-nums; }
+th, td { text-align: right; padding: 4px 8px; border-bottom: 1px solid var(--grid); font-size: 12.5px; }
+th { color: var(--ink-3); font-weight: 500; }
+th:first-child, td:first-child { text-align: left; }
+td:first-child { color: var(--ink-2); }
+#events { list-style: none; margin: 0; padding: 0; font-size: 12.5px; max-height: 260px; overflow-y: auto; }
+#events li { padding: 3px 0; border-bottom: 1px solid var(--grid); color: var(--ink-2); }
+#events li .t { color: var(--ink-3); margin-right: 8px; font-variant-numeric: tabular-nums; }
+#events li.race { color: var(--ink-1); }
+#events li.race .badge {
+  color: var(--status-critical); font-weight: 600; margin-right: 6px;
+}
+#conn { font-size: 11px; color: var(--ink-3); }
+.meter { height: 6px; border-radius: 3px; background: var(--grid); overflow: hidden; margin-top: 8px; }
+.meter > div { height: 100%; background: var(--series-1); width: 0%; }
+</style>
+</head>
+<body>
+<h1>__TOOL__ <span id="conn">connecting…</span></h1>
+<div class="sub" id="idline">weakrace observability plane</div>
+
+<div class="tiles">
+  <div class="tile"><div class="label">Seeds done</div>
+    <div class="value" id="seeds-done">–</div>
+    <div class="hint" id="seeds-total-hint"></div>
+    <div class="meter"><div id="seeds-meter"></div></div></div>
+  <div class="tile"><div class="label">Seeds / sec</div>
+    <div class="value" id="seeds-rate">–</div>
+    <div class="hint" id="eta"></div>
+    <svg id="spark-rate" viewBox="0 0 240 36" preserveAspectRatio="none" role="img" aria-label="seeds per second trend"></svg></div>
+  <div class="tile"><div class="label">Distinct races</div>
+    <div class="value" id="races">–</div>
+    <div class="hint" id="racy-hint"></div>
+    <svg id="spark-races" viewBox="0 0 240 36" preserveAspectRatio="none" role="img" aria-label="distinct races trend"></svg></div>
+  <div class="tile"><div class="label">Current phase</div>
+    <div class="value" id="phase" style="font-size:16px; overflow-wrap:anywhere;">idle</div>
+    <div class="hint" id="uptime"></div></div>
+</div>
+
+<div class="cards">
+  <div class="card">
+    <h2>Phase latency (bucket-interpolated quantiles; rate from successive snapshots)</h2>
+    <table id="phases"><thead><tr>
+      <th>phase</th><th>count</th><th>rate /s</th><th>total</th><th>p50</th><th>p90</th><th>p99</th><th>max</th>
+    </tr></thead><tbody></tbody></table>
+  </div>
+  <div class="card">
+    <h2>Events (coalesced SSE — races always, progress and phases newest-wins)</h2>
+    <ul id="events"></ul>
+  </div>
+</div>
+
+<script>
+(function () {
+  'use strict';
+  var prev = null, prevAt = 0;
+  var rateHist = [], raceHist = [];
+  var HIST = 120;
+
+  function $(id) { return document.getElementById(id); }
+
+  function fmtNum(v) {
+    if (v == null || isNaN(v)) return '–';
+    if (v >= 1e6) return (v / 1e6).toFixed(1) + 'M';
+    if (v >= 1e4) return (v / 1e3).toFixed(1) + 'K';
+    return String(Math.round(v * 10) / 10);
+  }
+  function fmtNS(ns) {
+    if (ns == null) return '–';
+    if (ns >= 1e9) return (ns / 1e9).toFixed(2) + 's';
+    if (ns >= 1e6) return (ns / 1e6).toFixed(2) + 'ms';
+    if (ns >= 1e3) return (ns / 1e3).toFixed(1) + 'µs';
+    return ns + 'ns';
+  }
+  function fmtClock(unixNS) {
+    var d = new Date(unixNS / 1e6);
+    return d.toTimeString().slice(0, 8);
+  }
+
+  // Single-series sparkline: 2px line, 10% area wash, end dot with a
+  // surface ring. Data color lives on the mark only.
+  function sparkline(svg, data, colorVar) {
+    var w = 240, h = 36, pad = 3;
+    if (data.length < 2) { svg.innerHTML = ''; return; }
+    var max = Math.max.apply(null, data), min = Math.min.apply(null, data);
+    if (max === min) max = min + 1;
+    var pts = [];
+    for (var i = 0; i < data.length; i++) {
+      var x = pad + (w - 2 * pad) * i / (data.length - 1);
+      var y = h - pad - (h - 2 * pad) * (data[i] - min) / (max - min);
+      pts.push(x.toFixed(1) + ',' + y.toFixed(1));
+    }
+    var last = pts[pts.length - 1].split(',');
+    var color = 'var(' + colorVar + ')';
+    svg.innerHTML =
+      '<polygon points="' + pad + ',' + (h - pad) + ' ' + pts.join(' ') + ' ' + last[0] + ',' + (h - pad) +
+        '" fill="' + color + '" opacity="0.1"></polygon>' +
+      '<polyline points="' + pts.join(' ') + '" fill="none" stroke="' + color +
+        '" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"></polyline>' +
+      '<circle cx="' + last[0] + '" cy="' + last[1] + '" r="4" fill="' + color +
+        '" stroke="var(--surface-1)" stroke-width="2"></circle>';
+  }
+
+  function push(hist, v) { hist.push(v); if (hist.length > HIST) hist.shift(); }
+
+  function counterRate(cur, name, dt) {
+    if (!prev || dt <= 0) return null;
+    var a = (prev.counters || {})[name], b = (cur.counters || {})[name];
+    if (a == null || b == null || b < a) return null;
+    return (b - a) / dt;
+  }
+
+  function render(status, metrics, dt) {
+    $('idline').textContent = 'pid ' + status.pid + ' · ' + status.go_version +
+      (status.commit ? ' · ' + status.commit.slice(0, 10) : '');
+    $('uptime').textContent = 'up ' + Math.round(status.uptime_seconds) + 's';
+    $('phase').textContent = status.current_phase || 'idle';
+
+    var c = status.campaign;
+    if (c) {
+      $('seeds-done').textContent = fmtNum(c.done);
+      $('seeds-total-hint').textContent = 'of ' + fmtNum(c.total) +
+        (c.failed ? ' · ' + c.failed + ' failed' : '');
+      $('seeds-meter').style.width = (c.total ? 100 * c.done / c.total : 0) + '%';
+      $('races').textContent = fmtNum(c.distinct_races);
+      $('racy-hint').textContent = c.racy + ' racy seeds';
+      push(raceHist, c.distinct_races);
+    } else {
+      var analyses = (metrics.counters || {})['detect.analyses'];
+      $('seeds-done').textContent = fmtNum(analyses);
+      $('seeds-total-hint').textContent = 'analyses';
+      var dr = (metrics.counters || {})['detect.data_races'];
+      $('races').textContent = fmtNum(dr);
+      $('racy-hint').textContent = 'data races reported';
+      push(raceHist, dr || 0);
+    }
+
+    var rate = counterRate(metrics, c ? 'campaign.seeds_done' : 'detect.analyses', dt);
+    if (rate != null) {
+      push(rateHist, rate);
+      $('seeds-rate').textContent = fmtNum(rate);
+      if (c && rate > 0 && c.total > c.done) {
+        $('eta').textContent = 'ETA ' + Math.round((c.total - c.done) / rate) + 's';
+      } else {
+        $('eta').textContent = '';
+      }
+    }
+    sparkline($('spark-rate'), rateHist, '--series-1');
+    sparkline($('spark-races'), raceHist, '--series-2');
+
+    var phases = status.phases || {};
+    var names = Object.keys(phases).sort(function (a, b) {
+      return phases[b].total_ns - phases[a].total_ns;
+    });
+    var rows = '';
+    for (var i = 0; i < Math.min(names.length, 14); i++) {
+      var n = names[i], p = phases[n];
+      var pr = null;
+      if (prevStatus && prevStatus.phases && prevStatus.phases[n] && dt > 0) {
+        var d = p.count - prevStatus.phases[n].count;
+        if (d >= 0) pr = d / dt;
+      }
+      rows += '<tr><td>' + n + '</td><td>' + p.count + '</td><td>' +
+        (pr == null ? '–' : fmtNum(pr)) + '</td><td>' + fmtNS(p.total_ns) +
+        '</td><td>' + fmtNS(p.p50_ns) + '</td><td>' + fmtNS(p.p90_ns) +
+        '</td><td>' + fmtNS(p.p99_ns) + '</td><td>' + fmtNS(p.max_ns) + '</td></tr>';
+    }
+    $('phases').querySelector('tbody').innerHTML = rows;
+  }
+
+  var prevStatus = null;
+  function poll() {
+    Promise.all([
+      fetch('/status').then(function (r) { return r.json(); }),
+      fetch('/metrics.json').then(function (r) { return r.json(); })
+    ]).then(function (res) {
+      var now = Date.now() / 1000;
+      var dt = prevAt ? now - prevAt : 0;
+      $('conn').textContent = 'live';
+      render(res[0], res[1], dt);
+      prevStatus = res[0]; prev = res[1]; prevAt = now;
+    }).catch(function () {
+      $('conn').textContent = 'disconnected';
+    });
+  }
+  poll();
+  setInterval(poll, 1000);
+
+  function logEvent(kind, text, cls) {
+    var ul = $('events');
+    var li = document.createElement('li');
+    if (cls) li.className = cls;
+    var t = document.createElement('span');
+    t.className = 't';
+    t.textContent = new Date().toTimeString().slice(0, 8);
+    li.appendChild(t);
+    if (cls === 'race') {
+      var b = document.createElement('span');
+      b.className = 'badge';
+      b.textContent = '⚠ race';
+      li.appendChild(b);
+    }
+    li.appendChild(document.createTextNode(text));
+    ul.insertBefore(li, ul.firstChild);
+    while (ul.children.length > 40) ul.removeChild(ul.lastChild);
+  }
+
+  if (window.EventSource) {
+    var es = new EventSource('/events');
+    es.addEventListener('progress', function (e) {
+      var ev = JSON.parse(e.data);
+      logEvent('progress', ev.done + '/' + ev.total + ' seeds, ' +
+        (ev.distinct_races || 0) + ' distinct races');
+    });
+    es.addEventListener('race', function (e) {
+      var ev = JSON.parse(e.data);
+      logEvent('race', (ev.race || 'race') + ' (seed ' + ev.seed + ')', 'race');
+    });
+    es.addEventListener('dropped', function (e) {
+      var ev = JSON.parse(e.data);
+      logEvent('dropped', ev.dropped + ' events coalesced away while lagging');
+    });
+  }
+})();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,364 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// BenchPoint is one wrbench output file (one PR's BENCH_*.json) in the
+// trajectory. The struct mirrors the wrbench Output JSON shape without
+// importing the command package.
+type BenchPoint struct {
+	// Label identifies the point on the x axis — the file's stem
+	// ("BENCH_5") unless the caller says otherwise.
+	Label string `json:"-"`
+
+	Meta struct {
+		GoVersion  string `json:"go_version"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		Commit     string `json:"commit"`
+	} `json:"meta"`
+	Iters     int             `json:"iters"`
+	Scenarios []BenchScenario `json:"scenarios"`
+}
+
+// BenchScenario is one scenario's measurement inside a BenchPoint.
+type BenchScenario struct {
+	Name      string             `json:"name"`
+	Iters     int                `json:"iters"`
+	TotalNS   int64              `json:"total_ns"`
+	NSPerIter int64              `json:"ns_per_iter"`
+	Metrics   map[string]float64 `json:"metrics"`
+}
+
+// ParseBenchPoint decodes one BENCH_*.json document.
+func ParseBenchPoint(label string, data []byte) (BenchPoint, error) {
+	var p BenchPoint
+	if err := json.Unmarshal(data, &p); err != nil {
+		return p, fmt.Errorf("parse %s: %w", label, err)
+	}
+	if len(p.Scenarios) == 0 {
+		return p, fmt.Errorf("parse %s: no scenarios", label)
+	}
+	p.Label = label
+	return p, nil
+}
+
+// RenderTrajectory writes a self-contained HTML report charting each
+// benchmark scenario's ns/op across the given points (one per checked-in
+// BENCH_*.json, i.e. per PR), with the full metric set tabulated under
+// each chart. Static SVG, no scripts, no external assets.
+func RenderTrajectory(w io.Writer, points []BenchPoint) error {
+	if len(points) == 0 {
+		return fmt.Errorf("trajectory: no bench points")
+	}
+	var b strings.Builder
+	b.WriteString(trajectoryHead)
+
+	b.WriteString(`<h1>weakrace benchmark trajectory</h1>` + "\n")
+	fmt.Fprintf(&b, `<div class="sub">%d bench points · %s · %s/%s</div>`+"\n",
+		len(points), html.EscapeString(points[len(points)-1].Meta.GoVersion),
+		html.EscapeString(points[len(points)-1].Meta.GOOS),
+		html.EscapeString(points[len(points)-1].Meta.GOARCH))
+
+	writeTrajectoryPointsTable(&b, points)
+	for _, name := range scenarioOrder(points) {
+		writeScenarioCard(&b, name, points)
+	}
+
+	b.WriteString("</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// scenarioOrder returns scenario names in first-appearance order across
+// the points, so the report is stable as scenarios come and go.
+func scenarioOrder(points []BenchPoint) []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, p := range points {
+		for _, sc := range p.Scenarios {
+			if !seen[sc.Name] {
+				seen[sc.Name] = true
+				order = append(order, sc.Name)
+			}
+		}
+	}
+	return order
+}
+
+func findScenario(p BenchPoint, name string) *BenchScenario {
+	for i := range p.Scenarios {
+		if p.Scenarios[i].Name == name {
+			return &p.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// writeTrajectoryPointsTable identifies each x-axis point: label,
+// commit, toolchain, iteration count.
+func writeTrajectoryPointsTable(b *strings.Builder, points []BenchPoint) {
+	b.WriteString(`<div class="card"><h2>Bench points</h2><table><thead><tr>` +
+		`<th>point</th><th>commit</th><th>go</th><th>iters</th></tr></thead><tbody>` + "\n")
+	for _, p := range points {
+		commit := p.Meta.Commit
+		if len(commit) > 10 {
+			commit = commit[:10]
+		}
+		fmt.Fprintf(b, `<tr><td>%s</td><td class="mono">%s</td><td>%s</td><td>%d</td></tr>`+"\n",
+			html.EscapeString(p.Label), html.EscapeString(commit),
+			html.EscapeString(p.Meta.GoVersion), p.Iters)
+	}
+	b.WriteString("</tbody></table></div>\n")
+}
+
+// writeScenarioCard renders one scenario: headline delta, the ns/op
+// line chart, and the metric table across points.
+func writeScenarioCard(b *strings.Builder, name string, points []BenchPoint) {
+	type pt struct {
+		label string
+		val   float64
+	}
+	var series []pt
+	for _, p := range points {
+		if sc := findScenario(p, name); sc != nil {
+			series = append(series, pt{p.Label, float64(sc.NSPerIter)})
+		}
+	}
+	if len(series) == 0 {
+		return
+	}
+
+	fmt.Fprintf(b, `<div class="card"><h2>%s — ns/op</h2>`+"\n", html.EscapeString(name))
+	first, last := series[0].val, series[len(series)-1].val
+	if len(series) > 1 && first > 0 {
+		delta := 100 * (last - first) / first
+		cls := "delta-good"
+		if delta > 0 {
+			cls = "delta-bad"
+		}
+		fmt.Fprintf(b, `<div class="sub">%s now; <span class="%s">%+.1f%%</span> vs %s</div>`+"\n",
+			fmtTrajNS(last), cls, delta, html.EscapeString(series[0].label))
+	}
+
+	// Chart geometry. Baseline at zero keeps the magnitude honest.
+	const (
+		width   = 720.0
+		height  = 220.0
+		padL    = 64.0
+		padR    = 90.0
+		padT    = 14.0
+		padB    = 30.0
+		plotW   = width - padL - padR
+		plotH   = height - padT - padB
+		baseY   = height - padB
+		axLabel = 11
+	)
+	maxV := 0.0
+	for _, s := range series {
+		maxV = math.Max(maxV, s.val)
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	top := niceCeil(maxV)
+	xAt := func(i int) float64 {
+		if len(series) == 1 {
+			return padL + plotW/2
+		}
+		return padL + plotW*float64(i)/float64(len(series)-1)
+	}
+	yAt := func(v float64) float64 { return baseY - plotH*v/top }
+
+	fmt.Fprintf(b, `<svg viewBox="0 0 %g %g" role="img" aria-label="%s ns per op across bench points">`+"\n",
+		width, height, html.EscapeString(name))
+	// Hairline gridlines at 0, ½, 1 of the top tick; y labels in muted ink.
+	for _, f := range []float64{0, 0.5, 1} {
+		v := top * f
+		y := yAt(v)
+		fmt.Fprintf(b, `<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="var(--grid)" stroke-width="1"/>`+"\n",
+			padL, y, width-padR, y)
+		fmt.Fprintf(b, `<text x="%g" y="%.1f" text-anchor="end" font-size="%d" fill="var(--ink-3)">%s</text>`+"\n",
+			padL-8, y+4, axLabel, fmtTrajNS(v))
+	}
+	// Area wash, line, markers with a surface ring, endpoint value label.
+	var ptsAttr strings.Builder
+	for i, s := range series {
+		if i > 0 {
+			ptsAttr.WriteByte(' ')
+		}
+		fmt.Fprintf(&ptsAttr, "%.1f,%.1f", xAt(i), yAt(s.val))
+	}
+	if len(series) > 1 {
+		fmt.Fprintf(b, `<polygon points="%.1f,%.1f %s %.1f,%.1f" fill="var(--series-1)" opacity="0.1"/>`+"\n",
+			xAt(0), baseY, ptsAttr.String(), xAt(len(series)-1), baseY)
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="var(--series-1)" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`+"\n",
+			ptsAttr.String())
+	}
+	for i, s := range series {
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="4" fill="var(--series-1)" stroke="var(--surface-1)" stroke-width="2"><title>%s: %s</title></circle>`+"\n",
+			xAt(i), yAt(s.val), html.EscapeString(s.label), fmtTrajNS(s.val))
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="%d" fill="var(--ink-3)">%s</text>`+"\n",
+			xAt(i), baseY+18, axLabel, html.EscapeString(s.label))
+	}
+	lastI := len(series) - 1
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12" font-weight="600" fill="var(--ink-1)">%s</text>`+"\n",
+		xAt(lastI)+10, yAt(series[lastI].val)+4, fmtTrajNS(series[lastI].val))
+	b.WriteString("</svg>\n")
+
+	writeMetricTable(b, name, points)
+	b.WriteString("</div>\n")
+}
+
+// writeMetricTable tabulates every metric the scenario reported, one
+// column per bench point — the table view carrying what the chart's
+// single headline series does not.
+func writeMetricTable(b *strings.Builder, name string, points []BenchPoint) {
+	keys := map[string]bool{}
+	for _, p := range points {
+		if sc := findScenario(p, name); sc != nil {
+			for k := range sc.Metrics {
+				keys[k] = true
+			}
+		}
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	b.WriteString(`<table><thead><tr><th>metric</th>`)
+	for _, p := range points {
+		fmt.Fprintf(b, "<th>%s</th>", html.EscapeString(p.Label))
+	}
+	b.WriteString("</tr></thead><tbody>\n")
+	fmt.Fprintf(b, "<tr><td>ns_per_iter</td>")
+	for _, p := range points {
+		if sc := findScenario(p, name); sc != nil {
+			fmt.Fprintf(b, "<td>%s</td>", fmtTrajFloat(float64(sc.NSPerIter)))
+		} else {
+			b.WriteString("<td>–</td>")
+		}
+	}
+	b.WriteString("</tr>\n")
+	for _, k := range sorted {
+		fmt.Fprintf(b, "<tr><td>%s</td>", html.EscapeString(k))
+		for _, p := range points {
+			sc := findScenario(p, name)
+			if sc == nil {
+				b.WriteString("<td>–</td>")
+				continue
+			}
+			v, ok := sc.Metrics[k]
+			if !ok {
+				b.WriteString("<td>–</td>")
+				continue
+			}
+			fmt.Fprintf(b, "<td>%s</td>", fmtTrajFloat(v))
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</tbody></table>\n")
+}
+
+// niceCeil rounds v up to 1, 2, or 5 times a power of ten — a clean
+// top tick for the y axis.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// fmtTrajNS renders a nanosecond quantity at display precision.
+func fmtTrajNS(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// fmtTrajFloat renders a metric value compactly: integers plain,
+// fractions to sensible precision.
+func fmtTrajFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if math.Abs(v) >= 100 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+const trajectoryHead = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>weakrace benchmark trajectory</title>
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<style>
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --plane: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9; --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --delta-good: #006300; --delta-bad: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --plane: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --delta-good: #0ca30c; --delta-bad: #d03b3b;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0 auto; padding: 20px; max-width: 880px;
+  background: var(--plane); color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 18px; margin: 0 0 2px; }
+.sub { color: var(--ink-2); font-size: 12px; margin-bottom: 12px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px;
+  padding: 14px; margin-bottom: 14px;
+}
+.card h2 { font-size: 14px; margin: 0 0 4px; }
+.card svg { display: block; width: 100%; height: auto; margin: 8px 0; }
+table { border-collapse: collapse; width: 100%; font-variant-numeric: tabular-nums; }
+th, td { text-align: right; padding: 4px 8px; border-bottom: 1px solid var(--grid); font-size: 12.5px; }
+th { color: var(--ink-3); font-weight: 500; }
+th:first-child, td:first-child { text-align: left; }
+td:first-child { color: var(--ink-2); }
+.mono { font-family: ui-monospace, monospace; font-size: 12px; }
+.delta-good { color: var(--delta-good); font-weight: 600; }
+.delta-bad { color: var(--delta-bad); font-weight: 600; }
+</style>
+</head>
+<body>
+`

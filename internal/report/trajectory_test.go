@@ -1,0 +1,112 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func benchDoc(t *testing.T, commit string, nsPerIter int64, metrics map[string]float64) []byte {
+	t.Helper()
+	doc := map[string]any{
+		"meta": map[string]any{
+			"go_version": "go1.24.0", "gomaxprocs": 1,
+			"goos": "linux", "goarch": "amd64", "commit": commit,
+		},
+		"iters": 30,
+		"scenarios": []map[string]any{
+			{"name": "model-throughput", "iters": 30, "total_ns": nsPerIter * 30,
+				"ns_per_iter": nsPerIter, "metrics": metrics},
+		},
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestParseBenchPoint(t *testing.T) {
+	p, err := ParseBenchPoint("BENCH_2", benchDoc(t, "abcdef0123456789", 650625,
+		map[string]float64{"cycles_per_op_SC": 2.6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Label != "BENCH_2" || p.Meta.Commit != "abcdef0123456789" {
+		t.Fatalf("point = %+v", p)
+	}
+	if len(p.Scenarios) != 1 || p.Scenarios[0].NSPerIter != 650625 {
+		t.Fatalf("scenarios = %+v", p.Scenarios)
+	}
+
+	if _, err := ParseBenchPoint("bad", []byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ParseBenchPoint("empty", []byte(`{"scenarios":[]}`)); err == nil {
+		t.Fatal("scenario-free document accepted")
+	}
+}
+
+func TestRenderTrajectory(t *testing.T) {
+	p2, err := ParseBenchPoint("BENCH_2", benchDoc(t, "c2", 800000,
+		map[string]float64{"cycles_per_op_SC": 2.7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p5, err := ParseBenchPoint("BENCH_5", benchDoc(t, "c5", 650625,
+		map[string]float64{"cycles_per_op_SC": 2.6, "cycles_per_op_WO": 1.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := RenderTrajectory(&b, []BenchPoint{p2, p5}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"model-throughput",   // scenario card
+		"BENCH_2", "BENCH_5", // x labels and table columns
+		"<svg",                       // chart present
+		"cycles_per_op_WO",           // metric only in the later point still tabulated
+		"650.6µs",                    // endpoint direct label
+		"-18.7%",                     // headline delta vs first point
+		"prefers-color-scheme: dark", // dark mode is selected, not flipped
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trajectory HTML missing %q", want)
+		}
+	}
+	if strings.Contains(out, "<script") {
+		t.Error("trajectory report must be static (no scripts)")
+	}
+}
+
+func TestRenderTrajectoryEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := RenderTrajectory(&b, nil); err == nil {
+		t.Fatal("no points should be an error")
+	}
+}
+
+func TestRenderDashboard(t *testing.T) {
+	var b strings.Builder
+	if err := RenderDashboard(&b, `race<hunt>`); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "race&lt;hunt&gt;") {
+		t.Error("tool name not HTML-escaped")
+	}
+	for _, want := range []string{
+		"/metrics.json", "/status", "/events", // data sources
+		"EventSource",       // live stream wiring
+		"p50", "p90", "p99", // phase latency columns
+		"prefers-color-scheme: dark", // dark mode tokens
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard HTML missing %q", want)
+		}
+	}
+}

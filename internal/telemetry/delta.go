@@ -1,0 +1,81 @@
+package telemetry
+
+// Delta returns the change from prev to s: the building block for rate
+// columns ("seeds/sec since the last scrape") in the observability
+// plane's dashboard and for before/after counter accounting in bench
+// scenarios.
+//
+// Semantics per metric kind:
+//
+//   - Counters subtract. A counter that went backwards (the registry was
+//     Reset between the snapshots — counters never decrement otherwise)
+//     is treated as restarted from zero: the delta is the current value.
+//   - Gauges are last-value metrics; the delta snapshot carries the
+//     current value unchanged.
+//   - Phases subtract count, total, and per-bucket counts (bucket edges
+//     align because both snapshots share the registry's fixed ladder).
+//     Min/Max describe only the full history, not the window, so the
+//     delta keeps the current cumulative min/max — Quantile on a delta
+//     phase is therefore window-accurate to bucket resolution, with the
+//     first/last-bucket tightening coming from cumulative bounds. A
+//     phase whose count went backwards restarts like a counter.
+//
+// Keys present only in prev are dropped (they no longer exist after a
+// reset); keys present only in s delta against zero. A nil prev returns
+// a copy of s.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	d := &Snapshot{
+		Counters: make(map[string]int64, len(s.Counters)),
+		Gauges:   make(map[string]int64, len(s.Gauges)),
+		Phases:   make(map[string]PhaseSnapshot, len(s.Phases)),
+	}
+	for k, cur := range s.Counters {
+		dv := cur
+		if prev != nil {
+			if old, ok := prev.Counters[k]; ok && old <= cur {
+				dv = cur - old
+			}
+		}
+		d.Counters[k] = dv
+	}
+	for k, cur := range s.Gauges {
+		d.Gauges[k] = cur
+	}
+	for k, cur := range s.Phases {
+		var old PhaseSnapshot
+		if prev != nil {
+			if p, ok := prev.Phases[k]; ok && p.Count <= cur.Count {
+				old = p
+			}
+		}
+		d.Phases[k] = phaseDelta(cur, old)
+	}
+	return d
+}
+
+// phaseDelta subtracts old's cumulative counts from cur's. old is the
+// zero value for the restart/fresh cases, making this a plain copy.
+func phaseDelta(cur, old PhaseSnapshot) PhaseSnapshot {
+	out := PhaseSnapshot{
+		Count:   cur.Count - old.Count,
+		TotalNS: cur.TotalNS - old.TotalNS,
+		MinNS:   cur.MinNS,
+		MaxNS:   cur.MaxNS,
+	}
+	if out.TotalNS < 0 {
+		// A same-count snapshot pair cannot lose total time; guard anyway
+		// so a torn pair never renders a negative duration.
+		out.TotalNS = 0
+	}
+	prevCount := make(map[int64]int64, len(old.Buckets))
+	for _, b := range old.Buckets {
+		prevCount[b.LeNS] = b.Count
+	}
+	for _, b := range cur.Buckets {
+		n := b.Count - prevCount[b.LeNS]
+		if n > 0 {
+			out.Buckets = append(out.Buckets, BucketCount{LeNS: b.LeNS, Count: n})
+		}
+	}
+	return out
+}

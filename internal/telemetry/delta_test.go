@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeltaCounters(t *testing.T) {
+	prev := &Snapshot{Counters: map[string]int64{"a": 10, "gone": 7}}
+	cur := &Snapshot{Counters: map[string]int64{"a": 25, "new": 3}}
+	d := cur.Delta(prev)
+	if got := d.Counters["a"]; got != 15 {
+		t.Errorf("delta a = %d, want 15", got)
+	}
+	if got := d.Counters["new"]; got != 3 {
+		t.Errorf("delta new = %d, want 3 (absent in prev deltas against zero)", got)
+	}
+	if _, ok := d.Counters["gone"]; ok {
+		t.Error("key present only in prev survived the delta")
+	}
+}
+
+// TestDeltaCounterReset: a counter that went backwards means the
+// registry restarted between snapshots; the delta is the current value,
+// never a negative number.
+func TestDeltaCounterReset(t *testing.T) {
+	prev := &Snapshot{Counters: map[string]int64{"a": 100}}
+	cur := &Snapshot{Counters: map[string]int64{"a": 4}}
+	if got := cur.Delta(prev).Counters["a"]; got != 4 {
+		t.Fatalf("reset delta = %d, want 4", got)
+	}
+}
+
+func TestDeltaNilPrev(t *testing.T) {
+	cur := &Snapshot{
+		Counters: map[string]int64{"a": 5},
+		Gauges:   map[string]int64{"g": 9},
+		Phases:   map[string]PhaseSnapshot{"p": {Count: 2, TotalNS: 100}},
+	}
+	d := cur.Delta(nil)
+	if d.Counters["a"] != 5 || d.Gauges["g"] != 9 || d.Phases["p"].Count != 2 {
+		t.Fatalf("nil-prev delta should copy: %+v", d)
+	}
+}
+
+func TestDeltaGaugesKeepCurrent(t *testing.T) {
+	prev := &Snapshot{Gauges: map[string]int64{"g": 100}}
+	cur := &Snapshot{Gauges: map[string]int64{"g": 40}}
+	if got := cur.Delta(prev).Gauges["g"]; got != 40 {
+		t.Fatalf("gauge delta = %d, want last value 40", got)
+	}
+}
+
+func TestDeltaPhases(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Microsecond)
+	h.Observe(100 * time.Microsecond)
+	prev := &Snapshot{Phases: map[string]PhaseSnapshot{"p": h.snapshot()}}
+	h.Observe(3 * time.Microsecond)
+	h.Observe(40 * time.Millisecond)
+	cur := &Snapshot{Phases: map[string]PhaseSnapshot{"p": h.snapshot()}}
+
+	d := cur.Delta(prev).Phases["p"]
+	if d.Count != 2 {
+		t.Fatalf("phase delta count = %d, want 2", d.Count)
+	}
+	wantTotal := int64(3*time.Microsecond + 40*time.Millisecond)
+	if d.TotalNS != wantTotal {
+		t.Fatalf("phase delta total = %d, want %d", d.TotalNS, wantTotal)
+	}
+	// Exactly the two new observations' buckets, in edge order.
+	if len(d.Buckets) != 2 {
+		t.Fatalf("phase delta buckets = %+v, want 2 entries", d.Buckets)
+	}
+	if d.Buckets[0].LeNS >= d.Buckets[1].LeNS && d.Buckets[1].LeNS != -1 {
+		t.Fatalf("bucket edges out of order: %+v", d.Buckets)
+	}
+	if d.Buckets[0].Count != 1 || d.Buckets[1].Count != 1 {
+		t.Fatalf("bucket counts = %+v, want one observation each", d.Buckets)
+	}
+	// Cumulative min/max ride along so Quantile stays clamped.
+	if d.MinNS != int64(3*time.Microsecond) || d.MaxNS != int64(40*time.Millisecond) {
+		t.Fatalf("min/max = %d/%d", d.MinNS, d.MaxNS)
+	}
+}
+
+// TestDeltaPhaseReset: a phase whose count went backwards restarts like
+// a counter — the delta is the current cumulative state.
+func TestDeltaPhaseReset(t *testing.T) {
+	prev := &Snapshot{Phases: map[string]PhaseSnapshot{"p": {Count: 50, TotalNS: 500}}}
+	var h Histogram
+	h.Observe(time.Microsecond)
+	cur := &Snapshot{Phases: map[string]PhaseSnapshot{"p": h.snapshot()}}
+	d := cur.Delta(prev).Phases["p"]
+	if d.Count != 1 || d.TotalNS != int64(time.Microsecond) {
+		t.Fatalf("reset phase delta = %+v", d)
+	}
+}
+
+// TestDeltaRates: the end-to-end use — two registry snapshots bracketing
+// work give per-window counts a dashboard divides by wall time.
+func TestDeltaRates(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("campaign.seeds_done").Add(100)
+	before := r.Snapshot()
+	r.Counter("campaign.seeds_done").Add(42)
+	after := r.Snapshot()
+	if got := after.Delta(before).Counters["campaign.seeds_done"]; got != 42 {
+		t.Fatalf("window delta = %d, want 42", got)
+	}
+}

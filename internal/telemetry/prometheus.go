@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the content type of the text exposition
+// format WritePrometheus emits, for HTTP handlers serving it.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). The mapping from the registry's flat dotted
+// names is mechanical and loss-free:
+//
+//   - "detect.races" becomes weakrace_detect_races (dots to underscores,
+//     everything prefixed weakrace_ to namespace the exporter);
+//   - label suffixes transfer: "sim.steps{model=WO}" becomes
+//     weakrace_sim_steps{model="WO"};
+//   - counters and gauges render as their Prometheus kind;
+//   - each phase histogram renders as weakrace_<name>_seconds with the
+//     registry's fixed bucket ladder mapped 1:1 to cumulative `le`
+//     edges in seconds (plus +Inf), a _sum in seconds, and a _count.
+//
+// Output is sorted by metric name, so a snapshot of deterministic
+// values renders byte-for-byte reproducibly.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	if err := writePromScalars(w, s.Counters, "counter"); err != nil {
+		return err
+	}
+	if err := writePromScalars(w, s.Gauges, "gauge"); err != nil {
+		return err
+	}
+	return writePromHistograms(w, s.Phases)
+}
+
+// promSeries is one exposition series: the sanitized base name plus its
+// rendered label pairs (without braces), e.g. `model="WO"`.
+type promSeries struct {
+	labels string
+	key    string // original registry key, for value lookup
+}
+
+// groupPromSeries buckets registry keys by sanitized base name and
+// returns the bases in sorted order, each with its series sorted by
+// label string, so TYPE headers are emitted exactly once per name.
+func groupPromSeries(keys []string) (bases []string, series map[string][]promSeries) {
+	series = map[string][]promSeries{}
+	for _, k := range keys {
+		base, labels := promName(k)
+		series[base] = append(series[base], promSeries{labels: labels, key: k})
+	}
+	bases = make([]string, 0, len(series))
+	for b := range series {
+		bases = append(bases, b)
+		sort.Slice(series[b], func(i, j int) bool { return series[b][i].labels < series[b][j].labels })
+	}
+	sort.Strings(bases)
+	return bases, series
+}
+
+func writePromScalars(w io.Writer, values map[string]int64, kind string) error {
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	bases, series := groupPromSeries(keys)
+	for _, base := range bases {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind); err != nil {
+			return err
+		}
+		for _, sr := range series[base] {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", base, braced(sr.labels), values[sr.key]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistograms(w io.Writer, phases map[string]PhaseSnapshot) error {
+	keys := make([]string, 0, len(phases))
+	for k := range phases {
+		keys = append(keys, k)
+	}
+	bases, series := groupPromSeries(keys)
+	for _, base := range bases {
+		name := base + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		for _, sr := range series[base] {
+			p := phases[sr.key]
+			// Cumulative counts over the registry's full ladder: every
+			// scrape exposes the same `le` set in ascending order.
+			var cum int64
+			bi := 0
+			for i := 0; i < NumBuckets-1; i++ {
+				edge := int64(BucketBound(i))
+				for bi < len(p.Buckets) && p.Buckets[bi].LeNS >= 0 && p.Buckets[bi].LeNS <= edge {
+					cum += p.Buckets[bi].Count
+					bi++
+				}
+				le := strconv.FormatFloat(float64(edge)/1e9, 'g', -1, 64)
+				if err := writePromBucket(w, name, sr.labels, le, cum); err != nil {
+					return err
+				}
+			}
+			if err := writePromBucket(w, name, sr.labels, "+Inf", p.Count); err != nil {
+				return err
+			}
+			sum := strconv.FormatFloat(float64(p.TotalNS)/1e9, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(sr.labels), sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, braced(sr.labels), p.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromBucket(w io.Writer, name, labels, le string, cum int64) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum)
+	return err
+}
+
+// promName splits a registry key into a sanitized exposition name and
+// its rendered label pairs: `sim.steps{model=WO}` returns
+// ("weakrace_sim_steps", `model="WO"`).
+func promName(key string) (base, labels string) {
+	raw := key
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		raw = key[:i]
+		labels = promLabels(strings.TrimSuffix(key[i+1:], "}"))
+	}
+	return "weakrace_" + sanitizePromName(raw), labels
+}
+
+// promLabels rewrites `a=1,b=2` as `a="1",b="2"` with label names
+// sanitized and values escaped per the exposition format.
+func promLabels(s string) string {
+	var sb strings.Builder
+	for i, pair := range strings.Split(s, ",") {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		name, val, _ := strings.Cut(pair, "=")
+		sb.WriteString(sanitizePromName(name))
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Quote(val))
+	}
+	return sb.String()
+}
+
+// sanitizePromName maps a name component into the exposition format's
+// [a-zA-Z0-9_:] alphabet; everything else becomes '_'.
+func sanitizePromName(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}

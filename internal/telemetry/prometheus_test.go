@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestPrometheusGolden pins the whole exposition for a fixed snapshot:
+// name mangling, label transfer, TYPE grouping, the 1:1 bucket ladder
+// with cumulative counts, and sorted deterministic output.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("detect.events").Add(8)
+	r.Counter("detect.races").Add(3)
+	r.Counter(Name("sim.steps", "model", "SC")).Add(50)
+	r.Counter(Name("sim.steps", "model", "WO")).Add(100)
+	r.Gauge("detect.scc.max_size").Set(4)
+	r.Gauge("campaign.seeds_total").Set(500)
+	h := r.Phase("detect.analyze")
+	h.Observe(3 * time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(700 * time.Microsecond)
+	h.Observe(10 * time.Second) // overflow bucket
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden (run with -update to accept):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusHistogramCumulative: bucket lines are cumulative and the
+// +Inf bucket equals _count, per the exposition format contract.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Phase("p")
+	for i := 0; i < 10; i++ {
+		h.Observe(2 * time.Microsecond) // le=4e-06 bucket
+	}
+	h.Observe(time.Second)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`weakrace_p_seconds_bucket{le="1e-06"} 0`,
+		`weakrace_p_seconds_bucket{le="4e-06"} 10`,
+		`weakrace_p_seconds_bucket{le="0.000256"} 10`,
+		`weakrace_p_seconds_bucket{le="1.048576"} 11`,
+		`weakrace_p_seconds_bucket{le="+Inf"} 11`,
+		`weakrace_p_seconds_count 11`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Edges appear in ascending order.
+	if strings.Index(out, `le="1e-06"`) > strings.Index(out, `le="4e-06"`) ||
+		strings.Index(out, `le="4.194304"`) > strings.Index(out, `le="+Inf"`) {
+		t.Fatalf("le edges out of order:\n%s", out)
+	}
+}
+
+// TestPrometheusScrapeUnderConcurrentWriters renders snapshots while
+// every metric kind is being hammered from other goroutines — the -race
+// CI job's guarantee that a live scrape cannot tear the registry.
+func TestPrometheusScrapeUnderConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.SetSpanHook(func(string, time.Duration) {})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < 2000; n++ {
+				r.Counter("c").Inc()
+				r.Counter(Name("labeled", "w", "x")).Add(2)
+				r.Gauge("g").SetMax(int64(i))
+				sp := r.StartSpan("phase.hot")
+				r.Phase("phase.cold").Observe(time.Microsecond)
+				sp.End()
+			}
+		}(i)
+	}
+	go func() { wg.Wait(); close(done) }()
+	for scraping := true; scraping; {
+		select {
+		case <-done:
+			scraping = false
+		default:
+		}
+		if err := r.Snapshot().WritePrometheus(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		_ = r.CurrentPhase()
+	}
+	// One last render must include everything the writers touched.
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"weakrace_c ", "weakrace_g ", "weakrace_phase_hot_seconds_count"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("post-stress exposition missing %q", want)
+		}
+	}
+}

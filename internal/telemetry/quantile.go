@@ -1,0 +1,61 @@
+package telemetry
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the phase's duration
+// distribution, in nanoseconds, from its bucket counts.
+//
+// The estimator is the standard one for fixed-bucket histograms: find
+// the bucket containing the target rank, then interpolate linearly
+// inside it. The histogram only knows each observation's bucket, so the
+// result is exact at bucket edges and off by at most the containing
+// bucket's width in between — for the 4x exponential ladder that bounds
+// the relative error by 3x the bucket's lower edge (see DESIGN.md,
+// "Observability plane"). The recorded min and max tighten the first
+// bucket's lower edge and the last bucket's upper edge (and make q=0
+// and q=1 exact).
+func (p PhaseSnapshot) Quantile(q float64) int64 {
+	if p.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(p.Count)
+
+	var cum int64
+	lo := p.MinNS
+	for _, b := range p.Buckets {
+		hi := b.LeNS
+		if hi < 0 || hi > p.MaxNS {
+			// Overflow bucket, or an edge beyond the largest observation:
+			// everything in here is ≤ max.
+			hi = p.MaxNS
+		}
+		if lo > hi {
+			lo = hi
+		}
+		if float64(cum)+float64(b.Count) >= rank {
+			v := float64(hi)
+			if b.Count > 0 {
+				frac := (rank - float64(cum)) / float64(b.Count)
+				v = float64(lo) + frac*float64(hi-lo)
+			}
+			return clampNS(int64(v), p.MinNS, p.MaxNS)
+		}
+		cum += b.Count
+		lo = b.LeNS
+	}
+	return p.MaxNS
+}
+
+func clampNS(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	var p PhaseSnapshot
+	if got := p.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Microsecond)
+	p := h.snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := p.Quantile(q); got != 3000 {
+			t.Fatalf("Quantile(%v) = %d, want 3000 (min==max pins every quantile)", q, got)
+		}
+	}
+}
+
+// TestQuantileInterpolation pins the linear interpolation on a
+// hand-built two-bucket distribution: 100 observations in (min=500,
+// le=1000], 100 in (1000, le=4000] with max=4000.
+func TestQuantileInterpolation(t *testing.T) {
+	p := PhaseSnapshot{
+		Count: 200, MinNS: 500, MaxNS: 4000,
+		Buckets: []BucketCount{{LeNS: 1000, Count: 100}, {LeNS: 4000, Count: 100}},
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 500},     // exact: the recorded min
+		{0.25, 750},  // halfway into the first bucket, tightened to start at min
+		{0.5, 1000},  // the shared bucket edge — exact
+		{0.75, 2500}, // halfway into the second bucket
+		{1, 4000},    // exact: the recorded max
+	}
+	for _, c := range cases {
+		if got := p.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	// Out-of-range q clamps.
+	if got := p.Quantile(-1); got != 500 {
+		t.Errorf("Quantile(-1) = %d, want 500", got)
+	}
+	if got := p.Quantile(2); got != 4000 {
+		t.Errorf("Quantile(2) = %d, want 4000", got)
+	}
+}
+
+// TestQuantileOverflowBucket: observations past the ladder land in the
+// overflow bucket (le_ns = -1); its upper edge is the recorded max.
+func TestQuantileOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Second) // beyond the ~4.3s top edge
+	h.Observe(20 * time.Second)
+	p := h.snapshot()
+	if len(p.Buckets) != 1 || p.Buckets[0].LeNS != -1 {
+		t.Fatalf("expected a single overflow bucket, got %+v", p.Buckets)
+	}
+	if got := p.Quantile(1); got != int64(20*time.Second) {
+		t.Fatalf("Quantile(1) = %d, want 20s", got)
+	}
+	if got := p.Quantile(0); got != int64(10*time.Second) {
+		t.Fatalf("Quantile(0) = %d, want 10s", got)
+	}
+	// Interior quantiles interpolate between min and max.
+	mid := p.Quantile(0.5)
+	if mid < int64(10*time.Second) || mid > int64(20*time.Second) {
+		t.Fatalf("Quantile(0.5) = %d, outside [10s, 20s]", mid)
+	}
+}
+
+// TestQuantileMonotone: quantiles never decrease in q, across a spread
+// of real observations.
+func TestQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 17 * time.Microsecond)
+	}
+	p := h.snapshot()
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := p.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %d < previous %d", q, v, prev)
+		}
+		prev = v
+	}
+	if p.Quantile(1) != p.MaxNS || p.Quantile(0) != p.MinNS {
+		t.Fatalf("endpoints not exact: q0=%d min=%d q1=%d max=%d",
+			p.Quantile(0), p.MinNS, p.Quantile(1), p.MaxNS)
+	}
+}
+
+func TestCurrentPhaseNesting(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	if got := r.CurrentPhase(); got != "" {
+		t.Fatalf("idle CurrentPhase = %q", got)
+	}
+	outer := r.StartSpan("outer")
+	inner := r.StartSpan("inner")
+	if got := r.CurrentPhase(); got != "inner" {
+		t.Fatalf("CurrentPhase = %q, want inner", got)
+	}
+	inner.End()
+	if got := r.CurrentPhase(); got != "outer" {
+		t.Fatalf("CurrentPhase after inner end = %q, want outer", got)
+	}
+	outer.End()
+	if got := r.CurrentPhase(); got != "" {
+		t.Fatalf("CurrentPhase after all spans = %q, want \"\"", got)
+	}
+}
+
+func TestSpanHook(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	var names []string
+	r.SetSpanHook(func(name string, d time.Duration) {
+		if d < 0 {
+			t.Errorf("hook got negative duration for %s", name)
+		}
+		names = append(names, name)
+	})
+	r.StartSpan("a").End()
+	r.StartSpan("b").End()
+	r.SetSpanHook(nil)
+	r.StartSpan("c").End()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("hook observed %v, want [a b]", names)
+	}
+	// The hook survives Reset: it is wiring, not data.
+	r.SetSpanHook(func(name string, d time.Duration) { names = append(names, name) })
+	r.Reset()
+	r.StartSpan("d").End()
+	if names[len(names)-1] != "d" {
+		t.Fatalf("hook did not survive Reset: %v", names)
+	}
+}

@@ -80,8 +80,10 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 }
 
 // WriteText writes the snapshot in a human-readable form: sorted
-// "name value" lines, with phase histograms summarized as
-// count/total/min/max.
+// "name value" lines, with phase histograms summarized as count, total,
+// and bucket-interpolated p50/p90/p99 tail latencies (plus the exact
+// max). Quantiles carry the interpolation error bound documented on
+// PhaseSnapshot.Quantile.
 func (s *Snapshot) WriteText(w io.Writer) error {
 	for _, k := range sortedKeys(s.Counters) {
 		if _, err := fmt.Fprintf(w, "counter %-50s %d\n", k, s.Counters[k]); err != nil {
@@ -95,8 +97,9 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 	}
 	for _, k := range sortedKeys(s.Phases) {
 		p := s.Phases[k]
-		if _, err := fmt.Fprintf(w, "phase   %-50s count=%d total=%s min=%s max=%s\n",
-			k, p.Count, fmtDuration(p.TotalNS), fmtDuration(p.MinNS), fmtDuration(p.MaxNS)); err != nil {
+		if _, err := fmt.Fprintf(w, "phase   %-50s count=%d total=%s p50=%s p90=%s p99=%s max=%s\n",
+			k, p.Count, fmtDuration(p.TotalNS), fmtDuration(p.Quantile(0.50)),
+			fmtDuration(p.Quantile(0.90)), fmtDuration(p.Quantile(0.99)), fmtDuration(p.MaxNS)); err != nil {
 			return err
 		}
 	}

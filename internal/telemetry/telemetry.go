@@ -59,11 +59,29 @@ func (g *Gauge) SetMax(v int64) {
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// SpanHook observes completed spans: it receives the phase name and the
+// measured duration after the histogram records it. The observability
+// plane (internal/obs) installs one to stream phase completions to
+// subscribers; nil (the default) costs one atomic load per span end.
+type SpanHook func(name string, d time.Duration)
+
 // Registry holds named metrics. Metric handles are get-or-create by name
 // and remain valid for the life of the registry; the same name always
 // returns the same handle.
 type Registry struct {
 	enabled atomic.Bool
+
+	// curSpan tracks the most recently started, still-running span so a
+	// live /status endpoint can answer "what is it doing right now".
+	// Properly nested spans restore their parent on End; overlapping
+	// spans from concurrent goroutines resolve best-effort (some still-
+	// running span wins), which is all a status line needs.
+	curSpan atomic.Pointer[Span]
+
+	// spanHook, when set, is called at every enabled span's End. It is
+	// not cleared by Reset: the hook is plumbing (who listens), not data
+	// (what was measured).
+	spanHook atomic.Pointer[SpanHook]
 
 	mu       sync.RWMutex
 	counters map[string]*Counter
@@ -159,25 +177,76 @@ func (r *Registry) Reset() {
 type Span struct {
 	h     *Histogram
 	start time.Time
+	r     *Registry
+	name  string
+	prev  *Span // nearest still-running span when this one started
+	done  atomic.Bool
 }
 
 var nopSpan = &Span{}
 
 // StartSpan begins timing the named phase. The duration is recorded into
-// the phase's histogram at End.
+// the phase's histogram at End, and the span becomes the registry's
+// current phase until it ends (or a nested span supersedes it). The
+// prev link skips finished spans so the chain's length is bounded by
+// the number of concurrently running spans, not by how many ever ran.
 func (r *Registry) StartSpan(name string) *Span {
 	if !r.Enabled() {
 		return nopSpan
 	}
-	return &Span{h: r.Phase(name), start: time.Now()}
+	s := &Span{h: r.Phase(name), start: time.Now(), r: r, name: name}
+	p := r.curSpan.Load()
+	for p != nil && p.done.Load() {
+		p = p.prev
+	}
+	s.prev = p
+	r.curSpan.Store(s)
+	return s
 }
 
-// End stops the span and records its duration.
+// End stops the span and records its duration. If a SpanHook is
+// installed it observes the completion; the current-phase marker rolls
+// back to the nearest enclosing span that is still running, and only if
+// this span is still current, so a finished span is never resurrected
+// over a running one.
 func (s *Span) End() {
 	if s.h == nil {
 		return
 	}
-	s.h.Observe(time.Since(s.start))
+	d := time.Since(s.start)
+	s.h.Observe(d)
+	s.done.Store(true)
+	if s.r.curSpan.Load() == s {
+		p := s.prev
+		for p != nil && p.done.Load() {
+			p = p.prev
+		}
+		s.r.curSpan.CompareAndSwap(s, p)
+	}
+	if h := s.r.spanHook.Load(); h != nil {
+		(*h)(s.name, d)
+	}
+}
+
+// SetSpanHook installs (or, with nil, removes) the registry's span
+// observer. At most one hook is active; installs overwrite.
+func (r *Registry) SetSpanHook(h SpanHook) {
+	if h == nil {
+		r.spanHook.Store(nil)
+		return
+	}
+	r.spanHook.Store(&h)
+}
+
+// CurrentPhase returns the name of the most recently started span that
+// has not ended, or "" when the registry is idle (or disabled). Best-
+// effort under concurrency: with overlapping spans from several
+// goroutines it names one of them.
+func (r *Registry) CurrentPhase() string {
+	if s := r.curSpan.Load(); s != nil {
+		return s.name
+	}
+	return ""
 }
 
 // Name composes a metric name with label pairs: Name("sim.steps",
