@@ -52,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"t7":   func(w io.Writer) error { return experiments.Table7(w, cfg) },
 		"t8":   func(w io.Writer) error { return experiments.Table8(w, cfg) },
 		"t9":   func(w io.Writer) error { return experiments.Table9(w, cfg) },
+		"t10":  func(w io.Writer) error { return experiments.Table10(w, cfg) },
 	}
 
 	if *only != "" {

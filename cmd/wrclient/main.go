@@ -1,0 +1,146 @@
+// Command wrclient is the load generator and soak harness for wrserve:
+// it simulates random weak-memory executions locally and streams them
+// to a daemon over many concurrent connections, then reports the
+// aggregate. With -oracle it re-detects every execution in-process and
+// demands the daemon's race list match byte for byte — the end-to-end
+// correctness assertion the CI soak runs under the race detector.
+//
+// Usage:
+//
+//	wrclient -addr 127.0.0.1:7421 -streams 100 -concurrency 16
+//	wrclient -addr 127.0.0.1:7421 -streams 100 -oracle
+//	wrclient -addr 127.0.0.1:7421 -streams 60 -corpus-seed 1 -oracle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weakrace/internal/onthefly"
+	"weakrace/internal/sim"
+	"weakrace/internal/stream"
+	"weakrace/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wrclient", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:7421", "wrserve ingest address")
+		streams     = fs.Int("streams", 20, "number of executions to stream")
+		concurrency = fs.Int("concurrency", 8, "streams in flight at once")
+		corpusSeed  = fs.Int64("corpus-seed", 1, "corpus generator seed (1 = the standing 60-trace corpus prefix)")
+		batch       = fs.Int("batch", 256, "operations per wire batch")
+		delay       = fs.Duration("delay", 0, "pause between batches (keeps streams long-lived for soaks)")
+		timeout     = fs.Duration("timeout", 2*time.Minute, "per-stream timeout, dial to summary")
+		oracle      = fs.Bool("oracle", false, "re-detect locally and require byte-identical race lists")
+		verbose     = fs.Bool("v", false, "print one line per stream")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *streams <= 0 {
+		fmt.Fprintln(stderr, "wrclient: -streams must be positive")
+		return 2
+	}
+	if *concurrency <= 0 {
+		*concurrency = 1
+	}
+
+	corpus := workload.Corpus(*streams, *corpusSeed)
+	var (
+		wg         sync.WaitGroup
+		sem        = make(chan struct{}, *concurrency)
+		mu         sync.Mutex // guards stdout/stderr lines
+		failures   atomic.Int64
+		mismatches atomic.Int64
+		totalOps   atomic.Int64
+		totalRaces atomic.Int64
+	)
+	start := time.Now()
+	for i, c := range corpus {
+		wg.Add(1)
+		go func(i int, c workload.CorpusEntry) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			r, err := sim.Run(c.Workload.Prog, sim.Config{Model: c.Model, Seed: c.Seed, InitMemory: c.Workload.InitMemory})
+			if err != nil {
+				mu.Lock()
+				fmt.Fprintf(stderr, "wrclient: stream %d: simulate: %v\n", i, err)
+				mu.Unlock()
+				failures.Add(1)
+				return
+			}
+			sum, err := stream.Send(*addr, r.Exec, stream.SendOptions{
+				BatchSize: *batch, Delay: *delay, Timeout: *timeout,
+			})
+			if err != nil {
+				mu.Lock()
+				fmt.Fprintf(stderr, "wrclient: stream %d (%s, %v, seed %d): %v\n",
+					i, c.Workload.Name, c.Model, c.Seed, err)
+				mu.Unlock()
+				failures.Add(1)
+				return
+			}
+			totalOps.Add(int64(sum.Events))
+			totalRaces.Add(int64(sum.RaceCount))
+			if *verbose {
+				mu.Lock()
+				fmt.Fprintf(stdout, "stream %3d  %-24s %-5v seed %4d  %5d events  %3d races\n",
+					i, c.Workload.Name, c.Model, c.Seed, sum.Events, sum.RaceCount)
+				mu.Unlock()
+			}
+			if *oracle {
+				want := localRaces(r.Exec)
+				if !reflect.DeepEqual(sum.Races, want) {
+					mu.Lock()
+					fmt.Fprintf(stderr, "wrclient: stream %d (%s, %v, seed %d): ORACLE MISMATCH\n  server: %v\n  local:  %v\n",
+						i, c.Workload.Name, c.Model, c.Seed, sum.Races, want)
+					mu.Unlock()
+					mismatches.Add(1)
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(stdout, "wrclient: %d streams to %s in %v: %d events, %d races, %d failures\n",
+		*streams, *addr, elapsed.Round(time.Millisecond), totalOps.Load(), totalRaces.Load(), failures.Load())
+	if *oracle {
+		if n := mismatches.Load(); n > 0 {
+			fmt.Fprintf(stderr, "wrclient: %d/%d streams disagree with the local detector\n", n, *streams)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrclient: oracle check passed: all %d summaries byte-identical to local detection\n", *streams)
+	}
+	if failures.Load() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// localRaces renders an execution's unbounded on-the-fly race list the
+// way wrserve does: canonical strings, sorted.
+func localRaces(e *sim.Execution) []string {
+	res := onthefly.Detect(e, onthefly.Options{})
+	races := make([]string, 0, len(res.Races))
+	for ll := range res.Races {
+		races = append(races, ll.String())
+	}
+	sort.Strings(races)
+	return races
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"weakrace/internal/stream"
+	"weakrace/internal/telemetry"
+)
+
+func startServer(t *testing.T, opts stream.Options) *stream.Server {
+	t.Helper()
+	opts.Addr = "127.0.0.1:0"
+	if opts.Registry == nil {
+		opts.Registry = telemetry.NewRegistry()
+	}
+	s, err := stream.Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// The full load-generator round trip with the oracle on: every streamed
+// summary must match local detection byte for byte.
+func TestClientOracleAgainstExactServer(t *testing.T) {
+	s := startServer(t, stream.Options{})
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-addr", s.Addr(), "-streams", "12", "-concurrency", "4",
+		"-batch", "16", "-oracle",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "oracle check passed: all 12 summaries") {
+		t.Fatalf("no oracle pass line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 failures") {
+		t.Fatalf("failures reported:\n%s", out.String())
+	}
+}
+
+// Against a windowed server the oracle can legitimately disagree (the
+// window trades races for memory), but plain streaming must still
+// succeed with zero failures.
+func TestClientAgainstWindowedServer(t *testing.T) {
+	s := startServer(t, stream.Options{Window: 32})
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-addr", s.Addr(), "-streams", "6", "-v",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "0 failures") {
+		t.Fatalf("failures reported:\n%s", out.String())
+	}
+	if got := strings.Count(out.String(), "\n"); got < 7 { // 6 verbose lines + summary
+		t.Fatalf("verbose output too short (%d lines):\n%s", got, out.String())
+	}
+}
+
+// A dead server is a clean failure, not a hang or a panic.
+func TestClientServerGone(t *testing.T) {
+	s := startServer(t, stream.Options{})
+	addr := s.Addr()
+	s.Close()
+	var out, errb bytes.Buffer
+	code := run([]string{"-addr", addr, "-streams", "2", "-timeout", "2s"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "2 failures") {
+		t.Fatalf("failures not counted:\n%s", out.String())
+	}
+}
+
+func TestClientBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-streams", "0"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,121 @@
+// Command wrserve is the streaming race-detection daemon: a TCP ingest
+// plane that accepts concurrent WRS1 event streams (one execution per
+// connection), runs the incremental on-the-fly detector over each with
+// bounded memory, and answers every stream with a JSON summary of the
+// races found. The observability plane (dashboard, /metrics, /status,
+// /events, pprof) and the per-stream /streams document are served over
+// HTTP next to it.
+//
+// Usage:
+//
+//	wrserve -addr :7421 -http 127.0.0.1:8077
+//	wrserve -addr :7421 -window 1024 -workers 8 -queue 16
+//
+// With -window N the detector retires events more than N operations
+// old, trading missed distant pairs for bounded memory; every stream
+// that retires anything carries a replay seed in its summary so the
+// execution can be re-analyzed post-mortem. -window 0 is exact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/obs"
+	"weakrace/internal/stream"
+	"weakrace/internal/telemetry"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, stop))
+}
+
+// run starts the daemon and blocks until stop delivers. Tests pass a
+// ready channel to learn the bound ingest and HTTP addresses, and close
+// their own stop channel to shut the daemon down.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-chan os.Signal) int {
+	fs := flag.NewFlagSet("wrserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7421", "TCP ingest address for WRS1 event streams")
+		httpAddr = fs.String("http", "", "serve the observability plane plus /streams on this address")
+		workers  = fs.Int("workers", 0, "detection worker-pool size (0 = GOMAXPROCS)")
+		queue    = fs.Int("queue", 0, "per-stream pending-batch queue depth (0 = default 8)")
+		window   = fs.Int("window", 0, "retire events more than this many operations old (0 = exact, unbounded)")
+		history  = fs.Int("history", 0, "per-location access-history cap (0 = unbounded)")
+		liberal  = fs.Bool("liberal-pairing", false, "treat Test&Set writes as releases")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	pairing := memmodel.ConservativePairing
+	if *liberal {
+		pairing = memmodel.LiberalPairing
+	}
+
+	opts := stream.Options{
+		Addr:         *addr,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		Window:       *window,
+		HistoryLimit: *history,
+		Pairing:      pairing,
+		Registry:     telemetry.Default(),
+	}
+
+	var obsSrv *obs.Server
+	var httpLn net.Listener
+	if *httpAddr != "" {
+		obsSrv = obs.NewServer(obs.Options{Tool: "wrserve"})
+		opts.Publisher = obsSrv.Publisher()
+	} else {
+		// No HTTP plane: nobody is scraping, keep the hot path free.
+		telemetry.Default().SetEnabled(false)
+	}
+
+	srv, err := stream.Serve(opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "wrserve: %v\n", err)
+		return 2
+	}
+	defer srv.Close()
+	fmt.Fprintf(stderr, "wrserve: ingest plane on %s (window=%d)\n", srv.Addr(), *window)
+
+	if obsSrv != nil {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/streams", srv.StreamsHandler())
+		mux.Handle("/", obsSrv.Handler())
+		httpLn, err = net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "wrserve: %v\n", err)
+			return 2
+		}
+		httpSrv := &http.Server{Handler: mux}
+		go httpSrv.Serve(httpLn) //nolint:errcheck // Serve returns ErrServerClosed on Close
+		defer httpSrv.Close()
+		fmt.Fprintf(stderr, "wrserve: observability plane on http://%s/ (/streams for per-stream detail)\n",
+			httpLn.Addr())
+	}
+
+	if ready != nil {
+		ready <- srv.Addr()
+		if httpLn != nil {
+			ready <- httpLn.Addr().String()
+		} else {
+			ready <- ""
+		}
+	}
+
+	<-stop
+	fmt.Fprintln(stderr, "wrserve: shutting down")
+	return 0
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"weakrace/internal/sim"
+	"weakrace/internal/stream"
+	"weakrace/internal/telemetry"
+	"weakrace/internal/workload"
+)
+
+// startDaemon runs the daemon with the given flags plus dynamic ports,
+// returning the ingest and HTTP addresses and a shutdown func.
+func startDaemon(t *testing.T, extra ...string) (ingest, httpAddr string, shutdown func()) {
+	t.Helper()
+	// run() serves the process-default registry; reset it so earlier
+	// tests' counters don't leak into /status assertions, and put it
+	// back disabled afterwards (obs.NewServer enables it).
+	telemetry.Default().Reset()
+	t.Cleanup(func() {
+		telemetry.Default().SetEnabled(false)
+		telemetry.Default().Reset()
+	})
+	args := append([]string{"-addr", "127.0.0.1:0", "-http", "127.0.0.1:0"}, extra...)
+	ready := make(chan string, 2)
+	stop := make(chan os.Signal)
+	done := make(chan int, 1)
+	var errBuf bytes.Buffer
+	go func() { done <- run(args, io.Discard, &errBuf, ready, stop) }()
+	select {
+	case ingest = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never became ready:\n%s", errBuf.String())
+	}
+	httpAddr = <-ready
+	return ingest, httpAddr, func() {
+		close(stop)
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Errorf("daemon exit code %d:\n%s", code, errBuf.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("daemon did not shut down")
+		}
+	}
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	ingest, httpAddr, shutdown := startDaemon(t)
+	defer shutdown()
+
+	c := workload.Corpus(1, 1)[0]
+	r, err := sim.Run(c.Workload.Prog, sim.Config{Model: c.Model, Seed: c.Seed, InitMemory: c.Workload.InitMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := stream.Send(ingest, r.Exec, stream.SendOptions{BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != len(r.Exec.Ops) {
+		t.Fatalf("events = %d, want %d", sum.Events, len(r.Exec.Ops))
+	}
+
+	// The obs plane answers, and /status carries the streams block.
+	resp, err := http.Get("http://" + httpAddr + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Tool    string `json:"tool"`
+		Streams *struct {
+			Opened  int64 `json:"opened"`
+			Closed  int64 `json:"closed"`
+			Dropped int64 `json:"dropped"`
+			Events  int64 `json:"events"`
+		} `json:"streams"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Tool != "wrserve" {
+		t.Fatalf("tool = %q", status.Tool)
+	}
+	if status.Streams == nil {
+		t.Fatal("/status has no streams block")
+	}
+	if status.Streams.Opened != 1 || status.Streams.Closed != 1 || status.Streams.Dropped != 0 {
+		t.Fatalf("streams block = %+v", status.Streams)
+	}
+	if status.Streams.Events != int64(len(r.Exec.Ops)) {
+		t.Fatalf("streams events = %d, want %d", status.Streams.Events, len(r.Exec.Ops))
+	}
+
+	// /streams lists the finished summary.
+	resp2, err := http.Get("http://" + httpAddr + "/streams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var doc stream.StreamsDoc
+	if err := json.NewDecoder(resp2.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Finished) != 1 || doc.Finished[0].Events != len(r.Exec.Ops) {
+		t.Fatalf("/streams = %+v", doc)
+	}
+}
+
+func TestDaemonWindowFlag(t *testing.T) {
+	ingest, _, shutdown := startDaemon(t, "-window", "16")
+	defer shutdown()
+
+	w := workload.Random(workload.RandomParams{
+		Seed: 11, CPUs: 4, Segments: 16, OpsPerSegment: 5,
+		Locks: 2, UnlockedFraction: 0.4, SharedFraction: 0.7,
+	})
+	r, err := sim.Run(w.Prog, sim.Config{Seed: 11, InitMemory: w.InitMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := stream.Send(ingest, r.Exec, stream.SendOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Window != 16 || sum.Retired == 0 || sum.Replay == nil {
+		t.Fatalf("window mode not engaged: window=%d retired=%d replay=%v",
+			sum.Window, sum.Retired, sum.Replay)
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var errBuf bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, io.Discard, &errBuf, nil, nil); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "flag") {
+		t.Fatalf("no usage on stderr: %s", errBuf.String())
+	}
+}

@@ -1,0 +1,46 @@
+// Package atomicio writes files atomically: content lands in a temporary
+// file in the destination's directory and is renamed into place only
+// after a successful encode and close. A crash or encode error mid-write
+// can therefore never leave a truncated artifact behind — the failure
+// mode that used to poison campaigns when a half-written trace later
+// failed to decode.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes to path via fn, atomically. fn receives a buffered
+// view of a temporary file created in path's directory (same filesystem,
+// so the final rename is atomic on POSIX systems). On any error the
+// temporary file is removed and the destination is untouched.
+func WriteFile(path string, fn func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := fn(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(fmt.Errorf("atomicio: %w", err))
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return nil
+}

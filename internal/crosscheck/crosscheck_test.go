@@ -37,13 +37,12 @@ func weakModel(rng *rand.Rand) memmodel.Model {
 }
 
 // Post-mortem and unbounded on-the-fly detection must agree exactly on
-// the set of lower-level data races, for every workload and model.
+// the set of lower-level data races, for every workload and model. The
+// corpus is the frozen workload.Corpus(60, 1) — the same 60 traces the
+// wrserve acceptance test and window study run against.
 func TestDifferentialPostMortemVsOnTheFly(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	for trial := 0; trial < 60; trial++ {
-		w := randomWorkload(rng, trial%2 == 0)
-		model := weakModel(rng)
-		seed := rng.Int63n(1000)
+	for trial, c := range workload.Corpus(60, 1) {
+		w, model, seed := c.Workload, c.Model, c.Seed
 		r, err := sim.Run(w.Prog, sim.Config{Model: model, Seed: seed, InitMemory: w.InitMemory})
 		if err != nil {
 			t.Fatal(err)

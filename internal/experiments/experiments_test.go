@@ -70,6 +70,7 @@ func TestTables(t *testing.T) {
 		{"T7", Table7, []string{"T7.", "online first"}},
 		{"T8", Table8, []string{"T8.", "conservative", "liberal"}},
 		{"T9", Table9, []string{"T9.", "lockset"}},
+		{"T10", Table10, []string{"T10.", "corpus-60", "large-4cpu", "∞"}},
 	}
 	for _, tc := range tables {
 		t.Run(tc.name, func(t *testing.T) {

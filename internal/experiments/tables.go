@@ -496,7 +496,7 @@ func All(out io.Writer, cfg Config) error {
 		return err
 	}
 	for i, table := range []func(io.Writer, Config) error{
-		Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8, Table9,
+		Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8, Table9, Table10,
 	} {
 		if err := table(out, cfg); err != nil {
 			return fmt.Errorf("table %d: %w", i+1, err)

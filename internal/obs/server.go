@@ -177,6 +177,7 @@ type Status struct {
 	UptimeSeconds float64                `json:"uptime_seconds"`
 	CurrentPhase  string                 `json:"current_phase,omitempty"`
 	Campaign      *CampaignStatus        `json:"campaign,omitempty"`
+	Streams       *StreamsStatus         `json:"streams,omitempty"`
 	Phases        map[string]PhaseStatus `json:"phases,omitempty"`
 }
 
@@ -187,6 +188,22 @@ type CampaignStatus struct {
 	Failed        int64 `json:"failed"`
 	Racy          int64 `json:"racy"`
 	DistinctRaces int64 `json:"distinct_races"`
+}
+
+// StreamsStatus mirrors a wrserve ingest plane's live counters: the
+// stream.* registry namespace rendered as one /status block, the same
+// way CampaignStatus mirrors a campaign's.
+type StreamsStatus struct {
+	Active      int64 `json:"active"`
+	Opened      int64 `json:"opened"`
+	Closed      int64 `json:"closed"`
+	Errored     int64 `json:"errored"`
+	Dropped     int64 `json:"dropped"`
+	Events      int64 `json:"events"`
+	Races       int64 `json:"races"`
+	Retired     int64 `json:"retired"`
+	ReplaySeeds int64 `json:"replay_seeds"`
+	Window      int64 `json:"window"`
 }
 
 // PhaseStatus summarizes one phase histogram for display.
@@ -219,6 +236,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Failed:        snap.Counters["campaign.seeds_failed"],
 			Racy:          snap.Counters["campaign.seeds_racy"],
 			DistinctRaces: snap.Gauges["campaign.races_distinct"],
+		}
+	}
+	// A wrserve ingest plane announces itself by creating its
+	// streams-active gauge at startup.
+	if active, ok := snap.Gauges["stream.streams_active"]; ok {
+		st.Streams = &StreamsStatus{
+			Active:      active,
+			Opened:      snap.Counters["stream.streams_opened"],
+			Closed:      snap.Counters["stream.streams_closed"],
+			Errored:     snap.Counters["stream.streams_errored"],
+			Dropped:     snap.Counters["stream.streams_dropped"],
+			Events:      snap.Counters["stream.events"],
+			Races:       snap.Counters["stream.races"],
+			Retired:     snap.Counters["stream.retired"],
+			ReplaySeeds: snap.Counters["stream.replay_seeds"],
+			Window:      snap.Gauges["stream.window"],
 		}
 	}
 	if len(snap.Phases) > 0 {

@@ -175,6 +175,34 @@ func TestStatusShape(t *testing.T) {
 	}
 }
 
+func TestStatusStreamsBlock(t *testing.T) {
+	_, ts, reg := newTestServer(t)
+	reg.Gauge("stream.streams_active").Set(2)
+	reg.Gauge("stream.window").Set(256)
+	reg.Counter("stream.streams_opened").Add(7)
+	reg.Counter("stream.streams_closed").Add(5)
+	reg.Counter("stream.streams_errored").Add(1)
+	reg.Counter("stream.events").Add(900)
+	reg.Counter("stream.races").Add(4)
+	reg.Counter("stream.retired").Add(123)
+	reg.Counter("stream.replay_seeds").Add(3)
+
+	_, body := get(t, ts.URL+"/status")
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	s := st.Streams
+	if s == nil {
+		t.Fatal("streams block missing despite streams_active gauge")
+	}
+	if s.Active != 2 || s.Opened != 7 || s.Closed != 5 || s.Errored != 1 ||
+		s.Dropped != 0 || s.Events != 900 || s.Races != 4 ||
+		s.Retired != 123 || s.ReplaySeeds != 3 || s.Window != 256 {
+		t.Fatalf("streams = %+v", s)
+	}
+}
+
 func TestStatusWithoutCampaign(t *testing.T) {
 	_, ts, _ := newTestServer(t)
 	_, body := get(t, ts.URL+"/status")
@@ -184,6 +212,9 @@ func TestStatusWithoutCampaign(t *testing.T) {
 	}
 	if st.Campaign != nil {
 		t.Fatalf("campaign block present without a campaign: %+v", st.Campaign)
+	}
+	if st.Streams != nil {
+		t.Fatalf("streams block present without an ingest plane: %+v", st.Streams)
 	}
 }
 

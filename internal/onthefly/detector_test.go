@@ -1,0 +1,208 @@
+package onthefly
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/sim"
+	"weakrace/internal/workload"
+)
+
+// Feeding operations one at a time must be byte-identical to the batch
+// entry point: same races, same sync races, same cost counters.
+func TestFeedMatchesDetect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		w := workload.Random(workload.RandomParams{
+			Seed: rng.Int63(), CPUs: 2 + rng.Intn(3), Segments: 2 + rng.Intn(6),
+			UnlockedFraction: 0.4, SharedFraction: 0.7,
+		})
+		e := runW(t, w, memmodel.WO, rng.Int63n(1000))
+		batch := Detect(e, Options{})
+
+		d := NewDetector(e.NumCPUs, e.NumLocations, Options{})
+		for _, op := range e.Ops {
+			d.Feed(op)
+		}
+		inc := d.Result()
+		if !reflect.DeepEqual(batch.Races, inc.Races) {
+			t.Fatalf("trial %d: Feed races differ from Detect:\n batch %v\n feed  %v", trial, batch.Races, inc.Races)
+		}
+		if batch.SyncRaces != inc.SyncRaces || batch.OpsProcessed != inc.OpsProcessed ||
+			batch.Comparisons != inc.Comparisons || batch.Evictions != inc.Evictions {
+			t.Fatalf("trial %d: counters differ: batch %+v feed %+v", trial, batch, inc)
+		}
+	}
+}
+
+// The releaseVC map must not grow with trace length: Detect's prepass
+// retires each published release clock right after its last observing
+// acquire, so the live set tracks lock-handoff depth, not history. This
+// pins the steady-state footprint of the satellite-1 bugfix.
+func TestReleaseVCSteadyState(t *testing.T) {
+	// Lots of lock traffic: race-free program where every segment takes a
+	// lock, so pairable releases are plentiful.
+	w := workload.Random(workload.RandomParams{
+		Seed: 5, CPUs: 4, Segments: 40, OpsPerSegment: 4, Locks: 2,
+	})
+	e := runW(t, w, memmodel.WO, 3)
+
+	releases := 0
+	for _, op := range e.Ops {
+		if op.Kind.IsWrite() && op.Kind.IsSync() && memmodel.PairingPolicy(0).CanPair(op.Kind.Role()) {
+			releases++
+		}
+	}
+	if releases < 100 {
+		t.Fatalf("workload too small to pin steady state: %d pairable releases", releases)
+	}
+
+	res := Detect(e, Options{})
+	if res.PeakLiveReleases >= releases/4 {
+		t.Fatalf("releaseVC no longer bounded: peak %d live clocks for %d published releases",
+			res.PeakLiveReleases, releases)
+	}
+
+	// Incremental view: at end of stream every published release has met
+	// its last observer and been retired.
+	d := NewDetector(e.NumCPUs, e.NumLocations, Options{})
+	lastUse := map[int]int{}
+	for _, op := range e.Ops {
+		if op.Kind == sim.OpAcquireRead && op.ObservedWrite >= 0 {
+			lastUse[op.ObservedWrite] = op.ID
+		}
+	}
+	d.releaseLastUse = lastUse
+	for _, op := range e.Ops {
+		d.Feed(op)
+	}
+	if d.LiveReleases() != 0 {
+		t.Fatalf("at stream end %d release clocks still live, want 0", d.LiveReleases())
+	}
+}
+
+// Online (no future knowledge) the window discipline bounds both the
+// release map and the access histories.
+func TestWindowBoundsLiveState(t *testing.T) {
+	const window = 32
+	w := workload.Random(workload.RandomParams{
+		Seed: 11, CPUs: 4, Segments: 40, OpsPerSegment: 4, Locks: 2, UnlockedFraction: 0.3,
+	})
+	e := runW(t, w, memmodel.WO, 9)
+	if len(e.Ops) < 4*window {
+		t.Fatalf("workload too small: %d ops", len(e.Ops))
+	}
+	d := NewDetector(e.NumCPUs, e.NumLocations, Options{Window: window})
+	d.SetSource(e.ProgramName, e.Model, e.Seed)
+	for _, op := range e.Ops {
+		d.Feed(op)
+		// Live state holds at most the window plus the op just fed.
+		if d.LiveAccesses() > window+1 {
+			t.Fatalf("after op %d: %d live accesses exceed window %d", op.ID, d.LiveAccesses(), window)
+		}
+		if d.LiveReleases() > window+1 {
+			t.Fatalf("after op %d: %d live releases exceed window %d", op.ID, d.LiveReleases(), window)
+		}
+	}
+	res := d.Result()
+	if res.Retired == 0 {
+		t.Fatal("expected window retirement on a long stream")
+	}
+	if res.Replay == nil {
+		t.Fatal("retirement must record a replay seed")
+	}
+	if res.Replay.Program != e.ProgramName || res.Replay.Seed != e.Seed || res.Replay.Model != e.Model {
+		t.Fatalf("replay seed misidentifies the execution: %+v", res.Replay)
+	}
+	if res.Replay.Retired != res.Retired {
+		t.Fatalf("replay seed retired count %d != result %d", res.Replay.Retired, res.Retired)
+	}
+	if res.Replay.FirstOp < 0 || res.Replay.LastOp < res.Replay.FirstOp {
+		t.Fatalf("replay seed op span invalid: %+v", res.Replay)
+	}
+}
+
+// A window at least as long as the stream retires nothing and is exact:
+// identical to the unbounded detector.
+func TestWindowInfiniteIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		w := workload.Random(workload.RandomParams{
+			Seed: rng.Int63(), UnlockedFraction: 0.5, SharedFraction: 0.8,
+		})
+		e := runW(t, w, memmodel.WO, rng.Int63n(1000))
+		exact := Detect(e, Options{})
+		d := NewDetector(e.NumCPUs, e.NumLocations, Options{Window: len(e.Ops) + 1})
+		for _, op := range e.Ops {
+			d.Feed(op)
+		}
+		res := d.Result()
+		if !reflect.DeepEqual(exact.Races, res.Races) {
+			t.Fatalf("trial %d: windowed(∞) races differ from unbounded", trial)
+		}
+		if res.Retired != 0 || res.Replay != nil {
+			t.Fatalf("trial %d: window ≥ stream retired %d entries", trial, res.Retired)
+		}
+	}
+}
+
+// Small windows lose races monotonically-ish: the tiny window must find
+// no more than the unbounded detector, and on a racy workload strictly
+// fewer comparisons.
+func TestWindowLosesRaces(t *testing.T) {
+	w := workload.Random(workload.RandomParams{
+		Seed: 21, CPUs: 4, Segments: 30, OpsPerSegment: 5, UnlockedFraction: 0.6, SharedFraction: 0.9,
+	})
+	e := runW(t, w, memmodel.WO, 2)
+	exact := Detect(e, Options{})
+	if exact.RaceCount() == 0 {
+		t.Fatal("workload not racy enough for the experiment")
+	}
+	d := NewDetector(e.NumCPUs, e.NumLocations, Options{Window: 8})
+	for _, op := range e.Ops {
+		d.Feed(op)
+	}
+	small := d.Result()
+	for ll := range small.Races {
+		if !exact.Races[ll] {
+			t.Fatalf("windowed detector invented a race: %v", ll)
+		}
+	}
+	if small.Comparisons >= exact.Comparisons {
+		t.Fatalf("window 8 did %d comparisons, unbounded %d — retirement not saving work",
+			small.Comparisons, exact.Comparisons)
+	}
+}
+
+// Detect must keep working when Ops arrive out of issue order (the
+// sortedness fast path's fallback), producing the same result.
+func TestDetectUnsortedOps(t *testing.T) {
+	w := workload.Random(workload.RandomParams{Seed: 31, UnlockedFraction: 0.5})
+	e := runW(t, w, memmodel.WO, 4)
+	want := Detect(e, Options{})
+
+	shuffled := *e
+	shuffled.Ops = make([]sim.MemOp, len(e.Ops))
+	copy(shuffled.Ops, e.Ops)
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(shuffled.Ops), func(i, j int) {
+		shuffled.Ops[i], shuffled.Ops[j] = shuffled.Ops[j], shuffled.Ops[i]
+	})
+	got := Detect(&shuffled, Options{})
+	if !reflect.DeepEqual(want.Races, got.Races) || want.SyncRaces != got.SyncRaces {
+		t.Fatal("shuffled Ops changed the result: sort fallback broken")
+	}
+	// The fallback must sort a copy, not the caller's slice.
+	stillShuffled := false
+	for i, op := range shuffled.Ops {
+		if op.ID != i {
+			stillShuffled = true
+			break
+		}
+	}
+	if !stillShuffled {
+		t.Fatal("Detect sorted the caller's Ops slice in place")
+	}
+}

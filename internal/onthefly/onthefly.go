@@ -9,6 +9,15 @@
 // history drops accesses that still race. Options.HistoryLimit makes that
 // trade-off explicit: unbounded history is exact at operation granularity;
 // small limits lose races (experiment T5).
+//
+// The detector is exposed in two forms. Detect is the post-mortem-style
+// batch entry point: one call over a complete execution. Feed is the
+// incremental form the wrserve streaming daemon uses: a Detector accepts
+// one operation at a time, advancing per-processor vector clocks online —
+// the event-by-event variant of the graph.Timestamps pass — and can bound
+// its memory with Options.Window, retiring events that fall out of the
+// window while recording a replay seed (Ronsse & De Bosschere) so the
+// dropped prefix can be re-analyzed offline.
 package onthefly
 
 import (
@@ -30,6 +39,32 @@ type Options struct {
 	// Pairing selects which synchronization writes transfer vector clocks
 	// to acquires, mirroring the post-mortem detector's policy.
 	Pairing memmodel.PairingPolicy
+	// Window bounds detector memory by event retirement: an access or
+	// published release clock recorded more than Window operations ago is
+	// dropped before the next operation is processed. 0 means unbounded
+	// (exact at operation granularity). Retirement is the §5
+	// bounded-buffer accuracy loss made explicit: a retired access can no
+	// longer be compared against, so races spanning more than Window
+	// operations are missed — the Result's Replay seed records what to
+	// re-analyze offline.
+	Window int
+}
+
+// ReplaySeed is the cheap record logged when windowed retirement drops
+// history (Ronsse & De Bosschere's escape hatch): everything needed to
+// re-run the execution offline through the exact post-mortem analysis.
+type ReplaySeed struct {
+	// Program, Model and Seed identify the execution to replay.
+	Program string         `json:"program"`
+	Model   memmodel.Model `json:"model"`
+	Seed    int64          `json:"seed"`
+	// FirstOp and LastOp bound the retired operation IDs: the span of the
+	// stream whose histories were dropped before later operations could
+	// be compared against them.
+	FirstOp int `json:"first_op"`
+	LastOp  int `json:"last_op"`
+	// Retired counts history entries and release clocks dropped.
+	Retired int `json:"retired"`
 }
 
 // Result is the detector's output plus its cost counters.
@@ -49,127 +84,375 @@ type Result struct {
 	// Evictions counts history entries dropped because of HistoryLimit —
 	// each one is a potential missed race.
 	Evictions int
+	// Retired counts history entries and release clocks dropped by
+	// Options.Window — like Evictions, each one is a potential missed
+	// race, but recoverable offline through Replay.
+	Retired int
+	// WindowPairMisses counts acquire-side clock lookups that found no
+	// published release and may have lost it to window retirement (the
+	// observed write's ID falls in the retired span). It is an upper
+	// bound: a lookup for a write the pairing policy never published also
+	// counts when that write is old enough.
+	WindowPairMisses int
+	// PeakLiveAccesses is the high-water mark of history entries held
+	// across all locations; PeakLiveReleases the high-water mark of
+	// published release clocks. Together they pin the detector's
+	// steady-state footprint in tests.
+	PeakLiveAccesses int
+	PeakLiveReleases int
+	// Replay is the replay seed recorded at the first window retirement
+	// (nil when nothing retired): re-running the identified execution
+	// post-mortem recovers every race the window lost.
+	Replay *ReplaySeed
 }
+
+// RaceCount returns the number of distinct data races detected.
+func (r *Result) RaceCount() int { return len(r.Races) }
 
 // histEntry is one remembered access to a location.
 type histEntry struct {
 	epoch vclock.Epoch
 	pc    int
+	id    int // operation ID, for window retirement
 	write bool
 	sync  bool
 }
 
-// history is a bounded FIFO of access entries.
+// history is a bounded FIFO of access entries. Entries before head are
+// retired; add compacts when the dead prefix dominates.
 type history struct {
 	entries []histEntry
+	head    int
 	limit   int
 }
 
+func (h *history) live() []histEntry { return h.entries[h.head:] }
+
 func (h *history) add(e histEntry) (evicted bool) {
-	if h.limit > 0 && len(h.entries) >= h.limit {
-		copy(h.entries, h.entries[1:])
-		h.entries[len(h.entries)-1] = e
+	if h.head > 0 && h.head >= len(h.entries)-h.head {
+		n := copy(h.entries, h.entries[h.head:])
+		h.entries = h.entries[:n]
+		h.head = 0
+	}
+	if h.limit > 0 && len(h.entries)-h.head >= h.limit {
+		live := h.entries[h.head:]
+		copy(live, live[1:])
+		live[len(live)-1] = e
 		return true
 	}
 	h.entries = append(h.entries, e)
 	return false
 }
 
+// popFrontIf retires the oldest live entry when it is the operation id,
+// reporting whether it did (the entry may already be gone to a
+// HistoryLimit eviction).
+func (h *history) popFrontIf(id int) bool {
+	if h.head < len(h.entries) && h.entries[h.head].id == id {
+		h.head++
+		return true
+	}
+	return false
+}
+
+// retireRef remembers where an access or release landed so window
+// retirement can find it in O(1).
+type retireRef struct {
+	id   int  // operation ID
+	at   int  // logical time (operations fed) when recorded
+	loc  int  // location, for access refs
+	read bool // which history, for access refs
+}
+
+// Detector is the incremental on-the-fly detector: construct once per
+// execution (or per wrserve stream), Feed every operation in issue
+// order, then Result. It is not safe for concurrent use; the streaming
+// daemon confines each Detector to one worker goroutine.
+type Detector struct {
+	opts     Options
+	res      *Result
+	syncSeen map[core.LowerLevelRace]bool
+	vcs      []vclock.VC
+	// releaseVC holds the clock published by each pairable sync write,
+	// keyed by op ID. Entries retire exactly (releaseLastUse, batch mode)
+	// or by window discipline (streaming mode) — never grow unbounded.
+	releaseVC map[int]vclock.VC
+	// releaseLastUse maps a published release's op ID to the ID of the
+	// last acquire that observes it; the entry retires right after that
+	// acquire joins it. Supplied by Detect's prepass (the future is known
+	// post-mortem); nil online, where Options.Window bounds the map.
+	releaseLastUse map[int]int
+	reads, writes  []history
+
+	// Window retirement state: FIFOs of recorded accesses and published
+	// releases in logical-time order, plus the retired-span bounds.
+	accessQ       []retireRef
+	accessQHead   int
+	releaseQ      []retireRef
+	releaseQHead  int
+	fed           int // operations fed (logical clock)
+	maxRetiredRel int // highest retired release op ID (-1 none)
+	liveAccesses  int
+	liveReleases  int
+	source        ReplaySeed // identity template for Replay
+	haveSource    bool
+	finished      bool
+}
+
+// NewDetector returns an incremental detector over numCPUs processors and
+// numLocations shared locations.
+func NewDetector(numCPUs, numLocations int, opts Options) *Detector {
+	d := &Detector{
+		opts:          opts,
+		res:           &Result{Races: map[core.LowerLevelRace]bool{}},
+		syncSeen:      map[core.LowerLevelRace]bool{},
+		vcs:           make([]vclock.VC, numCPUs),
+		releaseVC:     map[int]vclock.VC{},
+		reads:         make([]history, numLocations),
+		writes:        make([]history, numLocations),
+		maxRetiredRel: -1,
+	}
+	for c := range d.vcs {
+		d.vcs[c] = vclock.New(numCPUs)
+	}
+	for i := range d.reads {
+		d.reads[i].limit = opts.HistoryLimit
+		d.writes[i].limit = opts.HistoryLimit
+	}
+	return d
+}
+
+// SetSource records the execution identity stamped into the replay seed
+// when window retirement first drops history.
+func (d *Detector) SetSource(program string, model memmodel.Model, seed int64) {
+	d.source = ReplaySeed{Program: program, Model: model, Seed: seed}
+	d.haveSource = true
+}
+
+// LiveReleases returns the number of release clocks currently held.
+func (d *Detector) LiveReleases() int { return len(d.releaseVC) }
+
+// LiveAccesses returns the number of history entries currently held
+// across all locations.
+func (d *Detector) LiveAccesses() int { return d.liveAccesses }
+
+// retire drops everything recorded before the window that ends at the
+// operation about to be fed, logging the replay seed.
+func (d *Detector) retire() {
+	watermark := d.fed - d.opts.Window
+	retired := 0
+	firstID, lastID := -1, -1
+	for d.accessQHead < len(d.accessQ) && d.accessQ[d.accessQHead].at < watermark {
+		ref := d.accessQ[d.accessQHead]
+		d.accessQHead++
+		h := &d.writes[ref.loc]
+		if ref.read {
+			h = &d.reads[ref.loc]
+		}
+		if h.popFrontIf(ref.id) {
+			retired++
+			d.liveAccesses--
+			if firstID < 0 {
+				firstID = ref.id
+			}
+			lastID = ref.id
+		}
+	}
+	for d.releaseQHead < len(d.releaseQ) && d.releaseQ[d.releaseQHead].at < watermark {
+		ref := d.releaseQ[d.releaseQHead]
+		d.releaseQHead++
+		if _, ok := d.releaseVC[ref.id]; ok {
+			delete(d.releaseVC, ref.id)
+			retired++
+			d.liveReleases--
+			if firstID < 0 || ref.id < firstID {
+				firstID = ref.id
+			}
+			if ref.id > lastID {
+				lastID = ref.id
+			}
+		}
+		if ref.id > d.maxRetiredRel {
+			d.maxRetiredRel = ref.id
+		}
+	}
+	if d.accessQHead > 0 && d.accessQHead >= len(d.accessQ)-d.accessQHead {
+		n := copy(d.accessQ, d.accessQ[d.accessQHead:])
+		d.accessQ = d.accessQ[:n]
+		d.accessQHead = 0
+	}
+	if d.releaseQHead > 0 && d.releaseQHead >= len(d.releaseQ)-d.releaseQHead {
+		n := copy(d.releaseQ, d.releaseQ[d.releaseQHead:])
+		d.releaseQ = d.releaseQ[:n]
+		d.releaseQHead = 0
+	}
+	if retired == 0 {
+		return
+	}
+	d.res.Retired += retired
+	if d.res.Replay == nil {
+		seed := d.source // zero identity when SetSource was never called
+		seed.FirstOp = firstID
+		d.res.Replay = &seed
+	}
+	d.res.Replay.Retired += retired
+	if lastID > d.res.Replay.LastOp {
+		d.res.Replay.LastOp = lastID
+	}
+}
+
+// Feed processes one operation. Operations must arrive in issue order
+// (ascending ID); wrserve's stream framing and Detect's sortedness check
+// both guarantee it.
+func (d *Detector) Feed(op sim.MemOp) {
+	if d.opts.Window > 0 {
+		d.retire()
+	}
+	c := op.CPU
+	res := d.res
+	res.OpsProcessed++
+
+	// Acquire: import the pairing release's clock before checking the
+	// acquire's own access.
+	if op.Kind == sim.OpAcquireRead && op.ObservedWrite >= 0 {
+		if vc, ok := d.releaseVC[op.ObservedWrite]; ok {
+			d.vcs[c].Join(vc)
+			if lu, exact := d.releaseLastUse[op.ObservedWrite]; exact && op.ID >= lu {
+				delete(d.releaseVC, op.ObservedWrite)
+				d.liveReleases--
+			}
+		} else if d.opts.Window > 0 && op.ObservedWrite <= d.maxRetiredRel {
+			res.WindowPairMisses++
+		}
+	}
+
+	// Race checks against the remembered accesses.
+	sync := op.Kind.IsSync()
+	check := func(h *history) {
+		for _, ent := range h.live() {
+			res.Comparisons++
+			if ent.epoch.P == c {
+				continue // same processor: program-ordered
+			}
+			if ent.epoch.Covered(d.vcs[c]) {
+				continue // ordered by hb1
+			}
+			ll := core.LowerLevelRace{
+				Loc:     op.Loc,
+				X:       sim.StaticOp{CPU: ent.epoch.P, PC: ent.pc, Loc: op.Loc},
+				Y:       sim.StaticOp{CPU: c, PC: op.PC, Loc: op.Loc},
+				XWrites: ent.write, YWrites: op.Kind.IsWrite(),
+			}.Canonical()
+			if ent.sync && sync {
+				d.syncSeen[ll] = true
+				continue
+			}
+			res.Races[ll] = true
+		}
+	}
+	if op.Kind.IsRead() {
+		check(&d.writes[op.Loc])
+	} else {
+		check(&d.writes[op.Loc])
+		check(&d.reads[op.Loc])
+	}
+
+	// Record this access.
+	ent := histEntry{
+		epoch: vclock.Epoch{P: c, C: d.vcs[c].Get(c) + 1},
+		pc:    op.PC,
+		id:    op.ID,
+		write: op.Kind.IsWrite(),
+		sync:  sync,
+	}
+	var evicted bool
+	if op.Kind.IsRead() {
+		evicted = d.reads[op.Loc].add(ent)
+	} else {
+		evicted = d.writes[op.Loc].add(ent)
+	}
+	if evicted {
+		res.Evictions++
+	} else {
+		d.liveAccesses++
+		if d.liveAccesses > res.PeakLiveAccesses {
+			res.PeakLiveAccesses = d.liveAccesses
+		}
+	}
+	if d.opts.Window > 0 {
+		d.accessQ = append(d.accessQ, retireRef{id: op.ID, at: d.fed, loc: int(op.Loc), read: op.Kind.IsRead()})
+	}
+
+	// Release: publish the clock covering everything up to and
+	// including this operation.
+	d.vcs[c].Tick(c)
+	if op.Kind.IsWrite() && op.Kind.IsSync() && d.opts.Pairing.CanPair(op.Kind.Role()) {
+		// With the exact retirement map a release no acquire ever
+		// observes is never published at all.
+		publish := true
+		if d.releaseLastUse != nil {
+			_, publish = d.releaseLastUse[op.ID]
+		}
+		if publish {
+			d.releaseVC[op.ID] = d.vcs[c].Clone()
+			d.liveReleases++
+			if d.liveReleases > res.PeakLiveReleases {
+				res.PeakLiveReleases = d.liveReleases
+			}
+			if d.opts.Window > 0 {
+				d.releaseQ = append(d.releaseQ, retireRef{id: op.ID, at: d.fed})
+			}
+		}
+	}
+	d.fed++
+}
+
+// Result finalizes and returns the detector's output. Feed must not be
+// called afterwards.
+func (d *Detector) Result() *Result {
+	if !d.finished {
+		d.res.SyncRaces = len(d.syncSeen)
+		d.finished = true
+	}
+	return d.res
+}
+
 // Detect runs the on-the-fly algorithm over the execution's operations in
 // issue order (the order the instrumented processors would observe them).
 func Detect(e *sim.Execution, opts Options) *Result {
 	defer telemetry.Default().StartSpan("onthefly.detect").End()
-	res := &Result{Races: map[core.LowerLevelRace]bool{}}
-	// syncSeen dedupes synchronization races by static identity; a spin
-	// loop re-comparing the same lock accesses must count one race, not
-	// one per history comparison.
-	syncSeen := map[core.LowerLevelRace]bool{}
-	vcs := make([]vclock.VC, e.NumCPUs)
-	for c := range vcs {
-		vcs[c] = vclock.New(e.NumCPUs)
-	}
-	// releaseVC holds the clock published by each pairable sync write.
-	releaseVC := map[int]vclock.VC{}
-	reads := make([]history, e.NumLocations)
-	writes := make([]history, e.NumLocations)
-	for i := range reads {
-		reads[i].limit = opts.HistoryLimit
-		writes[i].limit = opts.HistoryLimit
+	d := NewDetector(e.NumCPUs, e.NumLocations, opts)
+	d.SetSource(e.ProgramName, e.Model, e.Seed)
+
+	// Operations in global issue order: IDs are already that order, so a
+	// linear sortedness check replaces the unconditional copy+sort; the
+	// copy survives only for out-of-order inputs.
+	ops := e.Ops
+	for i := 1; i < len(ops); i++ {
+		if ops[i].ID < ops[i-1].ID {
+			sorted := make([]sim.MemOp, len(e.Ops))
+			copy(sorted, e.Ops)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+			ops = sorted
+			break
+		}
 	}
 
-	// Operations in global issue order: IDs are already that order.
-	ops := make([]sim.MemOp, len(e.Ops))
-	copy(ops, e.Ops)
-	sort.Slice(ops, func(i, j int) bool { return ops[i].ID < ops[j].ID })
+	// Post-mortem the future is known: record, per published release, the
+	// last acquire that observes it, so its clock retires immediately
+	// after that join and the releaseVC map holds only live entries.
+	lastUse := make(map[int]int)
+	for _, op := range ops {
+		if op.Kind == sim.OpAcquireRead && op.ObservedWrite >= 0 {
+			lastUse[op.ObservedWrite] = op.ID // ascending IDs: final write wins
+		}
+	}
+	d.releaseLastUse = lastUse
 
 	for _, op := range ops {
-		c := op.CPU
-		res.OpsProcessed++
-
-		// Acquire: import the pairing release's clock before checking the
-		// acquire's own access.
-		if op.Kind == sim.OpAcquireRead && op.ObservedWrite >= 0 {
-			if vc, ok := releaseVC[op.ObservedWrite]; ok {
-				vcs[c].Join(vc)
-			}
-		}
-
-		// Race checks against the remembered accesses.
-		sync := op.Kind.IsSync()
-		check := func(h *history) {
-			for _, ent := range h.entries {
-				res.Comparisons++
-				if ent.epoch.P == c {
-					continue // same processor: program-ordered
-				}
-				if ent.epoch.Covered(vcs[c]) {
-					continue // ordered by hb1
-				}
-				ll := core.LowerLevelRace{
-					Loc:     op.Loc,
-					X:       sim.StaticOp{CPU: ent.epoch.P, PC: ent.pc, Loc: op.Loc},
-					Y:       sim.StaticOp{CPU: c, PC: op.PC, Loc: op.Loc},
-					XWrites: ent.write, YWrites: op.Kind.IsWrite(),
-				}.Canonical()
-				if ent.sync && sync {
-					syncSeen[ll] = true
-					continue
-				}
-				res.Races[ll] = true
-			}
-		}
-		if op.Kind.IsRead() {
-			check(&writes[op.Loc])
-		} else {
-			check(&writes[op.Loc])
-			check(&reads[op.Loc])
-		}
-
-		// Record this access.
-		ent := histEntry{
-			epoch: vclock.Epoch{P: c, C: vcs[c].Get(c) + 1},
-			pc:    op.PC,
-			write: op.Kind.IsWrite(),
-			sync:  sync,
-		}
-		var evicted bool
-		if op.Kind.IsRead() {
-			evicted = reads[op.Loc].add(ent)
-		} else {
-			evicted = writes[op.Loc].add(ent)
-		}
-		if evicted {
-			res.Evictions++
-		}
-
-		// Release: publish the clock covering everything up to and
-		// including this operation.
-		vcs[c].Tick(c)
-		if op.Kind.IsWrite() && op.Kind.IsSync() && opts.Pairing.CanPair(op.Kind.Role()) {
-			releaseVC[op.ID] = vcs[c].Clone()
-		}
+		d.Feed(op)
 	}
-	res.SyncRaces = len(syncSeen)
+	res := d.Result()
 	if reg := telemetry.Default(); reg.Enabled() {
 		reg.Counter("onthefly.detections").Inc()
 		reg.Counter("onthefly.ops").Add(int64(res.OpsProcessed))
@@ -177,9 +460,7 @@ func Detect(e *sim.Execution, opts Options) *Result {
 		reg.Counter("onthefly.races").Add(int64(len(res.Races)))
 		reg.Counter("onthefly.sync_races").Add(int64(res.SyncRaces))
 		reg.Counter("onthefly.evictions").Add(int64(res.Evictions))
+		reg.Counter("onthefly.retired").Add(int64(res.Retired))
 	}
 	return res
 }
-
-// RaceCount returns the number of distinct data races detected.
-func (r *Result) RaceCount() int { return len(r.Races) }

@@ -1,0 +1,81 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+)
+
+// SendOptions tunes one client stream.
+type SendOptions struct {
+	// BatchSize is the operations per wire batch. Default 512.
+	BatchSize int
+	// Delay inserts a pause between batches — the load generator's
+	// throttle for long-lived-stream soaks. 0 = as fast as possible.
+	Delay time.Duration
+	// Timeout bounds the whole exchange (dial to summary). 0 = none.
+	Timeout time.Duration
+}
+
+// Send streams an execution to a wrserve daemon at addr and returns the
+// server's summary. It is the reference client: wrclient, the tests,
+// and the CI soak all go through it.
+func Send(addr string, e *sim.Execution, opts SendOptions) (*Summary, error) {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 512
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout(opts.Timeout))
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial: %w", err)
+	}
+	defer conn.Close()
+	if opts.Timeout > 0 {
+		conn.SetDeadline(time.Now().Add(opts.Timeout)) //nolint:errcheck
+	}
+
+	sw, err := trace.NewStreamWriter(conn, trace.StreamHeader{
+		ProgramName:  e.ProgramName,
+		Model:        e.Model,
+		Seed:         e.Seed,
+		NumCPUs:      e.NumCPUs,
+		NumLocations: e.NumLocations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for start := 0; start < len(e.Ops); start += opts.BatchSize {
+		end := start + opts.BatchSize
+		if end > len(e.Ops) {
+			end = len(e.Ops)
+		}
+		if err := sw.WriteBatch(e.Ops[start:end]); err != nil {
+			return nil, err
+		}
+		if opts.Delay > 0 && end < len(e.Ops) {
+			time.Sleep(opts.Delay)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return nil, err
+	}
+
+	var sum Summary
+	if err := json.NewDecoder(conn).Decode(&sum); err != nil {
+		return nil, fmt.Errorf("stream: reading summary: %w", err)
+	}
+	if sum.Err != "" {
+		return &sum, fmt.Errorf("stream: server reported: %s", sum.Err)
+	}
+	return &sum, nil
+}
+
+func dialTimeout(t time.Duration) time.Duration {
+	if t > 0 {
+		return t
+	}
+	return 30 * time.Second
+}

@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"weakrace/internal/onthefly"
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+)
+
+// handleConn is one client's reader: decode the header, register the
+// stream on its shard, pump batches into the bounded queue, and — after
+// the worker finalizes — write the summary back on the same connection.
+//
+// Error isolation is the invariant here: every failure path is local to
+// this connection. A malformed batch, a lying length prefix, or a
+// vanished client closes and accounts for this stream only; the decode
+// error never reaches the worker as anything but a clean sentinel, and
+// no shared state is touched outside the registry counters.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	sr, err := trace.NewStreamReader(conn)
+	if err != nil {
+		// No header, no stream: nothing to register or finalize.
+		s.reg.Counter("stream.streams_errored").Inc()
+		writeErrorResponse(conn, err)
+		return
+	}
+	st := s.register(sr.Header(), conn.RemoteAddr().String())
+	w := s.workers[st.id%uint64(len(s.workers))]
+
+	var readErr error
+	var ops []sim.MemOp
+	for {
+		ops, err = sr.Next(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+		st.received.Add(int64(len(ops)))
+		st.batches.Add(1)
+		// Bounded queue then per-batch token: a full queue blocks here,
+		// which stops reading this connection and lets TCP throttle the
+		// client. Order per stream is the send order of the tokens.
+		st.q <- ops
+		w.ready <- st
+	}
+
+	st.mu.Lock()
+	st.readErr = readErr
+	st.mu.Unlock()
+
+	// Sentinel: the worker processes every queued batch first (tokens
+	// are FIFO), then finalizes the summary and closes done.
+	st.q <- nil
+	w.ready <- st
+	<-st.done
+
+	st.mu.Lock()
+	summary := st.summary
+	st.mu.Unlock()
+	if readErr != nil {
+		s.reg.Counter("stream.streams_errored").Inc()
+		if errIsTruncation(readErr) {
+			s.reg.Counter("stream.streams_truncated").Inc()
+		}
+	}
+	// Best-effort response; the client may already be gone.
+	enc := json.NewEncoder(conn)
+	enc.Encode(summary) //nolint:errcheck
+}
+
+// register allocates the stream, its detector, and its queue, and
+// exposes it to /streams.
+func (s *Server) register(hdr trace.StreamHeader, remote string) *stream {
+	det := onthefly.NewDetector(hdr.NumCPUs, hdr.NumLocations, onthefly.Options{
+		HistoryLimit: s.opts.HistoryLimit,
+		Pairing:      s.opts.Pairing,
+		Window:       s.opts.Window,
+	})
+	det.SetSource(hdr.ProgramName, hdr.Model, hdr.Seed)
+	s.mu.Lock()
+	s.nextID++
+	st := &stream{
+		id:     s.nextID,
+		hdr:    hdr,
+		remote: remote,
+		opened: time.Now(),
+		q:      make(chan []sim.MemOp, s.opts.QueueDepth),
+		done:   make(chan struct{}),
+		det:    det,
+	}
+	s.live[st.id] = st
+	s.mu.Unlock()
+	s.reg.Counter("stream.streams_opened").Inc()
+	s.reg.Gauge("stream.streams_active").Set(int64(s.liveCount()))
+	return st
+}
+
+func (s *Server) liveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.live)
+}
+
+// unregister moves a finished stream into the closed ring.
+func (s *Server) unregister(st *stream, sum *Summary) {
+	s.mu.Lock()
+	delete(s.live, st.id)
+	s.closed = append(s.closed, sum)
+	if len(s.closed) > closedRingCap {
+		s.closed = s.closed[len(s.closed)-closedRingCap:]
+	}
+	s.mu.Unlock()
+	s.reg.Counter("stream.streams_closed").Inc()
+	s.reg.Gauge("stream.streams_active").Set(int64(s.liveCount()))
+}
+
+func writeErrorResponse(w io.Writer, err error) {
+	enc := json.NewEncoder(w)
+	enc.Encode(&Summary{Err: err.Error()}) //nolint:errcheck
+}
+
+// errIsTruncation reports a client that vanished without the
+// end-of-stream marker — accounted separately from malformed input.
+func errIsTruncation(err error) bool {
+	return errors.Is(err, trace.ErrStreamTruncated)
+}

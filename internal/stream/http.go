@@ -1,0 +1,60 @@
+package stream
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// StreamInfo is one live stream's row in the /streams document.
+type StreamInfo struct {
+	StreamID      uint64  `json:"stream_id"`
+	Remote        string  `json:"remote"`
+	Program       string  `json:"program"`
+	Model         string  `json:"model"`
+	Seed          int64   `json:"seed"`
+	AgeSeconds    float64 `json:"age_seconds"`
+	Received      int64   `json:"received"`
+	Processed     int64   `json:"processed"`
+	Batches       int64   `json:"batches"`
+	QueuedBatches int     `json:"queued_batches"`
+}
+
+// StreamsDoc is the /streams document: live streams plus the most
+// recently finished summaries.
+type StreamsDoc struct {
+	Live     []StreamInfo `json:"live"`
+	Finished []*Summary   `json:"finished"`
+}
+
+// StreamsHandler serves per-stream detail as JSON — the complement to
+// the aggregate stream.* counters on /metrics and /status. wrserve
+// mounts it next to the obs plane.
+func (s *Server) StreamsHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		s.mu.Lock()
+		doc := StreamsDoc{Finished: append([]*Summary(nil), s.closed...)}
+		for _, st := range s.live {
+			doc.Live = append(doc.Live, StreamInfo{
+				StreamID:      st.id,
+				Remote:        st.remote,
+				Program:       st.hdr.ProgramName,
+				Model:         st.hdr.Model.String(),
+				Seed:          st.hdr.Seed,
+				AgeSeconds:    now.Sub(st.opened).Seconds(),
+				Received:      st.received.Load(),
+				Processed:     st.processed.Load(),
+				Batches:       st.batches.Load(),
+				QueuedBatches: len(st.q),
+			})
+		}
+		s.mu.Unlock()
+		sort.Slice(doc.Live, func(i, j int) bool { return doc.Live[i].StreamID < doc.Live[j].StreamID })
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc) //nolint:errcheck
+	}
+}

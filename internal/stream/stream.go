@@ -1,0 +1,251 @@
+// Package stream is the serving core of the wrserve daemon: a TCP
+// ingest plane that accepts many concurrent client connections, each
+// carrying one execution's operations in the WRS1 incremental framing
+// (internal/trace), and runs the incremental on-the-fly detector
+// (onthefly.Detector — per-processor vector clocks advanced
+// event-by-event, the online form of the graph.Timestamps pass) over
+// every stream with bounded memory.
+//
+// Scaling shape: streams are sharded across a fixed worker pool, each
+// stream pinned to one worker so its detector state is confined to a
+// single goroutine and needs no locks. Between a connection's reader
+// and its worker sits a bounded per-stream batch queue — when a
+// detector falls behind, the reader blocks on the queue and TCP flow
+// control throttles that client; slow clients are throttled, never
+// dropped, and one stream's backlog never stalls another stream's
+// reader. Memory is bounded per stream by Options.Window: the detector
+// retires events that fall out of the window and records a replay seed
+// (Ronsse & De Bosschere) identifying the execution for offline
+// post-mortem re-analysis — the §5 bounded-buffer trade made
+// operational.
+//
+// The observability contract: every counter lands in the telemetry
+// registry (stream.* namespace) so the internal/obs HTTP plane serves
+// live metrics unchanged; races stream onto the obs Publisher as they
+// are found; StreamsHandler serves the per-stream detail the aggregate
+// counters can't carry.
+package stream
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/obs"
+	"weakrace/internal/onthefly"
+	"weakrace/internal/sim"
+	"weakrace/internal/telemetry"
+	"weakrace/internal/trace"
+)
+
+// Options configures the ingest server. The zero value listens on a
+// random port with GOMAXPROCS workers and exact (unbounded) detection.
+type Options struct {
+	// Addr is the TCP listen address; ":0" (default) picks a free port.
+	Addr string
+	// Workers is the detection worker-pool size. Streams are sharded
+	// across workers by stream ID. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds each stream's pending-batch queue; a full queue
+	// blocks that stream's connection reader (TCP backpressure).
+	// Default 8.
+	QueueDepth int
+	// Window bounds per-stream detector memory by event retirement
+	// (onthefly.Options.Window). 0 = unbounded, exact detection.
+	Window int
+	// HistoryLimit bounds per-location access histories
+	// (onthefly.Options.HistoryLimit). 0 = unbounded.
+	HistoryLimit int
+	// Pairing is the synchronization pairing policy for every stream.
+	Pairing memmodel.PairingPolicy
+	// Registry receives stream.* telemetry. Default telemetry.Default().
+	Registry *telemetry.Registry
+	// Publisher receives race-found events for the obs /events stream.
+	// Nil is fine (publishes are discarded).
+	Publisher *obs.Publisher
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = ":0"
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.Registry == nil {
+		o.Registry = telemetry.Default()
+	}
+	return o
+}
+
+// Summary is the JSON document the server sends back on a stream's
+// connection after its end-of-stream marker: the stream's detection
+// result, with races rendered canonically (sorted strings) so clients
+// can compare byte-for-byte against an oracle.
+type Summary struct {
+	StreamID uint64 `json:"stream_id"`
+	Program  string `json:"program"`
+	Model    string `json:"model"`
+	Seed     int64  `json:"seed"`
+	Events   int    `json:"events"`
+	Batches  int    `json:"batches"`
+
+	Races     []string `json:"races"`
+	RaceCount int      `json:"race_count"`
+	SyncRaces int      `json:"sync_races"`
+
+	Comparisons      int `json:"comparisons"`
+	Evictions        int `json:"evictions"`
+	Window           int `json:"window"`
+	Retired          int `json:"retired"`
+	WindowPairMisses int `json:"window_pair_misses"`
+
+	Replay *onthefly.ReplaySeed `json:"replay,omitempty"`
+	Err    string               `json:"error,omitempty"`
+}
+
+// stream is one client connection's state. The reader goroutine owns
+// the decode side; the pinned worker owns the detector; the bounded
+// queue plus a per-batch token in the worker's ready channel connect
+// them in order.
+type stream struct {
+	id     uint64
+	hdr    trace.StreamHeader
+	remote string
+	opened time.Time
+
+	// q carries decoded batches to the pinned worker; a nil batch is
+	// the end-of-stream sentinel that triggers finalization.
+	q    chan []sim.MemOp
+	done chan struct{}
+
+	det *onthefly.Detector
+
+	received  atomic.Int64 // ops decoded off the wire
+	processed atomic.Int64 // ops fed to the detector
+	batches   atomic.Int64
+
+	mu      sync.Mutex
+	summary *Summary // set by the worker at finish, read by /streams
+	readErr error    // decode-side error, folded into the summary
+}
+
+// Server is the ingest daemon.
+type Server struct {
+	opts    Options
+	reg     *telemetry.Registry
+	pub     *obs.Publisher
+	ln      net.Listener
+	workers []*worker
+
+	mu      sync.Mutex
+	live    map[uint64]*stream
+	closed  []*Summary // ring of recently finished streams
+	conns   map[net.Conn]struct{}
+	nextID  uint64
+	closing bool
+
+	wg        sync.WaitGroup // connection readers
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// closedRingCap bounds the recently-finished summaries kept for /streams.
+const closedRingCap = 64
+
+// Serve starts the ingest plane: listen, accept, shard, detect.
+func Serve(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	s := &Server{
+		opts:  opts,
+		reg:   opts.Registry,
+		pub:   opts.Publisher,
+		ln:    ln,
+		live:  map[uint64]*stream{},
+		conns: map[net.Conn]struct{}{},
+	}
+	// Creating the gauges up front makes the stream block appear in
+	// /status from the first scrape, races-so-far zero included.
+	s.reg.Gauge("stream.streams_active").Set(0)
+	s.reg.Gauge("stream.window").Set(int64(opts.Window))
+	s.reg.Counter("stream.streams_opened")
+	s.reg.Counter("stream.streams_closed")
+	s.reg.Counter("stream.streams_errored")
+	s.reg.Counter("stream.streams_dropped") // never incremented by design; CI asserts 0
+	s.reg.Counter("stream.events")
+	s.reg.Counter("stream.races")
+
+	s.workers = make([]*worker, opts.Workers)
+	for i := range s.workers {
+		w := &worker{ready: make(chan *stream, opts.Workers*opts.QueueDepth*4)}
+		s.workers[i] = w
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			w.run(s)
+		}()
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	return s, nil
+}
+
+// Addr returns the bound ingest address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, severs open connections, and drains the
+// worker pool. Safe to call more than once.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closing = true
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		err = s.ln.Close()
+		s.wg.Wait() // readers flush their sentinels before workers stop
+		for _, w := range s.workers {
+			close(w.ready)
+		}
+		s.workerWG.Wait()
+	})
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}

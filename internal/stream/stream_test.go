@@ -1,0 +1,490 @@
+package stream
+
+import (
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/onthefly"
+	"weakrace/internal/sim"
+	"weakrace/internal/telemetry"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+// runCorpusEntry simulates one corpus trace for streaming.
+func runCorpusEntry(t *testing.T, c workload.CorpusEntry) *sim.Execution {
+	t.Helper()
+	r, err := sim.Run(c.Workload.Prog, sim.Config{Model: c.Model, Seed: c.Seed, InitMemory: c.Workload.InitMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Exec
+}
+
+// oracleRaces is the byte-comparable race list the server should
+// reproduce for an execution at window=∞: unbounded onthefly.Detect,
+// rendered and sorted exactly as worker.finish does.
+func oracleRaces(e *sim.Execution, opts onthefly.Options) []string {
+	res := onthefly.Detect(e, opts)
+	races := make([]string, 0, len(res.Races))
+	for ll := range res.Races {
+		races = append(races, ll.String())
+	}
+	sort.Strings(races)
+	return races
+}
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.Registry == nil {
+		opts.Registry = telemetry.NewRegistry()
+		opts.Registry.SetEnabled(true)
+	}
+	s, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// A single streamed execution must come back with the exact races the
+// in-process detector finds, byte for byte.
+func TestStreamMatchesDetect(t *testing.T) {
+	s := newTestServer(t, Options{})
+	c := workload.Corpus(1, 1)[0]
+	e := runCorpusEntry(t, c)
+
+	sum, err := Send(s.Addr(), e, SendOptions{BatchSize: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleRaces(e, onthefly.Options{})
+	if !reflect.DeepEqual(sum.Races, want) {
+		t.Fatalf("streamed races differ from Detect:\n got %v\nwant %v", sum.Races, want)
+	}
+	if sum.Events != len(e.Ops) {
+		t.Fatalf("events: got %d want %d", sum.Events, len(e.Ops))
+	}
+	if sum.Program != e.ProgramName || sum.Model != e.Model.String() || sum.Seed != e.Seed {
+		t.Fatalf("summary identity mismatch: %+v", sum)
+	}
+	if sum.Replay != nil {
+		t.Fatalf("unbounded stream should not need a replay seed: %+v", sum.Replay)
+	}
+}
+
+// Many concurrent clients over real TCP: every stream's summary must
+// match its own oracle, no stream may be dropped, and the aggregate
+// counters must balance.
+func TestConcurrentStreams(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.SetEnabled(true)
+	s := newTestServer(t, Options{Registry: reg, Workers: 4, QueueDepth: 2})
+
+	corpus := workload.Corpus(24, 7)
+	execs := make([]*sim.Execution, len(corpus))
+	for i, c := range corpus {
+		execs[i] = runCorpusEntry(t, c)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(execs))
+	sums := make([]*Summary, len(execs))
+	for i := range execs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Tiny batches and a sub-millisecond delay keep many streams
+			// alive at once so sharding and backpressure actually engage.
+			sums[i], errs[i] = Send(s.Addr(), execs[i], SendOptions{BatchSize: 3, Delay: 100 * time.Microsecond})
+		}(i)
+	}
+	wg.Wait()
+
+	totalOps := 0
+	for i := range execs {
+		if errs[i] != nil {
+			t.Fatalf("stream %d: %v", i, errs[i])
+		}
+		want := oracleRaces(execs[i], onthefly.Options{})
+		if !reflect.DeepEqual(sums[i].Races, want) {
+			t.Fatalf("stream %d races differ:\n got %v\nwant %v", i, sums[i].Races, want)
+		}
+		totalOps += len(execs[i].Ops)
+	}
+
+	if got := reg.Counter("stream.streams_opened").Value(); got != int64(len(execs)) {
+		t.Fatalf("streams_opened = %d, want %d", got, len(execs))
+	}
+	if got := reg.Counter("stream.streams_closed").Value(); got != int64(len(execs)) {
+		t.Fatalf("streams_closed = %d, want %d", got, len(execs))
+	}
+	if got := reg.Counter("stream.streams_dropped").Value(); got != 0 {
+		t.Fatalf("streams_dropped = %d, want 0", got)
+	}
+	if got := reg.Counter("stream.events").Value(); got != int64(totalOps) {
+		t.Fatalf("events counter = %d, want %d", got, totalOps)
+	}
+	if got := reg.Gauge("stream.streams_active").Value(); got != 0 {
+		t.Fatalf("streams_active = %d after drain, want 0", got)
+	}
+}
+
+// One misbehaving client — garbage header, lying batch payload, or a
+// vanished connection — must never poison concurrent well-formed
+// streams or take the server down.
+func TestBadClientIsolation(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.SetEnabled(true)
+	s := newTestServer(t, Options{Registry: reg, Workers: 2})
+
+	c := workload.Corpus(2, 3)[1]
+	e := runCorpusEntry(t, c)
+	want := oracleRaces(e, onthefly.Options{})
+
+	var wg sync.WaitGroup
+	badClients := []func(conn net.Conn){
+		func(conn net.Conn) { // garbage magic
+			conn.Write([]byte("NOPE this is not a stream"))
+			conn.Close()
+		},
+		func(conn net.Conn) { // valid header, then garbage batch
+			sw, err := trace.NewStreamWriter(conn, trace.StreamHeader{
+				ProgramName: "bad", Model: e.Model, NumCPUs: 2, NumLocations: 2,
+			})
+			if err != nil {
+				return
+			}
+			_ = sw
+			conn.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+			conn.Close()
+		},
+		func(conn net.Conn) { // header then vanish mid-stream (truncation)
+			sw, err := trace.NewStreamWriter(conn, trace.StreamHeader{
+				ProgramName: "trunc", Model: e.Model, NumCPUs: e.NumCPUs, NumLocations: e.NumLocations,
+			})
+			if err != nil {
+				return
+			}
+			sw.WriteBatch(e.Ops[:4]) //nolint:errcheck
+			conn.Close()             // no end-of-stream marker
+		},
+	}
+	for _, bad := range badClients {
+		wg.Add(1)
+		go func(bad func(net.Conn)) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bad(conn)
+		}(bad)
+	}
+	goodSums := make([]*Summary, 8)
+	goodErrs := make([]error, 8)
+	for i := range goodSums {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			goodSums[i], goodErrs[i] = Send(s.Addr(), e, SendOptions{BatchSize: 5, Delay: 50 * time.Microsecond})
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range goodSums {
+		if goodErrs[i] != nil {
+			t.Fatalf("good stream %d failed next to bad clients: %v", i, goodErrs[i])
+		}
+		if !reflect.DeepEqual(goodSums[i].Races, want) {
+			t.Fatalf("good stream %d races poisoned:\n got %v\nwant %v", i, goodSums[i].Races, want)
+		}
+	}
+	// Give the errored readers a beat to finish accounting: their
+	// connections closed before the good streams' summaries flushed.
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("stream.streams_errored").Value() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Counter("stream.streams_errored").Value(); got < 3 {
+		t.Fatalf("streams_errored = %d, want >= 3", got)
+	}
+	if got := reg.Counter("stream.streams_truncated").Value(); got < 1 {
+		t.Fatalf("streams_truncated = %d, want >= 1", got)
+	}
+	if got := reg.Counter("stream.streams_dropped").Value(); got != 0 {
+		t.Fatalf("streams_dropped = %d, want 0", got)
+	}
+}
+
+// A truncated stream still yields a summary for the ops that made it
+// across, with the error recorded — the flight doesn't lose the data it
+// already has.
+func TestTruncatedStreamSummarizes(t *testing.T) {
+	s := newTestServer(t, Options{})
+	c := workload.Corpus(2, 5)[0]
+	e := runCorpusEntry(t, c)
+	if len(e.Ops) < 8 {
+		t.Fatalf("corpus entry too small: %d ops", len(e.Ops))
+	}
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sw, err := trace.NewStreamWriter(conn, trace.StreamHeader{
+		ProgramName: e.ProgramName, Model: e.Model, Seed: e.Seed,
+		NumCPUs: e.NumCPUs, NumLocations: e.NumLocations,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteBatch(e.Ops[:8]); err != nil {
+		t.Fatal(err)
+	}
+	// Half-close: the server sees EOF with no end marker (truncation)
+	// but can still write the summary back.
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	var sum Summary
+	if err := json.NewDecoder(conn).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Err == "" {
+		t.Fatal("truncated stream's summary carries no error")
+	}
+	if sum.Events != 8 {
+		t.Fatalf("truncated stream processed %d events, want 8", sum.Events)
+	}
+}
+
+// Window mode over the wire: memory-bounded detection with a replay
+// seed, and no invented races relative to the exact detector.
+func TestWindowedStream(t *testing.T) {
+	s := newTestServer(t, Options{Window: 16})
+	w := workload.Random(workload.RandomParams{
+		Seed: 11, CPUs: 4, Segments: 16, OpsPerSegment: 5,
+		Locks: 2, UnlockedFraction: 0.4, SharedFraction: 0.7,
+	})
+	r, err := sim.Run(w.Prog, sim.Config{Model: memmodel.WO, Seed: 11, InitMemory: w.InitMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := r.Exec
+
+	sum, err := Send(s.Addr(), e, SendOptions{BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Window != 16 {
+		t.Fatalf("summary window = %d, want 16", sum.Window)
+	}
+	if sum.Retired == 0 {
+		t.Fatal("large execution through window 16 retired nothing")
+	}
+	if sum.Replay == nil {
+		t.Fatal("retiring stream carries no replay seed")
+	}
+	if sum.Replay.Retired != sum.Retired || sum.Replay.Seed != e.Seed {
+		t.Fatalf("replay seed inconsistent: %+v vs retired=%d seed=%d", sum.Replay, sum.Retired, e.Seed)
+	}
+	exact := map[string]bool{}
+	for _, race := range oracleRaces(e, onthefly.Options{}) {
+		exact[race] = true
+	}
+	for _, race := range sum.Races {
+		if !exact[race] {
+			t.Fatalf("windowed stream invented race %s", race)
+		}
+	}
+}
+
+// Backpressure under the tightest configuration: one worker, queue
+// depth one, many tiny batches. The reader must throttle, not drop,
+// and the result must stay exact.
+func TestBackpressureTightQueue(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.SetEnabled(true)
+	s := newTestServer(t, Options{Registry: reg, Workers: 1, QueueDepth: 1})
+	c := workload.Corpus(4, 9)[2]
+	e := runCorpusEntry(t, c)
+
+	var wg sync.WaitGroup
+	sums := make([]*Summary, 6)
+	errs := make([]error, 6)
+	for i := range sums {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sums[i], errs[i] = Send(s.Addr(), e, SendOptions{BatchSize: 1})
+		}(i)
+	}
+	wg.Wait()
+	want := oracleRaces(e, onthefly.Options{})
+	for i := range sums {
+		if errs[i] != nil {
+			t.Fatalf("stream %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(sums[i].Races, want) {
+			t.Fatalf("stream %d races differ under backpressure", i)
+		}
+		if sums[i].Batches != len(e.Ops) {
+			t.Fatalf("stream %d: %d batches, want %d (batch size 1)", i, sums[i].Batches, len(e.Ops))
+		}
+	}
+	if got := reg.Counter("stream.streams_dropped").Value(); got != 0 {
+		t.Fatalf("streams_dropped = %d, want 0", got)
+	}
+}
+
+// The /streams document lists finished summaries and parses as JSON.
+func TestStreamsHandler(t *testing.T) {
+	s := newTestServer(t, Options{})
+	c := workload.Corpus(1, 2)[0]
+	e := runCorpusEntry(t, c)
+	for i := 0; i < 3; i++ {
+		if _, err := Send(s.Addr(), e, SendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.StreamsHandler()(rec, httptest.NewRequest("GET", "/streams", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /streams: %d", rec.Code)
+	}
+	var doc StreamsDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/streams not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(doc.Finished) != 3 {
+		t.Fatalf("finished = %d, want 3", len(doc.Finished))
+	}
+	if len(doc.Live) != 0 {
+		t.Fatalf("live = %d after drain, want 0", len(doc.Live))
+	}
+	for _, sum := range doc.Finished {
+		if sum.Program != e.ProgramName {
+			t.Fatalf("finished summary program = %q, want %q", sum.Program, e.ProgramName)
+		}
+	}
+}
+
+// The closed ring is bounded: flooding more streams than closedRingCap
+// keeps only the most recent ones.
+func TestClosedRingBounded(t *testing.T) {
+	s := newTestServer(t, Options{})
+	c := workload.Corpus(1, 4)[0]
+	e := runCorpusEntry(t, c)
+	n := closedRingCap + 8
+	for i := 0; i < n; i++ {
+		if _, err := Send(s.Addr(), e, SendOptions{BatchSize: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.StreamsHandler()(rec, httptest.NewRequest("GET", "/streams", nil))
+	var doc StreamsDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Finished) != closedRingCap {
+		t.Fatalf("finished ring = %d, want %d", len(doc.Finished), closedRingCap)
+	}
+	// Ring keeps the latest: the highest stream IDs.
+	minID := doc.Finished[0].StreamID
+	for _, sum := range doc.Finished {
+		if sum.StreamID < minID {
+			minID = sum.StreamID
+		}
+	}
+	if minID != uint64(n-closedRingCap+1) {
+		t.Fatalf("ring evicted wrong end: min stream id %d, want %d", minID, n-closedRingCap+1)
+	}
+}
+
+// Close is clean while clients are mid-stream: no hangs, no panics.
+func TestCloseWithLiveStreams(t *testing.T) {
+	s := newTestServer(t, Options{})
+	c := workload.Corpus(1, 6)[0]
+	e := runCorpusEntry(t, c)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Slow drip so Close lands mid-stream; errors are expected.
+			Send(s.Addr(), e, SendOptions{BatchSize: 1, Delay: 2 * time.Millisecond, Timeout: 5 * time.Second}) //nolint:errcheck
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung with live streams")
+	}
+	wg.Wait()
+}
+
+// Summaries survive the JSON wire format: field-for-field round trip.
+func TestSummaryRoundTrip(t *testing.T) {
+	in := &Summary{
+		StreamID: 3, Program: "p", Model: "WO", Seed: 9,
+		Events: 12, Batches: 2, Races: []string{"a", "b"}, RaceCount: 2,
+		SyncRaces: 1, Comparisons: 40, Window: 64, Retired: 5, WindowPairMisses: 2,
+		Replay: &onthefly.ReplaySeed{Program: "p", Model: memmodel.WO, Seed: 9, FirstOp: 0, LastOp: 11, Retired: 5},
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Summary
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Fatalf("summary round trip differs:\n in %+v\nout %+v", in, &out)
+	}
+}
+
+func BenchmarkStreamThroughput(b *testing.B) {
+	reg := telemetry.NewRegistry() // disabled: measure the hot path
+	s, err := Serve(Options{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	w := workload.Random(workload.RandomParams{
+		Seed: 21, CPUs: 4, Segments: 20, OpsPerSegment: 6, Locks: 2,
+		UnlockedFraction: 0.3, SharedFraction: 0.6,
+	})
+	r, err := sim.Run(w.Prog, sim.Config{Model: memmodel.WO, Seed: 21, InitMemory: w.InitMemory})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(r.Exec.Ops)), "ops/stream")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Send(s.Addr(), r.Exec, SendOptions{BatchSize: 256}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package stream
+
+import (
+	"sort"
+
+	"weakrace/internal/obs"
+)
+
+// worker owns the detectors of the streams sharded onto it. The ready
+// channel carries one token per enqueued batch (or sentinel), so the
+// receive from the stream's own queue below never blocks, and batches
+// of one stream are processed in the order its reader sent them. A
+// worker never touches another worker's streams — detector state needs
+// no locks.
+type worker struct {
+	ready chan *stream
+}
+
+func (w *worker) run(s *Server) {
+	for st := range w.ready {
+		batch := <-st.q
+		if batch == nil {
+			w.finish(s, st)
+			continue
+		}
+		for _, op := range batch {
+			st.det.Feed(op)
+		}
+		st.processed.Add(int64(len(batch)))
+		if reg := s.reg; reg.Enabled() {
+			reg.Counter("stream.events").Add(int64(len(batch)))
+			reg.Counter("stream.batches").Inc()
+			reg.Gauge("stream.window_occupancy_peak").SetMax(int64(st.det.LiveAccesses()))
+		}
+	}
+}
+
+// finish finalizes one stream: freeze the detector's result into the
+// wire summary, account for it, publish its races, and wake the reader.
+func (w *worker) finish(s *Server, st *stream) {
+	res := st.det.Result()
+	races := make([]string, 0, len(res.Races))
+	for ll := range res.Races {
+		races = append(races, ll.String())
+	}
+	sort.Strings(races)
+
+	st.mu.Lock()
+	readErr := st.readErr
+	sum := &Summary{
+		StreamID:         st.id,
+		Program:          st.hdr.ProgramName,
+		Model:            st.hdr.Model.String(),
+		Seed:             st.hdr.Seed,
+		Events:           res.OpsProcessed,
+		Batches:          int(st.batches.Load()),
+		Races:            races,
+		RaceCount:        len(races),
+		SyncRaces:        res.SyncRaces,
+		Comparisons:      res.Comparisons,
+		Evictions:        res.Evictions,
+		Window:           s.opts.Window,
+		Retired:          res.Retired,
+		WindowPairMisses: res.WindowPairMisses,
+		Replay:           res.Replay,
+	}
+	if readErr != nil {
+		sum.Err = readErr.Error()
+	}
+	st.summary = sum
+	st.mu.Unlock()
+
+	if reg := s.reg; reg.Enabled() {
+		reg.Counter("stream.races").Add(int64(len(races)))
+		reg.Counter("stream.sync_races").Add(int64(res.SyncRaces))
+		reg.Counter("stream.retired").Add(int64(res.Retired))
+		reg.Counter("stream.window_pair_misses").Add(int64(res.WindowPairMisses))
+		if res.Replay != nil {
+			reg.Counter("stream.replay_seeds").Inc()
+		}
+	}
+	for _, race := range races {
+		s.pub.Publish(obs.Event{Kind: obs.EventRace, Race: race, Seed: st.hdr.Seed})
+	}
+	s.unregister(st, sum)
+	close(st.done)
+}

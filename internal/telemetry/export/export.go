@@ -28,6 +28,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"weakrace/internal/atomicio"
 )
 
 // Record kinds. One Record carries exactly one non-nil payload,
@@ -268,27 +270,15 @@ const (
 )
 
 // WriteDir writes the flight log and the Chrome trace into dir
-// (creating it), under the canonical names.
+// (creating it), under the canonical names. Each file is written
+// atomically (temp file + rename), so an interrupted flight-recorder
+// flush never leaves a truncated JSONL or trace.json behind.
 func (r *Recorder) WriteDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("export: %w", err)
 	}
-	writeTo := func(name string, fn func(io.Writer) error) error {
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return fmt.Errorf("export: %w", err)
-		}
-		if err := fn(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("export: %w", err)
-		}
-		return nil
-	}
-	if err := writeTo(FlightLogName, r.WriteJSONL); err != nil {
+	if err := atomicio.WriteFile(filepath.Join(dir, FlightLogName), r.WriteJSONL); err != nil {
 		return err
 	}
-	return writeTo(ChromeTraceName, r.WriteChromeTrace)
+	return atomicio.WriteFile(filepath.Join(dir, ChromeTraceName), r.WriteChromeTrace)
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 
+	"weakrace/internal/atomicio"
 	"weakrace/internal/bitset"
 	"weakrace/internal/memmodel"
 	"weakrace/internal/program"
@@ -342,17 +343,14 @@ func decodeNoValidate(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
-// WriteFile encodes the trace to path.
+// WriteFile encodes the trace to path, atomically: the bytes land in a
+// temp file in the same directory and are renamed into place only after a
+// successful encode, so a crash or encode error never leaves a truncated
+// trace that fails decode mid-campaign.
 func WriteFile(path string, t *Trace) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("trace: %w", err)
-	}
-	if err := Encode(f, t); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return Encode(w, t)
+	})
 }
 
 // ReadFile decodes the trace at path.

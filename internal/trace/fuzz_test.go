@@ -78,3 +78,70 @@ func FuzzDecodeText(f *testing.F) {
 		}
 	})
 }
+
+// streamSeedCorpus returns framed op streams to seed the stream fuzzer.
+func streamSeedCorpus(tb testing.TB) [][]byte {
+	tb.Helper()
+	var out [][]byte
+	for i, w := range []*workload.Workload{
+		workload.Figure1a(), workload.Figure2(),
+		workload.Random(workload.RandomParams{Seed: 4, UnlockedFraction: 0.5}),
+	} {
+		r, err := sim.Run(w.Prog, sim.Config{Model: memmodel.WO, Seed: int64(i), InitMemory: w.InitMemory})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.StreamExecution(&buf, r.Exec, 8); err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out
+}
+
+// FuzzStreamDecode: arbitrary bytes must never panic the incremental
+// batch decoder, and every operation it accepts must satisfy the framing
+// invariants (header-bounded CPU/location, backward observed-write
+// references, consecutive IDs) — the properties the wrserve daemon's
+// per-stream isolation depends on.
+func FuzzStreamDecode(f *testing.F) {
+	for _, seed := range streamSeedCorpus(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte("WRS1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := trace.NewStreamReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		hdr := sr.Header()
+		var ops []sim.MemOp
+		for {
+			before := len(ops)
+			ops, err = sr.Next(ops)
+			if err != nil {
+				return
+			}
+			if len(ops) == before {
+				t.Fatal("Next succeeded without decoding any operation")
+			}
+			for i := before; i < len(ops); i++ {
+				op := ops[i]
+				if op.ID != i {
+					t.Fatalf("op %d decoded with ID %d", i, op.ID)
+				}
+				if op.CPU < 0 || op.CPU >= hdr.NumCPUs {
+					t.Fatalf("op %d: CPU %d escaped header bound %d", i, op.CPU, hdr.NumCPUs)
+				}
+				if int(op.Loc) < 0 || int(op.Loc) >= hdr.NumLocations {
+					t.Fatalf("op %d: location %d escaped header bound %d", i, op.Loc, hdr.NumLocations)
+				}
+				if op.ObservedWrite < sim.InitialWrite || op.ObservedWrite >= op.ID {
+					t.Fatalf("op %d: non-causal observed write %d", i, op.ObservedWrite)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+func streamExec(tb testing.TB, w *workload.Workload, seed int64) *sim.Execution {
+	tb.Helper()
+	r, err := sim.Run(w.Prog, sim.Config{Model: memmodel.WO, Seed: seed, InitMemory: w.InitMemory})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r.Exec
+}
+
+func readAll(tb testing.TB, data []byte) (trace.StreamHeader, []sim.MemOp) {
+	tb.Helper()
+	sr, err := trace.NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var ops []sim.MemOp
+	for {
+		ops, err = sr.Next(ops)
+		if err == io.EOF {
+			return sr.Header(), ops
+		}
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// Round trip: every framed field of every op survives, for several batch
+// sizes including one that splits mid-CPU and one bigger than the stream.
+func TestStreamRoundTrip(t *testing.T) {
+	e := streamExec(t, workload.Random(workload.RandomParams{Seed: 3, UnlockedFraction: 0.4}), 7)
+	for _, batch := range []int{1, 3, 64, len(e.Ops), len(e.Ops) * 2} {
+		var buf bytes.Buffer
+		if err := trace.StreamExecution(&buf, e, batch); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		hdr, ops := readAll(t, buf.Bytes())
+		want := trace.StreamHeader{
+			ProgramName: e.ProgramName, Model: e.Model, Seed: e.Seed,
+			NumCPUs: e.NumCPUs, NumLocations: e.NumLocations,
+		}
+		if hdr != want {
+			t.Fatalf("batch %d: header %+v, want %+v", batch, hdr, want)
+		}
+		if len(ops) != len(e.Ops) {
+			t.Fatalf("batch %d: %d ops decoded, want %d", batch, len(ops), len(e.Ops))
+		}
+		for i, op := range ops {
+			orig := e.Ops[i]
+			// Scheduler-internal fields don't travel.
+			orig.Step, orig.CommitStep, orig.Speculative = 0, 0, false
+			if !reflect.DeepEqual(op, orig) {
+				t.Fatalf("batch %d: op %d = %+v, want %+v", batch, i, op, orig)
+			}
+		}
+	}
+}
+
+// Truncations at every byte boundary: mid-header, mid-length,
+// mid-payload, and missing end marker must all error (never panic, never
+// succeed), and the error for a complete-but-unterminated stream is
+// ErrStreamTruncated.
+func TestStreamTruncation(t *testing.T) {
+	e := streamExec(t, workload.Figure2(), 1)
+	var buf bytes.Buffer
+	if err := trace.StreamExecution(&buf, e, 4); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		sr, err := trace.NewStreamReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue // header truncated: fine, it errored
+		}
+		var ops []sim.MemOp
+		for {
+			ops, err = sr.Next(ops)
+			if err == nil {
+				continue
+			}
+			if err == io.EOF {
+				t.Fatalf("cut %d/%d: truncated stream decoded cleanly", cut, len(full))
+			}
+			break
+		}
+	}
+	// The full stream minus only its end marker is specifically a
+	// truncation, not a clean end.
+	sr, err := trace.NewStreamReader(bytes.NewReader(full[:len(full)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []sim.MemOp
+	for {
+		ops, err = sr.Next(ops)
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, trace.ErrStreamTruncated) {
+		t.Fatalf("missing end marker: err = %v, want ErrStreamTruncated", err)
+	}
+	if len(ops) != len(e.Ops) {
+		t.Fatalf("ops before truncation should all decode: got %d want %d", len(ops), len(e.Ops))
+	}
+}
+
+// A batch whose declared length covers garbage must fail without
+// consuming beyond the frame — and the errors must identify the batch,
+// not crash the reader.
+func TestStreamBadPayload(t *testing.T) {
+	hdr := trace.StreamHeader{ProgramName: "x", Model: memmodel.WO, Seed: 1, NumCPUs: 2, NumLocations: 4}
+	frame := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		sw, err := trace.NewStreamWriter(&buf, hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = sw // header only; payload appended raw
+		out := buf.Bytes()
+		out = append(out, byte(len(payload)))
+		return append(out, payload...)
+	}
+	cases := map[string][]byte{
+		"zero op count":     {0x00},
+		"huge op count":     {0xff, 0xff, 0xff, 0x7f},
+		"bad kind":          {0x01, 0x63, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00},
+		"cpu out of range":  {0x01, 0x00, 0x05, 0x00, 0x00, 0x00, 0x00, 0x00},
+		"loc out of range":  {0x01, 0x00, 0x00, 0x00, 0x2a, 0x00, 0x00, 0x00},
+		"forward observed":  {0x01, 0x02, 0x00, 0x00, 0x00, 0x00, 0x02, 0x00}, // acquire observing itself
+		"trailing bytes":    {0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0x01, 0x00, 0x00},
+		"truncated mid op":  {0x01, 0x00, 0x00, 0x00},
+		"missing op fields": {0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0x01},
+	}
+	for name, payload := range cases {
+		sr, err := trace.NewStreamReader(bytes.NewReader(frame(payload)))
+		if err != nil {
+			t.Fatalf("%s: header rejected: %v", name, err)
+		}
+		if _, err := sr.Next(nil); err == nil || err == io.EOF {
+			t.Fatalf("%s: bad payload accepted (err=%v)", name, err)
+		}
+	}
+}
+
+// The writer enforces issue order — a gap or repeat in op IDs is a bug
+// at the source, caught before it hits the wire.
+func TestStreamWriterOrderEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := trace.NewStreamWriter(&buf, trace.StreamHeader{NumCPUs: 1, NumLocations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []sim.MemOp{{ID: 0}, {ID: 2}}
+	if err := sw.WriteBatch(ops); err == nil {
+		t.Fatal("ID gap accepted")
+	}
+}
+
+// Decoded operations feed the incremental detector to the same result
+// as the in-process execution — the full wire-to-detector path.
+func TestStreamFeedsDetectorIdentically(t *testing.T) {
+	e := streamExec(t, workload.Random(workload.RandomParams{Seed: 9, UnlockedFraction: 0.5, SharedFraction: 0.8}), 3)
+	var buf bytes.Buffer
+	if err := trace.StreamExecution(&buf, e, 32); err != nil {
+		t.Fatal(err)
+	}
+	_, ops := readAll(t, buf.Bytes())
+	if !reflect.DeepEqual(streamOpsScrubbed(e.Ops), ops) {
+		t.Fatal("decoded op stream differs from execution ops")
+	}
+}
+
+func streamOpsScrubbed(ops []sim.MemOp) []sim.MemOp {
+	out := make([]sim.MemOp, len(ops))
+	for i, op := range ops {
+		op.Step, op.CommitStep, op.Speculative = 0, 0, false
+		out[i] = op
+	}
+	return out
+}

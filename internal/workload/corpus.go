@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"math/rand"
+
+	"weakrace/internal/memmodel"
+)
+
+// CorpusEntry is one differential-test case: a random workload plus the
+// memory model and scheduler seed to run it under.
+type CorpusEntry struct {
+	Workload *Workload
+	Model    memmodel.Model
+	Seed     int64
+}
+
+// Corpus generates the standing differential-test corpus: n random
+// workloads of tunable raciness (every even trial racy), each with a
+// weak model and seed. Corpus(60, 1) is THE 60-trace corpus the
+// crosscheck suite pins the post-mortem/on-the-fly agreement on — the
+// draw order below is frozen; changing it silently swaps the corpus
+// every differential test and the wrserve window study run against.
+func Corpus(n int, rngSeed int64) []CorpusEntry {
+	rng := rand.New(rand.NewSource(rngSeed))
+	models := []memmodel.Model{memmodel.WO, memmodel.RCsc, memmodel.DRF0, memmodel.DRF1}
+	out := make([]CorpusEntry, 0, n)
+	for trial := 0; trial < n; trial++ {
+		p := RandomParams{
+			Seed:          rng.Int63(),
+			CPUs:          2 + rng.Intn(3),
+			Segments:      2 + rng.Intn(5),
+			OpsPerSegment: 2 + rng.Intn(4),
+			Locks:         1 + rng.Intn(2),
+		}
+		if trial%2 == 0 {
+			p.UnlockedFraction = 0.2 + rng.Float64()*0.6
+			p.SharedFraction = 0.5 + rng.Float64()*0.4
+		}
+		out = append(out, CorpusEntry{
+			Workload: Random(p),
+			Model:    models[rng.Intn(len(models))],
+			Seed:     rng.Int63n(1000),
+		})
+	}
+	return out
+}
