@@ -89,6 +89,48 @@ func BenchmarkT3PostMortemScaling(b *testing.B) {
 	}
 }
 
+// T3 (large) — the 10k–40k-event regime the PR-8 parallel passes target:
+// analysis cost at segments 256/512/1024, plus a worker sweep on the
+// segments-512 trace. Sub-benchmark names carry the worker count so
+// `-bench T3PostMortemLarge` prints the speedup series directly.
+func BenchmarkT3PostMortemLarge(b *testing.B) {
+	traces := map[int]*weakrace.Trace{}
+	for _, segments := range []int{256, 512, 1024} {
+		w := weakrace.RandomWorkload(weakrace.RandomParams{
+			Seed: 5, CPUs: 4, Segments: segments, UnlockedFraction: 0.3,
+		})
+		res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{Model: weakrace.WO, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		traces[segments] = weakrace.TraceExecution(res.Exec)
+	}
+	for _, segments := range []int{256, 512, 1024} {
+		b.Run(fmt.Sprintf("segments-%d", segments), func(b *testing.B) {
+			events := 0
+			for i := 0; i < b.N; i++ {
+				a, err := weakrace.Detect(traces[segments], weakrace.DetectOptions{SkipValidate: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = a.NumEvents
+			}
+			b.ReportMetric(float64(events), "events")
+		})
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("segments-512-workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := weakrace.Detect(traces[512], weakrace.DetectOptions{
+					SkipValidate: true, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // T4 — accuracy: the full first-partition pipeline on racy workloads; the
 // metrics contrast naive all-races reporting with first-partition
 // reporting.

@@ -53,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dotParts   = fs.String("dot-partitions", "", "write the partition condensation DAG in Graphviz DOT form to this file")
 		htmlOut    = fs.String("html", "", "write a single-file HTML race report to this file\n(multiple inputs get numbered suffixes)")
 		flight     = fs.String("flight", "", "write a flight-recorder directory: flight.jsonl, trace.json (Perfetto), witnesses.json")
+		workers    = fs.Int("workers", 0, "worker goroutines for the parallel analysis passes (0 = GOMAXPROCS);\noutput is byte-identical for every worker count")
 		httpAddr   = fs.String("http", "", "serve the observability plane (metrics, status, dashboard, pprof) on this address while analyzing")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -111,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "racedetect: %s: %v\n", path, err)
 			return 2
 		}
-		a, err := core.Analyze(tr, core.Options{Pairing: policy, SkipValidate: true, Flight: fr})
+		a, err := core.Analyze(tr, core.Options{Pairing: policy, SkipValidate: true, Flight: fr, Workers: *workers})
 		if err != nil {
 			fmt.Fprintf(stderr, "racedetect: %s: %v\n", path, err)
 			return 2

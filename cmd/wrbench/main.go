@@ -113,6 +113,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		htmlOut  = fs.String("html", "", "with -flight or alone: write the segments-32 run's HTML race report to this file")
 		httpAddr = fs.String("http", "", "serve the observability plane (metrics, status, dashboard, pprof) on this address while benching")
 		traject  = fs.String("trajectory", "", "standalone mode: render the checked-in BENCH_*.json files (or the\npositional arguments) into one HTML trend report at this path, then exit")
+		metrics  = fs.String("metrics", "", "dump a JSON telemetry snapshot on exit to this file (- for stdout);\nincludes the parallel-analysis counters (graph.ts.*, detect.sweep.*, detect.arena.*)")
+		workers  = fs.Int("workers", 0, "worker goroutines for the parallel analysis passes in the detection\nscenarios (0 = GOMAXPROCS); output is byte-identical for every worker count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -132,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "wrbench: observability plane on http://%s/\n", srv.Addr())
 	}
 
-	scenarios := allScenarios()
+	scenarios := allScenarios(*workers)
 	if *list {
 		for _, s := range scenarios {
 			fmt.Fprintln(stdout, s.name)
@@ -204,6 +206,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *flight != "" || *htmlOut != "" {
 		if err := captureProvenance(*flight, *htmlOut, stderr); err != nil {
+			fmt.Fprintf(stderr, "wrbench: %v\n", err)
+			return 2
+		}
+	}
+	if *metrics != "" {
+		if err := telemetry.DumpDefault(*metrics, stdout); err != nil {
 			fmt.Fprintf(stderr, "wrbench: %v\n", err)
 			return 2
 		}
@@ -388,8 +396,9 @@ func checkGuards(guards string, base, cur *Output, stderr io.Writer) int {
 
 // allScenarios mirrors the T1–T3 benchmark families in bench_test.go plus
 // the end-to-end pipeline, parameterized by iteration count instead of
-// b.N so the same paths run outside the testing framework.
-func allScenarios() []scenario {
+// b.N so the same paths run outside the testing framework. workers is
+// the -workers flag, applied to the detection scenarios (0 = GOMAXPROCS).
+func allScenarios(workers int) []scenario {
 	return []scenario{
 		{"model-throughput", func(iters int) (map[string]float64, error) {
 			// T1: write-burst on every model; cycles/op per model.
@@ -480,7 +489,7 @@ func allScenarios() []scenario {
 				start := time.Now()
 				events := 0
 				for i := 0; i < iters; i++ {
-					a, err := weakrace.Detect(tr, weakrace.DetectOptions{SkipValidate: true})
+					a, err := weakrace.Detect(tr, weakrace.DetectOptions{SkipValidate: true, Workers: workers})
 					if err != nil {
 						return nil, err
 					}
@@ -498,6 +507,63 @@ func allScenarios() []scenario {
 			} {
 				short := strings.TrimPrefix(name, "detect.")
 				metrics[short+"_per_iter"] = float64(delta.Counters[name]) / float64(iters)
+			}
+			return metrics, nil
+		}},
+		{"postmortem-scaling-large", func(iters int) (map[string]float64, error) {
+			// PR 8: the 30k+-event regime the parallel passes exist for.
+			// Two series: analysis cost at segments 256/512/1024 with the
+			// flag's worker count, and a worker sweep {1,2,4,8} on the
+			// segments-512 trace whose speedup_Nw metrics record the
+			// wall-clock scaling on this machine (≈1 on a single core —
+			// the Meta.GOMAXPROCS block says which regime a file is
+			// from). Large traces amortize quickly, so iterations are
+			// capped to keep the whole scenario in seconds.
+			metrics := map[string]float64{}
+			li := iters
+			if li > 10 {
+				li = 10
+			}
+			var tr512 *weakrace.Trace
+			for _, segments := range []int{256, 512, 1024} {
+				w := weakrace.RandomWorkload(weakrace.RandomParams{
+					Seed: 5, CPUs: 4, Segments: segments, UnlockedFraction: 0.3,
+				})
+				res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{Model: weakrace.WO, Seed: 1})
+				if err != nil {
+					return nil, err
+				}
+				tr := weakrace.TraceExecution(res.Exec)
+				if segments == 512 {
+					tr512 = tr
+				}
+				start := time.Now()
+				events := 0
+				for i := 0; i < li; i++ {
+					a, err := weakrace.Detect(tr, weakrace.DetectOptions{SkipValidate: true, Workers: workers})
+					if err != nil {
+						return nil, err
+					}
+					events = a.NumEvents
+				}
+				key := fmt.Sprintf("segments_%d", segments)
+				metrics[key+"_ns_per_iter"] = float64(time.Since(start).Nanoseconds()) / float64(li)
+				metrics[key+"_events"] = float64(events)
+			}
+			for _, n := range []int{1, 2, 4, 8} {
+				start := time.Now()
+				for i := 0; i < li; i++ {
+					if _, err := weakrace.Detect(tr512, weakrace.DetectOptions{SkipValidate: true, Workers: n}); err != nil {
+						return nil, err
+					}
+				}
+				metrics[fmt.Sprintf("workers_%d_ns_per_iter", n)] =
+					float64(time.Since(start).Nanoseconds()) / float64(li)
+			}
+			for _, n := range []int{2, 4, 8} {
+				if p := metrics[fmt.Sprintf("workers_%d_ns_per_iter", n)]; p > 0 {
+					metrics[fmt.Sprintf("speedup_%dw", n)] = metrics["workers_1_ns_per_iter"] / p
+				}
 			}
 			return metrics, nil
 		}},

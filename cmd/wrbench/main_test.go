@@ -17,7 +17,7 @@ func TestRunList(t *testing.T) {
 	if got := run([]string{"-list"}, &out, &errb); got != 0 {
 		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
 	}
-	for _, want := range []string{"model-throughput", "tracing-overhead", "postmortem-scaling", "full-pipeline"} {
+	for _, want := range []string{"model-throughput", "tracing-overhead", "postmortem-scaling", "postmortem-scaling-large", "full-pipeline"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("list missing %q:\n%s", want, out.String())
 		}
@@ -41,8 +41,8 @@ func TestRunAllScenarios(t *testing.T) {
 	if o.Iters != 3 {
 		t.Errorf("iters = %d, want 3", o.Iters)
 	}
-	if len(o.Scenarios) != 4 {
-		t.Fatalf("scenarios = %d, want 4", len(o.Scenarios))
+	if len(o.Scenarios) != 5 {
+		t.Fatalf("scenarios = %d, want 5", len(o.Scenarios))
 	}
 	for _, s := range o.Scenarios {
 		if s.TotalNS <= 0 || s.NSPerIter <= 0 {
@@ -88,6 +88,55 @@ func TestRunAllScenarios(t *testing.T) {
 	}
 	if !found {
 		t.Error("no per-model sim.runs counters in snapshot")
+	}
+}
+
+// TestRunLargeScalingScenario: the PR-8 scenario reports the 30k+-event
+// series plus the segments-512 worker sweep with its speedup metrics,
+// and -metrics dumps a snapshot carrying the parallel-analysis counters.
+func TestRunLargeScalingScenario(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var out, errb bytes.Buffer
+	got := run([]string{"-scenario", "postmortem-scaling-large", "-iters", "1", "-o", "-",
+		"-workers", "2", "-metrics", metricsPath}, &out, &errb)
+	if got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	var o Output
+	if err := json.Unmarshal(out.Bytes(), &o); err != nil {
+		t.Fatalf("stdout is not the JSON trajectory: %v\n%s", err, out.String())
+	}
+	if len(o.Scenarios) != 1 || o.Scenarios[0].Name != "postmortem-scaling-large" {
+		t.Fatalf("scenarios: %+v", o.Scenarios)
+	}
+	m := o.Scenarios[0].Metrics
+	for _, key := range []string{
+		"segments_256_ns_per_iter", "segments_512_ns_per_iter", "segments_1024_ns_per_iter",
+		"segments_512_events", "segments_1024_events",
+		"workers_1_ns_per_iter", "workers_8_ns_per_iter",
+		"speedup_2w", "speedup_4w", "speedup_8w",
+	} {
+		if m[key] <= 0 {
+			t.Errorf("metric %q = %v, want > 0", key, m[key])
+		}
+	}
+	if m["segments_1024_events"] < 30000 {
+		t.Errorf("segments_1024_events = %v, want the 30k+-event regime", m["segments_1024_events"])
+	}
+	// The -metrics dump must carry the PR-8 telemetry: span statistics
+	// from the timestamp layer and the sweep's bucket counter.
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"graph.ts.spans", "graph.ts.span_max_events",
+		"detect.sweep.buckets", "detect.arena.shards", "detect.arena.shard_recs_highwater",
+	} {
+		if !strings.Contains(string(data), name) {
+			t.Errorf("telemetry dump missing %q", name)
+		}
 	}
 }
 

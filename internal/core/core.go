@@ -58,11 +58,15 @@ type Options struct {
 	// SkipValidate skips trace validation (for traces already validated,
 	// e.g. straight from the decoder, on hot benchmark paths).
 	SkipValidate bool
-	// Workers bounds the parallelism of the per-location race search.
-	// 0 uses GOMAXPROCS; 1 forces the sequential path. The Analysis is
-	// byte-identical for every worker count: workers produce commutative
-	// partial results (per-pair location sets and data flags) that are
-	// merged and then sorted deterministically.
+	// Workers bounds the parallelism of every parallel pass inside one
+	// analysis: the timestamp layer's span fill, the (location, segment-
+	// pair)-sharded race sweep, and the sweep's merge, radix sort, and
+	// coalesce. 0 uses GOMAXPROCS; 1 forces the sequential paths. The
+	// Analysis is byte-identical for every worker count: workers produce
+	// commutative partial results (per-pair location sets and data flags)
+	// that are merged and then sorted deterministically, and the fill and
+	// coalesce write disjoint ranges of slabs whose contents do not
+	// depend on the schedule.
 	Workers int
 	// ExplicitClosure answers hb1 ordering queries with the lazy bitset
 	// transitive closure (graph.NewReachabilityLazy, Analysis.HBReach) the
@@ -104,16 +108,25 @@ type Options struct {
 // implicit-G′ partner lists, and the graph layer's Tarjan and
 // condensation scratch. Zero value is ready to use; see Options.Arena.
 type Arena struct {
-	cpuOf     []int32     // cpuOf[event] — filled per analysis
-	posOf     []int32     // posOf[event]: index within its CPU's stream
-	degOf     []int32     // buildHB's out-degree counting buffer
-	extras    [][]int32   // per-node race-partner lists (min partner per CPU)
-	pmask     []uint32    // per-node bitmask of partner CPUs (≤32 CPUs)
-	touched   []int32     // nodes with non-empty extras, for O(touched) reset
-	recs      []pairRec   // sequential sweep's record buffer
-	recsW     [][]pairRec // parallel workers' record buffers (w ≥ 1)
+	cpuOf   []int32   // cpuOf[event] — filled per analysis
+	posOf   []int32   // posOf[event]: index within its CPU's stream
+	degOf   []int32   // buildHB's out-degree counting buffer
+	extras  [][]int32 // per-node race-partner lists (min partner per CPU)
+	pmask   []uint32  // per-node bitmask of partner CPUs (≤32 CPUs)
+	touched []int32   // nodes with non-empty extras, for O(touched) reset
+	// shards holds one sub-arena per sweep worker: each worker owns its
+	// shard exclusively for the duration of the scan, so record appends
+	// never contend, while the shard list itself lives in the arena and
+	// keeps the campaign-level sync.Pool reuse intact (shards[0] doubles
+	// as the sequential path's buffer). Grown to the high-water worker
+	// count and reused.
+	shards    []sweepShard
+	segs      []locSeg    // prep pass: per-location CPU segments, read-only during the scan
+	segOff    []int32     // sorted-location offsets into segs (len(locs)+1)
+	units     []sweepUnit // (location, segment-pair) buckets the scan workers pull
 	recsMerge []pairRec   // parallel merge's concatenation buffer
 	digits    []int32     // radix sort's counting buffer
+	digitsW   []int32     // parallel radix sort's per-worker histograms
 	recsTmp   []pairRec   // radix sort's ping-pong buffer
 	// locSlot interns locations into stable accLists slots, so repeated
 	// analyses through one arena reuse the per-location access buffers
@@ -222,6 +235,7 @@ type Analysis struct {
 	augEdges        int64            // implicit partner entries, or Aug.M() when explicit
 	candidatePairs  int64            // conflicting unordered pairs the sweep emitted
 	raceWorkers     int              // worker count the race search actually used
+	sweepBuckets    int64            // (location, segment-pair) units the scan was sharded into
 	vcWindowQueries int64            // sweep boundary lookups answered by HBTime
 	// pairShift is the bit width of this trace's event ids: packed pair
 	// keys are lo<<pairShift | hi, so they span only 2·⌈log₂ n⌉ bits and
@@ -343,14 +357,15 @@ func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
 	} else {
 		// Default path: one topological pass timestamps hb1 — O(events ×
 		// CPUs) total, no rows ever, and the sweep's interval boundaries
-		// fall out of the clocks for free.
+		// fall out of the clocks for free. The span fill inside shares the
+		// analysis's worker budget.
 		ar := a.Options.Arena
 		a.HBTime = graph.NewTimestamps(a.HB, ar.cpuOf[:a.NumEvents], ar.posOf[:a.NumEvents],
-			t.NumCPUs, &ar.scratch)
+			t.NumCPUs, &ar.scratch, a.resolveWorkers())
 	}
 	done()
 	done = startPhase(reg, fl, "detect.find_races")
-	a.findRaces()
+	a.findRaces(reg, fl)
 	done()
 	done = startPhase(reg, fl, "detect.augment")
 	if opts.ExplicitAug {
@@ -416,6 +431,21 @@ func (a *Analysis) flushTelemetry(reg *telemetry.Registry) {
 	reg.Counter("detect.first_partitions").Add(int64(len(a.FirstPartitions)))
 	reg.Counter("detect.race_candidates").Add(a.candidatePairs)
 	reg.Gauge("detect.find_races.workers").SetMax(int64(a.raceWorkers))
+	// detect.sweep.buckets counts the (location, segment-pair) units the
+	// scan was sharded into; the arena gauges are per-shard high-water
+	// marks — how much record slab each worker's sub-arena has grown to
+	// across the analyses run through it.
+	reg.Counter("detect.sweep.buckets").Add(a.sweepBuckets)
+	if ar := a.Options.Arena; ar != nil {
+		reg.Gauge("detect.arena.shards").SetMax(int64(len(ar.shards)))
+		maxRecs := 0
+		for i := range ar.shards {
+			if c := cap(ar.shards[i].recs); c > maxRecs {
+				maxRecs = c
+			}
+		}
+		reg.Gauge("detect.arena.shard_recs_highwater").SetMax(int64(maxRecs))
+	}
 	// detect.vc_* is the timestamp layer's footprint: analyses that used
 	// it, its component/clock sizes, and the sweep boundary lookups it
 	// answered (each replacing an amortized run of closure queries).
@@ -492,19 +522,56 @@ type access struct {
 	sync  bool
 }
 
+// locSeg is one contiguous same-CPU run of a location's access list.
+// Accesses are collected processor-major, so a location has at most one
+// segment per CPU, po-ascending within.
+type locSeg struct {
+	start, end int32 // accs[start:end]
+	writes     int32 // write accesses within
+}
+
+// sweepUnit is one bucket of sweep work: a (location, segment-pair)
+// combination with conflict potential. Sharding by segment pair — CPU
+// pair, since segments are per-CPU — instead of by whole location keeps
+// a single hot location (a contended lock word) from serializing behind
+// one worker. Units are enumerated in a fixed (location, si, ti) order;
+// which worker runs a unit never matters because the merge sorts the
+// flat records into a total order afterwards.
+type sweepUnit struct {
+	li     int32 // index into the sorted locations
+	si, ti int32 // segment pair within the location, si < ti
+}
+
+// sweepShard is one worker's sub-arena: the flat record buffer it
+// appends to during the scan. Shards are owned exclusively by their
+// worker between fan-out and merge.
+type sweepShard struct {
+	recs []pairRec
+}
+
 // sweepThreshold is the access count below which the race search stays
 // sequential: fanning out goroutines costs more than the sweep itself on
 // small traces. The parallel and sequential paths produce identical
 // output, so the cutoff is purely a scheduling decision.
 const sweepThreshold = 2048
 
+// resolveWorkers returns the analysis's worker budget: Options.Workers,
+// with 0 meaning GOMAXPROCS. Individual passes may still run
+// sequentially below their own size cutoffs.
+func (a *Analysis) resolveWorkers() int {
+	if w := a.Options.Workers; w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // findRaces detects all races: conflicting, hb1-unordered event pairs.
 //
-// The search is a per-location sweep over CPU-bucketed accesses:
-// accesses are collected processor-major, so each location's slice is
-// made of contiguous same-CPU segments (one per processor, po-ascending
-// within), and pairing a segment only against later segments skips
-// same-processor pairs (always po-ordered) wholesale.
+// The search is a sweep over CPU-bucketed accesses: accesses are
+// collected processor-major, so each location's slice is made of
+// contiguous same-CPU segments (one per processor, po-ascending within),
+// and pairing a segment only against later segments skips same-processor
+// pairs (always po-ordered) wholesale.
 //
 // Against one later segment T, an access x needs no per-pair ordering
 // tests: program order makes ordering monotone along T, so the events of
@@ -522,12 +589,19 @@ const sweepThreshold = 2048
 // the reachability layer's O(1) component-id/topological-level
 // pre-checks before touching (or, in lazy mode, materializing) a row.
 //
-// Locations are fanned across a bounded worker pool (the campaign's
-// semaphore pattern, here an atomic work index). Each worker appends
-// flat (pair, location, data) records; partials are concatenated and
-// sorted deterministically, so the Analysis is byte-identical to the
-// sequential path for every worker count.
-func (a *Analysis) findRaces() {
+// The unit of parallel work is a (location, segment-pair) bucket — a CPU
+// pair, since segments are per-CPU — not a whole location: a single
+// contended lock word no longer serializes behind one worker. A serial
+// prep pass enumerates segments and buckets; scan workers pull buckets
+// off an atomic index and append flat (pair, location, data) records
+// into per-shard arenas they own exclusively; the partials are
+// concatenated and sorted into a total order, and the sorted runs are
+// coalesced into races — with the merge, sort, and coalesce themselves
+// sharded once the record count warrants it. Every stage either
+// serializes, produces commutative partials, or writes disjoint ranges
+// of a deterministic slab, so the Analysis is byte-identical for every
+// worker count and work-stealing schedule.
+func (a *Analysis) findRaces(reg *telemetry.Registry, fl *flight) {
 	// Keyed by location, sparse: traces legitimately declare large address
 	// spaces while touching few locations, and the analyzer must not
 	// allocate proportionally to the declared size (robustness against
@@ -535,6 +609,7 @@ func (a *Analysis) findRaces() {
 	// whose access buffer survives across analyses — a campaign's repeated
 	// traces stop re-growing hundreds of per-location slices.
 	ar := a.Options.Arena
+	donePrep := startPhase(reg, fl, "detect.sweep.prep")
 	if ar.locSlot == nil {
 		ar.locSlot = map[int]int32{}
 	}
@@ -588,160 +663,172 @@ func (a *Analysis) findRaces() {
 	locs := ar.locsBuf
 	slices.Sort(locs)
 
-	workers := a.Options.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// Segment and bucket enumeration, serial: one pass over every sorted
+	// location records its per-CPU segments into a shared read-only slab
+	// and emits one sweepUnit per segment pair with conflict potential.
+	// The fixed (location, si, ti) enumeration order is what the bucket
+	// telemetry and the scan's work index are defined over.
+	segs, segOff, units := ar.segs[:0], ar.segOff[:0], ar.units[:0]
+	segOff = append(segOff, 0)
+	for li, loc := range locs {
+		accs := ar.accLists[ar.locSlot[loc]]
+		first := int32(len(segs))
+		for s := 0; s < len(accs); {
+			e := s + 1
+			for e < len(accs) && accs[e].cpu == accs[s].cpu {
+				e++
+			}
+			w := int32(0)
+			for _, x := range accs[s:e] {
+				if x.write {
+					w++
+				}
+			}
+			segs = append(segs, locSeg{start: int32(s), end: int32(e), writes: w})
+			s = e
+		}
+		nls := int32(len(segs)) - first
+		for si := int32(0); si < nls; si++ {
+			for ti := si + 1; ti < nls; ti++ {
+				if segs[first+si].writes == 0 && segs[first+ti].writes == 0 {
+					continue // read-only × read-only: no conflicts at all
+				}
+				units = append(units, sweepUnit{li: int32(li), si: si, ti: ti})
+			}
+		}
+		segOff = append(segOff, int32(len(segs)))
 	}
-	if workers > len(locs) {
-		workers = len(locs)
+	ar.segs, ar.segOff, ar.units = segs, segOff, units
+	a.sweepBuckets = int64(len(units))
+	donePrep()
+
+	workers := a.resolveWorkers()
+	if workers > len(units) {
+		workers = len(units)
 	}
 	if workers < 2 || total < sweepThreshold {
 		workers = 1
 	}
 	a.raceWorkers = workers
+	for len(ar.shards) < workers {
+		ar.shards = append(ar.shards, sweepShard{})
+	}
 
-	// Workers pull locations off a shared index; hot locations therefore
-	// spread across the pool instead of serializing behind one worker.
-	// Each worker appends flat (pair, location, data) records — no maps,
-	// no per-race allocations on the hot path; weak executions routinely
-	// produce tens of thousands of synchronization races from contending
-	// spin loops, and pointer-chasing accumulation dominated the old
-	// search. Worker 0's record buffer comes from the arena (when one is
-	// supplied) so repeated sequential analyses reuse it.
+	// Scan: workers pull buckets off a shared index; a hot location's
+	// segment pairs therefore spread across the pool instead of
+	// serializing behind one worker. Each worker appends flat (pair,
+	// location, data) records into its own shard — no maps, no per-race
+	// allocations, no contention on shared slabs; weak executions
+	// routinely produce tens of thousands of synchronization races from
+	// contending spin loops, and pointer-chasing accumulation dominated
+	// the old search.
+	doneScan := startPhase(reg, fl, "detect.sweep.scan")
 	var next atomic.Int64
 	useVC := a.HBTime != nil
 	a.pairShift = uint(bits.Len(uint(a.NumEvents)))
 	shift := a.pairShift
-	type segment struct {
-		start, end int // accs[start:end], one CPU
-		writes     int // write accesses within
-	}
 	sweep := func(buf []pairRec) ([]pairRec, int64, int64) {
 		recs := buf[:0]
 		var cand, vcq int64
-		var segs []segment // reused across this worker's locations
 		for {
 			i := int(next.Add(1)) - 1
-			if i >= len(locs) {
+			if i >= len(units) {
 				return recs, cand, vcq
 			}
-			slot := ar.locSlot[locs[i]]
+			un := units[i]
+			slot := ar.locSlot[locs[un.li]]
 			accs := ar.accLists[slot]
-			segs = segs[:0]
-			for s := 0; s < len(accs); {
-				e := s + 1
-				for e < len(accs) && accs[e].cpu == accs[s].cpu {
-					e++
-				}
-				w := 0
-				for _, x := range accs[s:e] {
-					if x.write {
-						w++
+			base := segOff[un.li]
+			S, T := segs[base+un.si], segs[base+un.ti]
+			// Conflicting pairs in S×T = all pairs minus read-read
+			// pairs, counted wholesale (the quantity the per-pair
+			// loop used to tally one test at a time).
+			sn, tn := S.end-S.start, T.end-T.start
+			cand += int64(sn*tn - (sn-S.writes)*(tn-T.writes))
+			// p: end of T's prefix reaching x. q: start of T's
+			// suffix reached by x. Both only move forward while x
+			// advances; [p,q) is x's hb1-unordered interval of T.
+			// On the timestamp path both boundaries are read
+			// straight off x's clock: Window gives the exact prefix
+			// count and suffix start of T's WHOLE stream, and
+			// event ids are base+pos within a CPU, so the pointers
+			// advance by threshold compares with no per-pair
+			// ordering query at all.
+			p, q := T.start, T.start
+			tcpu := accs[T.start].cpu
+			tbase := a.base[tcpu]
+			for xi := S.start; xi < S.end; xi++ {
+				x := accs[xi]
+				if useVC {
+					predCount, succPos := a.HBTime.Window(int(x.ev), tcpu)
+					vcq++
+					for p < T.end && int(accs[p].ev)-tbase < int(predCount) {
+						p++
+					}
+					if q < p {
+						// On an hb1 cycle the prefix and suffix can
+						// overlap; the unordered interval is empty.
+						q = p
+					}
+					for q < T.end && int(accs[q].ev)-tbase < int(succPos) {
+						q++
+					}
+				} else {
+					for p < T.end && a.HBReach.Reaches(int(accs[p].ev), int(x.ev)) {
+						p++
+					}
+					if q < p {
+						q = p
+					}
+					for q < T.end && !a.HBReach.Reaches(int(x.ev), int(accs[q].ev)) {
+						q++
 					}
 				}
-				segs = append(segs, segment{start: s, end: e, writes: w})
-				s = e
-			}
-			for si, S := range segs {
-				for _, T := range segs[si+1:] {
-					if S.writes == 0 && T.writes == 0 {
-						continue // read-only × read-only: no conflicts at all
+				for yi := p; yi < q; yi++ {
+					y := accs[yi]
+					if !x.write && !y.write {
+						continue // two reads never conflict
 					}
-					// Conflicting pairs in S×T = all pairs minus read-read
-					// pairs, counted wholesale (the quantity the per-pair
-					// loop used to tally one test at a time).
-					sn, tn := S.end-S.start, T.end-T.start
-					cand += int64(sn*tn - (sn-S.writes)*(tn-T.writes))
-					// p: end of T's prefix reaching x. q: start of T's
-					// suffix reached by x. Both only move forward while x
-					// advances; [p,q) is x's hb1-unordered interval of T.
-					// On the timestamp path both boundaries are read
-					// straight off x's clock: Window gives the exact prefix
-					// count and suffix start of T's WHOLE stream, and
-					// event ids are base+pos within a CPU, so the pointers
-					// advance by threshold compares with no per-pair
-					// ordering query at all.
-					p, q := T.start, T.start
-					tcpu := accs[T.start].cpu
-					tbase := a.base[tcpu]
-					for xi := S.start; xi < S.end; xi++ {
-						x := accs[xi]
-						if useVC {
-							predCount, succPos := a.HBTime.Window(int(x.ev), tcpu)
-							vcq++
-							for p < T.end && int(accs[p].ev)-tbase < int(predCount) {
-								p++
-							}
-							if q < p {
-								// On an hb1 cycle the prefix and suffix can
-								// overlap; the unordered interval is empty.
-								q = p
-							}
-							for q < T.end && int(accs[q].ev)-tbase < int(succPos) {
-								q++
-							}
-						} else {
-							for p < T.end && a.HBReach.Reaches(int(accs[p].ev), int(x.ev)) {
-								p++
-							}
-							if q < p {
-								q = p
-							}
-							for q < T.end && !a.HBReach.Reaches(int(x.ev), int(accs[q].ev)) {
-								q++
-							}
-						}
-						for yi := p; yi < q; yi++ {
-							y := accs[yi]
-							if !x.write && !y.write {
-								continue // two reads never conflict
-							}
-							lo, hi := x.ev, y.ev
-							if lo > hi {
-								lo, hi = hi, lo
-							}
-							recs = append(recs, pairRec{
-								key:  uint64(lo)<<shift | uint64(hi),
-								slot: slot,
-								data: !x.sync || !y.sync,
-							})
-						}
+					lo, hi := x.ev, y.ev
+					if lo > hi {
+						lo, hi = hi, lo
 					}
+					recs = append(recs, pairRec{
+						key:  uint64(lo)<<shift | uint64(hi),
+						slot: slot,
+						data: !x.sync || !y.sync,
+					})
 				}
 			}
 		}
 	}
 
-	arena := a.Options.Arena
 	partials := make([][]pairRec, workers)
 	counts := make([]int64, workers)
 	vcqs := make([]int64, workers)
 	if workers == 1 {
-		partials[0], counts[0], vcqs[0] = sweep(arena.recs)
+		partials[0], counts[0], vcqs[0] = sweep(ar.shards[0].recs)
 	} else {
-		// Every worker's record buffer comes from the arena — worker 0 the
-		// sequential path's buffer, the rest from recsW — so a campaign's
-		// steady state appends into pre-grown slabs for every worker.
-		for len(arena.recsW) < workers-1 {
-			arena.recsW = append(arena.recsW, nil)
-		}
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				buf := arena.recs
-				if w > 0 {
-					buf = arena.recsW[w-1]
-				}
-				partials[w], counts[w], vcqs[w] = sweep(buf)
+				partials[w], counts[w], vcqs[w] = sweep(ar.shards[w].recs)
 			}(w)
 		}
 		wg.Wait()
-		for w := 1; w < workers; w++ {
-			arena.recsW[w-1] = partials[w]
-		}
 	}
+	// Hand the grown buffers back to their shards so a campaign's steady
+	// state appends into pre-grown slabs for every worker.
+	for w := range partials {
+		ar.shards[w].recs = partials[w]
+	}
+	for w := range counts {
+		a.candidatePairs += counts[w]
+		a.vcWindowQueries += vcqs[w]
+	}
+	doneScan()
 
 	// Deterministic merge: concatenate the partials and sort by
 	// (pair, location) — a total order, since each (event pair, location)
@@ -750,7 +837,9 @@ func (a *Analysis) findRaces() {
 	// work-stealing schedule. The sequential path sorts its single
 	// partial in place (no copy); the records are dead after the coalesce
 	// below, so every buffer (including the merge concatenation) returns
-	// to the arena.
+	// to the arena. Concatenation offsets are exact, so the parallel copy
+	// writes disjoint ranges.
+	doneMerge := startPhase(reg, fl, "detect.sweep.merge")
 	var recs []pairRec
 	if workers == 1 {
 		recs = partials[0]
@@ -759,21 +848,25 @@ func (a *Analysis) findRaces() {
 		for _, p := range partials {
 			nRecs += len(p)
 		}
-		if cap(arena.recsMerge) < nRecs {
-			arena.recsMerge = make([]pairRec, 0, nRecs)
+		if cap(ar.recsMerge) < nRecs {
+			ar.recsMerge = make([]pairRec, 0, nRecs)
 		}
-		recs = arena.recsMerge[:0]
+		recs = ar.recsMerge[:nRecs]
+		var wg sync.WaitGroup
+		off := 0
 		for _, p := range partials {
-			recs = append(recs, p...)
+			wg.Add(1)
+			go func(dst, src []pairRec) {
+				defer wg.Done()
+				copy(dst, src)
+			}(recs[off:off+len(p)], p)
+			off += len(p)
 		}
-		arena.recsMerge = recs
+		wg.Wait()
+		ar.recsMerge = recs
 	}
-	arena.recs = partials[0]
-	for w := range counts {
-		a.candidatePairs += counts[w]
-		a.vcWindowQueries += vcqs[w]
-	}
-	recs = sortRecsByKey(recs, arena)
+	recs = sortRecsByKey(recs, ar, workers)
+	doneMerge()
 
 	// Canonical singleton location sets, one per distinct location: a
 	// weak execution's contending spin loops produce tens of thousands of
@@ -786,10 +879,11 @@ func (a *Analysis) findRaces() {
 	// of the GC scanning a campaign pays per analysis. Location sets are
 	// owned by the Analysis and must be treated as read-only — races on
 	// the same location alias one set.
+	doneCoalesce := startPhase(reg, fl, "detect.sweep.coalesce")
 	if cap(ar.canon) < len(ar.accLists) {
 		ar.canon = make([]*bitset.Set, len(ar.accLists))
 	}
-	canon := ar.canon[:len(ar.accLists)]
+	ar.canon = ar.canon[:len(ar.accLists)]
 	canonSets := make([]bitset.Set, len(locs))
 	canonWords := 0
 	for _, loc := range locs {
@@ -800,52 +894,147 @@ func (a *Analysis) findRaces() {
 		w := loc/64 + 1
 		canonSets[i] = *bitset.Wrap(canonSlab[:w:w])
 		canonSets[i].Add(loc)
-		canon[ar.locSlot[loc]] = &canonSets[i]
+		ar.canon[ar.locSlot[loc]] = &canonSets[i]
 		canonSlab = canonSlab[w:]
 	}
 
-	// Coalesce sorted runs into races in a single pass. Packed keys order
-	// exactly like the (A, B) lexicographic order the report promises;
-	// within a run the record order is irrelevant — location-set
-	// insertion and the data flag are commutative. len(recs) bounds the
-	// race count tightly (each record is a distinct (pair, location) and
-	// nearly every pair has one location), so Races is allocated once at
-	// that bound and truncated — no counting pre-pass rescanning the
-	// records, no second zeroing.
-	races := make([]Race, len(recs))
-	ri := 0
-	for i := 0; i < len(recs); {
-		j, data := i+1, recs[i].data
-		for j < len(recs) && recs[j].key == recs[i].key {
-			data = data || recs[j].data
-			j++
+	// Coalesce sorted runs into races. Packed keys order exactly like the
+	// (A, B) lexicographic order the report promises; within a run the
+	// record order is irrelevant — location-set insertion and the data
+	// flag are commutative, which is also why the sort never needs to be
+	// stable across worker schedules. Above the cutoff the record range
+	// is split at run boundaries, a counting pass sizes each worker's
+	// slice of the output exactly, and the fill writes disjoint ranges of
+	// the Races slab and DataRaces index — the same deterministic-merge
+	// shape as the scan, with the run partition fixed by the sorted keys
+	// alone.
+	if workers > 1 && len(recs) >= coalesceParallelCutoff {
+		bounds := make([]int, workers+1)
+		bounds[workers] = len(recs)
+		step := len(recs) / workers
+		for w := 1; w < workers; w++ {
+			b := max(w*step, bounds[w-1])
+			for b < len(recs) && recs[b].key == recs[b-1].key {
+				b++
+			}
+			bounds[w] = b
 		}
-		r := &races[ri]
-		r.A = EventID(recs[i].key >> shift)
-		r.B = EventID(recs[i].key & (1<<shift - 1))
-		r.Data = data
-		if j == i+1 {
-			r.Locs = canon[recs[i].slot]
-		} else {
-			maxLoc := ar.slotLoc[recs[i].slot]
-			for _, rec := range recs[i+1 : j] {
-				if l := ar.slotLoc[rec.slot]; l > maxLoc {
-					maxLoc = l
+		runCnt := make([]int, workers)
+		dataCnt := make([]int, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				runs, datas := 0, 0
+				for i := bounds[w]; i < bounds[w+1]; {
+					j, data := i+1, recs[i].data
+					for j < bounds[w+1] && recs[j].key == recs[i].key {
+						data = data || recs[j].data
+						j++
+					}
+					runs++
+					if data {
+						datas++
+					}
+					i = j
 				}
-			}
-			r.Locs = bitset.Wrap(make([]uint64, int(maxLoc)/64+1))
-			for _, rec := range recs[i:j] {
-				r.Locs.Add(int(ar.slotLoc[rec.slot]))
-			}
+				runCnt[w], dataCnt[w] = runs, datas
+			}(w)
 		}
-		if data {
-			a.DataRaces = append(a.DataRaces, ri)
+		wg.Wait()
+		raceOff := make([]int, workers+1)
+		dataOff := make([]int, workers+1)
+		for w := 0; w < workers; w++ {
+			raceOff[w+1] = raceOff[w] + runCnt[w]
+			dataOff[w+1] = dataOff[w] + dataCnt[w]
 		}
-		ri++
-		i = j
+		races := make([]Race, raceOff[workers])
+		var dataIdx []int
+		if dataOff[workers] > 0 {
+			dataIdx = make([]int, dataOff[workers])
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ri, di := raceOff[w], dataOff[w]
+				for i := bounds[w]; i < bounds[w+1]; {
+					j, data := i+1, recs[i].data
+					for j < bounds[w+1] && recs[j].key == recs[i].key {
+						data = data || recs[j].data
+						j++
+					}
+					a.fillRace(&races[ri], recs[i:j], data)
+					if data {
+						dataIdx[di] = ri
+						di++
+					}
+					ri++
+					i = j
+				}
+			}(w)
+		}
+		wg.Wait()
+		a.Races = races
+		a.DataRaces = dataIdx
+	} else {
+		// len(recs) bounds the race count tightly (each record is a
+		// distinct (pair, location) and nearly every pair has one
+		// location), so Races is allocated once at that bound and
+		// truncated — no counting pre-pass rescanning the records.
+		races := make([]Race, len(recs))
+		ri := 0
+		for i := 0; i < len(recs); {
+			j, data := i+1, recs[i].data
+			for j < len(recs) && recs[j].key == recs[i].key {
+				data = data || recs[j].data
+				j++
+			}
+			a.fillRace(&races[ri], recs[i:j], data)
+			if data {
+				a.DataRaces = append(a.DataRaces, ri)
+			}
+			ri++
+			i = j
+		}
+		a.Races = races[:ri:ri]
 	}
-	a.Races = races[:ri:ri]
+	doneCoalesce()
 }
+
+// fillRace materializes one sorted equal-key run of sweep records as a
+// Race: unpack the pair, share the canonical {loc} set for the dominant
+// single-location case, build a private set otherwise.
+func (a *Analysis) fillRace(r *Race, run []pairRec, data bool) {
+	ar := a.Options.Arena
+	shift := a.pairShift
+	r.A = EventID(run[0].key >> shift)
+	r.B = EventID(run[0].key & (1<<shift - 1))
+	r.Data = data
+	if len(run) == 1 {
+		r.Locs = ar.canon[run[0].slot]
+		return
+	}
+	maxLoc := ar.slotLoc[run[0].slot]
+	for _, rec := range run[1:] {
+		if l := ar.slotLoc[rec.slot]; l > maxLoc {
+			maxLoc = l
+		}
+	}
+	r.Locs = bitset.Wrap(make([]uint64, int(maxLoc)/64+1))
+	for _, rec := range run {
+		r.Locs.Add(int(ar.slotLoc[rec.slot]))
+	}
+}
+
+// Record counts above which the sweep's merge-side passes fan out:
+// below them, goroutine dispatch costs more than the pass itself. Purely
+// scheduling decisions — output is identical either way.
+const (
+	sortParallelCutoff     = 1 << 16
+	coalesceParallelCutoff = 1 << 16
+)
 
 // sortRecsByKey sorts the sweep's records by packed pair key — the only
 // order the coalesce needs — with an LSD radix sort over 11-bit digits.
@@ -854,7 +1043,16 @@ func (a *Analysis) findRaces() {
 // usual record sort is two or three counting passes, not a comparison
 // sort of 24-byte structs. Ping-pong and counting buffers come from the
 // arena. The returned slice aliases either recs or the arena's buffer.
-func sortRecsByKey(recs []pairRec, ar *Arena) []pairRec {
+//
+// Above the parallel cutoff each counting pass shards: workers histogram
+// fixed contiguous chunks, a serial digit-major/worker-minor prefix sum
+// turns the histograms into disjoint scatter offsets, and workers
+// scatter their own chunks — a stable split-order-preserving pass, so
+// the result equals the serial sort's exactly. (Records with equal keys
+// may arrive in schedule-dependent order from the scan, but the coalesce
+// folds equal-key runs commutatively, so stability only needs to hold
+// within one sort invocation, which it does.)
+func sortRecsByKey(recs []pairRec, ar *Arena, workers int) []pairRec {
 	const digitBits = 11
 	const radix = 1 << digitBits
 	if len(recs) < 2*radix {
@@ -877,11 +1075,67 @@ func sortRecsByKey(recs []pairRec, ar *Arena) []pairRec {
 	if cap(ar.recsTmp) < len(recs) {
 		ar.recsTmp = make([]pairRec, len(recs))
 	}
+	src, dst := recs, ar.recsTmp[:len(recs)]
+	if workers > 1 && len(recs) >= sortParallelCutoff {
+		if cap(ar.digitsW) < workers*radix {
+			ar.digitsW = make([]int32, workers*radix)
+		}
+		hist := ar.digitsW[:workers*radix]
+		chunk := (len(recs) + workers - 1) / workers
+		ranges := func(w int) (lo, hi int) {
+			lo = min(w*chunk, len(recs))
+			return lo, min(lo+chunk, len(recs))
+		}
+		var wg sync.WaitGroup
+		for shift := 0; shift < 64; shift += digitBits {
+			if (orKeys>>shift)&(radix-1) == 0 {
+				continue // this digit is zero in every key: identity pass
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := hist[w*radix : (w+1)*radix]
+					for d := range h {
+						h[d] = 0
+					}
+					lo, hi := ranges(w)
+					for i := lo; i < hi; i++ {
+						h[(src[i].key>>shift)&(radix-1)]++
+					}
+				}(w)
+			}
+			wg.Wait()
+			sum := int32(0)
+			for d := 0; d < radix; d++ {
+				for w := 0; w < workers; w++ {
+					c := hist[w*radix+d]
+					hist[w*radix+d] = sum
+					sum += c
+				}
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := hist[w*radix : (w+1)*radix]
+					lo, hi := ranges(w)
+					for i := lo; i < hi; i++ {
+						d := (src[i].key >> shift) & (radix - 1)
+						dst[h[d]] = src[i]
+						h[d]++
+					}
+				}(w)
+			}
+			wg.Wait()
+			src, dst = dst, src
+		}
+		return src
+	}
 	if cap(ar.digits) < radix {
 		ar.digits = make([]int32, radix)
 	}
 	count := ar.digits[:radix]
-	src, dst := recs, ar.recsTmp[:len(recs)]
 	for shift := 0; shift < 64; shift += digitBits {
 		if (orKeys>>shift)&(radix-1) == 0 {
 			continue // this digit is zero in every key: identity pass

@@ -53,6 +53,8 @@ func TestAnalyzeEmitsTelemetry(t *testing.T) {
 		"detect.vc_components",
 		"detect.vc_window_queries",
 		"graph.vc.builds",
+		"graph.ts.spans",
+		"detect.sweep.buckets",
 		"trace.builds",
 		"trace.events.comp",
 		"trace.events.sync",
@@ -89,7 +91,16 @@ func TestAnalyzeEmitsTelemetry(t *testing.T) {
 	if snap.Gauges["detect.find_races.workers"] < 1 {
 		t.Errorf("detect.find_races.workers = %d, want >= 1", snap.Gauges["detect.find_races.workers"])
 	}
-	for _, phase := range []string{"sim.run", "trace.build", "detect.analyze", "detect.find_races"} {
+	// PR-8 parallel-analysis instrumentation: the timestamp layer's span
+	// statistics and the sweep's per-shard arena high-water marks.
+	if snap.Gauges["graph.ts.span_max_events"] < 1 {
+		t.Errorf("graph.ts.span_max_events = %d, want >= 1", snap.Gauges["graph.ts.span_max_events"])
+	}
+	if snap.Gauges["detect.arena.shards"] < 1 {
+		t.Errorf("detect.arena.shards = %d, want >= 1", snap.Gauges["detect.arena.shards"])
+	}
+	for _, phase := range []string{"sim.run", "trace.build", "detect.analyze", "detect.find_races",
+		"detect.sweep.prep", "detect.sweep.scan", "detect.sweep.merge", "detect.sweep.coalesce"} {
 		if snap.Phases[phase].Count == 0 {
 			t.Errorf("phase %q has no observations", phase)
 		}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 )
 
@@ -47,7 +48,7 @@ func TestQuickTimestampsMatchReachability(t *testing.T) {
 	for trial := 0; trial < 150; trial++ {
 		width := 1 + rng.Intn(5)
 		g, stream, pos := randStreamGraph(rng, width, 8, rng.Intn(25))
-		ts := NewTimestamps(g, stream, pos, width, nil)
+		ts := NewTimestamps(g, stream, pos, width, nil, 1+trial%3)
 		r := NewReachability(g)
 		n := g.N()
 		for u := 0; u < n; u++ {
@@ -75,7 +76,7 @@ func TestQuickTimestampsWindowMatchesClosure(t *testing.T) {
 	for trial := 0; trial < 150; trial++ {
 		width := 1 + rng.Intn(5)
 		g, stream, pos := randStreamGraph(rng, width, 8, rng.Intn(25))
-		ts := NewTimestamps(g, stream, pos, width, nil)
+		ts := NewTimestamps(g, stream, pos, width, nil, 1+trial%3)
 		r := NewReachability(g)
 		n := g.N()
 		// node id of stream p, position i — ids are assigned stream-major.
@@ -109,7 +110,7 @@ func TestQuickTimestampsWindowMatchesClosure(t *testing.T) {
 func TestTimestampsEpochClockConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(44))
 	g, stream, pos := randStreamGraph(rng, 4, 10, 20)
-	ts := NewTimestamps(g, stream, pos, 4, nil)
+	ts := NewTimestamps(g, stream, pos, 4, nil, 1)
 	r := NewReachability(g)
 	for u := 0; u < g.N(); u++ {
 		for v := 0; v < g.N(); v++ {
@@ -129,7 +130,7 @@ func TestTimestampsSizeMismatchPanics(t *testing.T) {
 			t.Fatal("no panic for mismatched stream table")
 		}
 	}()
-	NewTimestamps(New(3), []int32{0, 0}, []int32{0, 1}, 1, nil)
+	NewTimestamps(New(3), []int32{0, 0}, []int32{0, 1}, 1, nil, 1)
 }
 
 // NewWithDegrees must behave exactly like New + AddEdge, including when a
@@ -194,4 +195,99 @@ func TestQuickNewWithDegreesMatchesNew(t *testing.T) {
 			}
 		}
 	}
+}
+
+// The clock slabs must be byte-identical for every worker count,
+// including graphs large enough to cross the parallel-fill cutoff. The
+// worker sweep runs under -race in CI, so it also proves the fill's
+// writes are disjoint.
+func TestQuickTimestampsWorkerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 6; trial++ {
+		width := 2 + rng.Intn(5)
+		var g *Digraph
+		var stream, pos []int32
+		for g == nil || g.N() < fillParallelCutoff {
+			g, stream, pos = randStreamGraph(rng, width, 4000, 100+rng.Intn(400))
+		}
+		ref := NewTimestamps(g, stream, pos, width, nil, 1)
+		for _, workers := range []int{2, 3, 8} {
+			ts := NewTimestamps(g, stream, pos, width, nil, workers)
+			if !slices.Equal(ts.fw, ref.fw) || !slices.Equal(ts.bw, ref.bw) {
+				t.Fatalf("trial %d: clock slabs differ between workers=1 and workers=%d", trial, workers)
+			}
+		}
+	}
+}
+
+// The span skeleton must agree with a dense per-component fold on small
+// graphs too — especially cyclic ones, where every SCC member becomes a
+// span boundary.
+func TestQuickTimestampsSpansMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 300; trial++ {
+		width := 1 + rng.Intn(4)
+		g, stream, pos := randStreamGraph(rng, width, 12, rng.Intn(30))
+		ts := NewTimestamps(g, stream, pos, width, nil, 1)
+		fw, bw := denseTimestamps(g, stream, pos, width, ts.scc)
+		if !slices.Equal(ts.fw, fw) || !slices.Equal(ts.bw, bw) {
+			t.Fatalf("trial %d: span-skeleton slabs differ from dense fold", trial)
+		}
+	}
+}
+
+// denseTimestamps is the pre-span reference: fold and push every
+// component row along every cross-component edge, no span derivation.
+func denseTimestamps(g *Digraph, stream, pos []int32, width int, scc *SCC) (fw []uint32, bw []int32) {
+	k := scc.NumComponents()
+	fw = make([]uint32, k*width)
+	bw = make([]int32, k*width)
+	strLen := make([]int32, width)
+	for u := 0; u < g.N(); u++ {
+		if l := pos[u] + 1; l > strLen[stream[u]] {
+			strLen[stream[u]] = l
+		}
+	}
+	for c := k - 1; c >= 0; c-- {
+		row := fw[c*width : (c+1)*width]
+		for _, u := range scc.Members[c] {
+			if e := uint32(pos[u]) + 1; e > row[stream[u]] {
+				row[stream[u]] = e
+			}
+		}
+		for _, u := range scc.Members[c] {
+			for _, v := range g.Succ(u) {
+				if cv := scc.Comp[v]; cv != c {
+					dst := fw[cv*width : (cv+1)*width]
+					for i, x := range row {
+						if x > dst[i] {
+							dst[i] = x
+						}
+					}
+				}
+			}
+		}
+	}
+	for c := 0; c < k; c++ {
+		row := bw[c*width : (c+1)*width]
+		copy(row, strLen)
+		for _, u := range scc.Members[c] {
+			for _, v := range g.Succ(u) {
+				if cv := scc.Comp[v]; cv != c {
+					src := bw[cv*width : (cv+1)*width]
+					for i, x := range src {
+						if x < row[i] {
+							row[i] = x
+						}
+					}
+				}
+			}
+		}
+		for _, u := range scc.Members[c] {
+			if pos[u] < row[stream[u]] {
+				row[stream[u]] = pos[u]
+			}
+		}
+	}
+	return fw, bw
 }

@@ -121,16 +121,22 @@ func writeTrajectoryPointsTable(b *strings.Builder, points []BenchPoint) {
 }
 
 // writeScenarioCard renders one scenario: headline delta, the ns/op
-// line chart, and the metric table across points.
+// line chart, and the metric table across points. Every card shares the
+// full point list as its x axis: a scenario that only appears in newer
+// BENCH files (segments-512 did not exist before PR 8) keeps its
+// measurements over the points that have them and leaves gaps at the
+// rest, instead of sliding the series left and misaligning it against
+// the other cards.
 func writeScenarioCard(b *strings.Builder, name string, points []BenchPoint) {
 	type pt struct {
+		idx   int // position in the global point list
 		label string
 		val   float64
 	}
 	var series []pt
-	for _, p := range points {
+	for i, p := range points {
 		if sc := findScenario(p, name); sc != nil {
-			series = append(series, pt{p.Label, float64(sc.NSPerIter)})
+			series = append(series, pt{i, p.Label, float64(sc.NSPerIter)})
 		}
 	}
 	if len(series) == 0 {
@@ -170,11 +176,14 @@ func writeScenarioCard(b *strings.Builder, name string, points []BenchPoint) {
 		maxV = 1
 	}
 	top := niceCeil(maxV)
+	// x positions come from the GLOBAL point index, so every card's axis
+	// lines up with every other card's regardless of which points carry
+	// this scenario.
 	xAt := func(i int) float64 {
-		if len(series) == 1 {
+		if len(points) == 1 {
 			return padL + plotW/2
 		}
-		return padL + plotW*float64(i)/float64(len(series)-1)
+		return padL + plotW*float64(i)/float64(len(points)-1)
 	}
 	yAt := func(v float64) float64 { return baseY - plotH*v/top }
 
@@ -189,29 +198,42 @@ func writeScenarioCard(b *strings.Builder, name string, points []BenchPoint) {
 		fmt.Fprintf(b, `<text x="%g" y="%.1f" text-anchor="end" font-size="%d" fill="var(--ink-3)">%s</text>`+"\n",
 			padL-8, y+4, axLabel, fmtTrajNS(v))
 	}
-	// Area wash, line, markers with a surface ring, endpoint value label.
-	var ptsAttr strings.Builder
-	for i, s := range series {
-		if i > 0 {
-			ptsAttr.WriteByte(' ')
+	// Area wash and line per contiguous run of measured points: a point
+	// without this scenario breaks the line instead of being bridged, so
+	// gaps read as "not measured", not as interpolated data.
+	for lo := 0; lo < len(series); {
+		hi := lo + 1
+		for hi < len(series) && series[hi].idx == series[hi-1].idx+1 {
+			hi++
 		}
-		fmt.Fprintf(&ptsAttr, "%.1f,%.1f", xAt(i), yAt(s.val))
+		if hi-lo > 1 {
+			var ptsAttr strings.Builder
+			for i := lo; i < hi; i++ {
+				if i > lo {
+					ptsAttr.WriteByte(' ')
+				}
+				fmt.Fprintf(&ptsAttr, "%.1f,%.1f", xAt(series[i].idx), yAt(series[i].val))
+			}
+			fmt.Fprintf(b, `<polygon points="%.1f,%.1f %s %.1f,%.1f" fill="var(--series-1)" opacity="0.1"/>`+"\n",
+				xAt(series[lo].idx), baseY, ptsAttr.String(), xAt(series[hi-1].idx), baseY)
+			fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="var(--series-1)" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`+"\n",
+				ptsAttr.String())
+		}
+		lo = hi
 	}
-	if len(series) > 1 {
-		fmt.Fprintf(b, `<polygon points="%.1f,%.1f %s %.1f,%.1f" fill="var(--series-1)" opacity="0.1"/>`+"\n",
-			xAt(0), baseY, ptsAttr.String(), xAt(len(series)-1), baseY)
-		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="var(--series-1)" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`+"\n",
-			ptsAttr.String())
-	}
-	for i, s := range series {
+	// Markers with a surface ring; the x-axis labels every point, with
+	// the ones missing this scenario in the same muted ink.
+	for _, s := range series {
 		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="4" fill="var(--series-1)" stroke="var(--surface-1)" stroke-width="2"><title>%s: %s</title></circle>`+"\n",
-			xAt(i), yAt(s.val), html.EscapeString(s.label), fmtTrajNS(s.val))
-		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="%d" fill="var(--ink-3)">%s</text>`+"\n",
-			xAt(i), baseY+18, axLabel, html.EscapeString(s.label))
+			xAt(s.idx), yAt(s.val), html.EscapeString(s.label), fmtTrajNS(s.val))
 	}
-	lastI := len(series) - 1
+	for i, p := range points {
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="%d" fill="var(--ink-3)">%s</text>`+"\n",
+			xAt(i), baseY+18, axLabel, html.EscapeString(p.Label))
+	}
+	lastS := series[len(series)-1]
 	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12" font-weight="600" fill="var(--ink-1)">%s</text>`+"\n",
-		xAt(lastI)+10, yAt(series[lastI].val)+4, fmtTrajNS(series[lastI].val))
+		xAt(lastS.idx)+10, yAt(lastS.val)+4, fmtTrajNS(lastS.val))
 	b.WriteString("</svg>\n")
 
 	writeMetricTable(b, name, points)

@@ -83,6 +83,70 @@ func TestRenderTrajectory(t *testing.T) {
 	}
 }
 
+// A scenario that only exists in newer bench points (segments-512
+// arrived in PR 8) must chart at the global x positions of the points
+// that carry it — not slide left to x=0 — and must not error on the
+// older points that lack it.
+func TestRenderTrajectoryLateScenario(t *testing.T) {
+	mk := func(label string, scenarios []map[string]any) BenchPoint {
+		doc := map[string]any{
+			"meta":      map[string]any{"go_version": "go1.24.0"},
+			"iters":     30,
+			"scenarios": scenarios,
+		}
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ParseBenchPoint(label, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	old := mk("BENCH_2", []map[string]any{
+		{"name": "postmortem-scaling", "ns_per_iter": 1000},
+	})
+	mid := mk("BENCH_5", []map[string]any{
+		{"name": "postmortem-scaling", "ns_per_iter": 900},
+	})
+	cur := mk("BENCH_8", []map[string]any{
+		{"name": "postmortem-scaling", "ns_per_iter": 800},
+		{"name": "postmortem-scaling-large", "ns_per_iter": 5000},
+	})
+
+	var b strings.Builder
+	if err := RenderTrajectory(&b, []BenchPoint{old, mid, cur}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "postmortem-scaling-large") {
+		t.Fatal("late scenario card missing")
+	}
+	card := out[strings.Index(out, "postmortem-scaling-large"):]
+	if i := strings.Index(card, "</div>"); i >= 0 {
+		card = card[:i]
+	}
+	// The three-point axis spans padL=64 .. width-padR=630. The late
+	// scenario's single measurement belongs at the LAST point's x
+	// (630), not the first or the centre — the pre-fix renderer put a
+	// lone series point at plotW/2.
+	if !strings.Contains(card, `cx="630.0"`) {
+		t.Errorf("late scenario marker not at the last global x position:\n%s", card)
+	}
+	for _, wrong := range []string{`cx="64.0"`, `cx="347.0"`} {
+		if strings.Contains(card, wrong) {
+			t.Errorf("late scenario marker misaligned at %s", wrong)
+		}
+	}
+	// All three point labels still appear on the late card's axis.
+	for _, label := range []string{"BENCH_2", "BENCH_5", "BENCH_8"} {
+		if !strings.Contains(card, ">"+label+"<") {
+			t.Errorf("late card axis missing label %s", label)
+		}
+	}
+}
+
 func TestRenderTrajectoryEmpty(t *testing.T) {
 	var b strings.Builder
 	if err := RenderTrajectory(&b, nil); err == nil {
