@@ -55,10 +55,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		flight     = fs.String("flight", "", "write a flight-recorder directory: flight.jsonl, trace.json (Perfetto), witnesses.json")
 		workers    = fs.Int("workers", 0, "worker goroutines for the parallel analysis passes (0 = GOMAXPROCS);\noutput is byte-identical for every worker count")
 		httpAddr   = fs.String("http", "", "serve the observability plane (metrics, status, dashboard, pprof) on this address while analyzing")
+
+		wdP99X    = fs.Float64("watchdog-p99x", 0, "watchdog: fire when an analysis phase exceeds this multiple of its running p99 (0 = off)")
+		wdAbs     = fs.Duration("watchdog-abs", 0, "watchdog: fire when any analysis phase exceeds this duration (0 = off)")
+		artifacts = fs.String("artifacts", "", "watchdog capture directory: pprof snapshots per firing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	var obsSrv *obs.Server
 	if *httpAddr != "" {
 		srv, err := obs.Serve(*httpAddr, obs.Options{Tool: "racedetect"})
 		if err != nil {
@@ -66,7 +71,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		defer srv.Close()
+		obsSrv = srv
 		fmt.Fprintf(stderr, "racedetect: observability plane on http://%s/\n", srv.Addr())
+	}
+	if *wdP99X > 0 || *wdAbs > 0 {
+		// The watchdog watches the analysis phases through the registry's
+		// span hook, so collection stays on for the run.
+		defer telemetry.EnableDefault()()
+		var pub *obs.Publisher
+		if obsSrv != nil {
+			pub = obsSrv.Publisher()
+		}
+		wdog := obs.NewWatchdog(obs.WatchdogOptions{
+			Publisher:   pub,
+			Dir:         *artifacts,
+			P99Multiple: *wdP99X,
+			Absolute:    *wdAbs,
+		})
+		wdog.Start()
+		defer wdog.Stop()
+		if obsSrv != nil {
+			obsSrv.AttachWatchdog(wdog)
+		}
+		fmt.Fprintf(stderr, "racedetect: watchdog armed (p99x=%g abs=%v artifacts=%q)\n",
+			*wdP99X, *wdAbs, *artifacts)
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: racedetect [-graph] [-dot file] [-explain] [-html file] [-flight dir] [-pairing conservative|liberal] [-metrics file|-] trace.wrt ...")

@@ -74,6 +74,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		explain    = fs.Bool("explain", false, "replay the top race's example seed and print witness explanations")
 		htmlOut    = fs.String("html", "", "write an HTML race report for the top race's example seed to this file")
 		flight     = fs.String("flight", "", "write a flight-recorder directory: per-seed summaries plus the replayed example in full")
+
+		traceOn    = fs.Bool("trace", false, "record per-seed traces (simulate/analyze spans), tail-sampled for /trace/seed-N")
+		wdP99X     = fs.Float64("watchdog-p99x", 0, "watchdog: fire when a seed exceeds this multiple of the running p99 (0 = off)")
+		wdAbs      = fs.Duration("watchdog-abs", 0, "watchdog: fire when any single seed exceeds this duration (0 = off)")
+		wdCooldown = fs.Duration("watchdog-cooldown", 0, "watchdog: minimum time between captures (0 = default 30s)")
+		artifacts  = fs.String("artifacts", "", "watchdog capture directory: pprof snapshots + the offending seed's trace per firing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer stopProfiles()
 
 	var opts campaign.Options
+	var obsSrv *obs.Server
 	if *httpAddr != "" {
 		srv, err := obs.Serve(*httpAddr, obs.Options{Tool: "racehunt"})
 		if err != nil {
@@ -112,8 +119,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		defer srv.Close()
+		obsSrv = srv
 		opts.Publisher = srv.Publisher()
 		fmt.Fprintf(stderr, "racehunt: observability plane on http://%s/\n", srv.Addr())
+	}
+
+	var tracer *telemetry.Tracer
+	if *traceOn {
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{Registry: telemetry.Default()})
+		opts.Tracer = tracer
+		if obsSrv != nil {
+			obsSrv.SetTraceSource(func(key string) ([]export.Record, bool) {
+				ts, ok := tracer.Lookup(key)
+				if !ok {
+					return nil, false
+				}
+				return export.TraceRecords(ts), true
+			})
+		}
+	}
+	if *wdP99X > 0 || *wdAbs > 0 {
+		// The relative SLO reads the campaign.seed phase histogram, so an
+		// armed watchdog keeps telemetry collection on for the run.
+		defer telemetry.EnableDefault()()
+		wdog := obs.NewWatchdog(obs.WatchdogOptions{
+			Publisher:   opts.Publisher,
+			Dir:         *artifacts,
+			P99Multiple: *wdP99X,
+			Absolute:    *wdAbs,
+			Cooldown:    *wdCooldown,
+			TraceFor: func(key string) ([]export.Record, bool) {
+				ts, ok := tracer.Lookup(key)
+				if !ok {
+					return nil, false
+				}
+				return export.TraceRecords(ts), true
+			},
+		})
+		opts.Watchdog = wdog
+		wdog.Start()
+		defer wdog.Stop()
+		if obsSrv != nil {
+			obsSrv.AttachWatchdog(wdog)
+		}
+		fmt.Fprintf(stderr, "racehunt: watchdog armed (p99x=%g abs=%v artifacts=%q)\n",
+			*wdP99X, *wdAbs, *artifacts)
 	}
 	if *progress {
 		// Report ~10 lines per campaign: the campaign coalesces the

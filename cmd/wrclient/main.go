@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout     = fs.Duration("timeout", 2*time.Minute, "per-stream timeout, dial to summary")
 		oracle      = fs.Bool("oracle", false, "re-detect locally and require byte-identical race lists")
 		verbose     = fs.Bool("v", false, "print one line per stream")
+		traceOn     = fs.Bool("trace", true, "stamp a trace ID into each stream's WRS1 header")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,6 +68,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mismatches atomic.Int64
 		totalOps   atomic.Int64
 		totalRaces atomic.Int64
+
+		// Latency summary: every batch's wire-write duration and every
+		// stream's dial-to-summary round-trip, quantiled on exit.
+		latMu      sync.Mutex
+		batchLatNS []int64
+		streamRTNS []int64
 	)
 	start := time.Now()
 	for i, c := range corpus {
@@ -84,9 +91,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 				failures.Add(1)
 				return
 			}
+			// The trace ID correlates this stream across the client's
+			// latency lines, the server's /trace/{stream}, and any
+			// watchdog artifacts. Deterministic per (run, stream).
+			var traceID uint64
+			if *traceOn {
+				traceID = uint64(start.UnixNano())<<16 | uint64(i)&0xffff
+				if traceID == 0 {
+					traceID = 1
+				}
+			}
+			var myBatches []int64
+			sendStart := time.Now()
 			sum, err := stream.Send(*addr, r.Exec, stream.SendOptions{
 				BatchSize: *batch, Delay: *delay, Timeout: *timeout,
+				TraceID: traceID,
+				OnBatch: func(_ int, d time.Duration) {
+					myBatches = append(myBatches, int64(d))
+				},
 			})
+			rt := time.Since(sendStart)
+			latMu.Lock()
+			batchLatNS = append(batchLatNS, myBatches...)
+			streamRTNS = append(streamRTNS, int64(rt))
+			latMu.Unlock()
 			if err != nil {
 				mu.Lock()
 				fmt.Fprintf(stderr, "wrclient: stream %d (%s, %v, seed %d): %v\n",
@@ -98,9 +126,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			totalOps.Add(int64(sum.Events))
 			totalRaces.Add(int64(sum.RaceCount))
 			if *verbose {
+				traced := ""
+				if sum.TraceID != "" {
+					traced = "  trace " + sum.TraceID
+					if sum.TraceKept {
+						traced += " (kept)"
+					}
+				}
 				mu.Lock()
-				fmt.Fprintf(stdout, "stream %3d  %-24s %-5v seed %4d  %5d events  %3d races\n",
-					i, c.Workload.Name, c.Model, c.Seed, sum.Events, sum.RaceCount)
+				fmt.Fprintf(stdout, "stream %3d  %-24s %-5v seed %4d  %5d events  %3d races%s\n",
+					i, c.Workload.Name, c.Model, c.Seed, sum.Events, sum.RaceCount, traced)
 				mu.Unlock()
 			}
 			if *oracle {
@@ -120,6 +155,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "wrclient: %d streams to %s in %v: %d events, %d races, %d failures\n",
 		*streams, *addr, elapsed.Round(time.Millisecond), totalOps.Load(), totalRaces.Load(), failures.Load())
+	if len(streamRTNS) > 0 {
+		fmt.Fprintf(stdout, "wrclient: latency: batch write p50=%v p99=%v  stream round-trip p50=%v p99=%v\n",
+			quantileNS(batchLatNS, 0.50), quantileNS(batchLatNS, 0.99),
+			quantileNS(streamRTNS, 0.50), quantileNS(streamRTNS, 0.99))
+	}
 	if *oracle {
 		if n := mismatches.Load(); n > 0 {
 			fmt.Fprintf(stderr, "wrclient: %d/%d streams disagree with the local detector\n", n, *streams)
@@ -131,6 +171,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// quantileNS returns the q-th quantile of the observed durations
+// (nearest-rank over the sorted samples), rounded for display.
+func quantileNS(ns []int64, q float64) time.Duration {
+	if len(ns) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return time.Duration(sorted[idx]).Round(time.Microsecond)
 }
 
 // localRaces renders an execution's unbounded on-the-fly race list the

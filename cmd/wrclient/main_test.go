@@ -84,3 +84,58 @@ func TestClientBadFlags(t *testing.T) {
 		t.Fatalf("exit = %d, want 2", code)
 	}
 }
+
+// The exit summary must include the batch/round-trip latency quantile
+// line whenever at least one stream completed.
+func TestClientLatencySummary(t *testing.T) {
+	s := startServer(t, stream.Options{})
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-addr", s.Addr(), "-streams", "4", "-concurrency", "2", "-batch", "32",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, errb.String())
+	}
+	line := ""
+	for _, l := range strings.Split(out.String(), "\n") {
+		if strings.Contains(l, "latency:") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("no latency summary line:\n%s", out.String())
+	}
+	for _, want := range []string{"batch write p50=", "p99=", "stream round-trip p50="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("latency line missing %q: %s", want, line)
+		}
+	}
+	if strings.Contains(line, "p50=0s  p99=0s") {
+		t.Fatalf("latency quantiles all zero: %s", line)
+	}
+}
+
+// With -trace the client stamps trace IDs: a traced server keeps every
+// racy stream and the verbose lines carry the trace IDs.
+func TestClientTraceStamping(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.SetEnabled(true)
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{Registry: reg, MinSlowSamples: 1 << 30})
+	s := startServer(t, stream.Options{Registry: reg, Tracer: tracer})
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-addr", s.Addr(), "-streams", "6", "-concurrency", "2", "-v",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "trace ") {
+		t.Fatalf("verbose output has no trace IDs:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "(kept)") {
+		t.Fatalf("no kept traces across the racy corpus prefix:\n%s", out.String())
+	}
+	if len(tracer.Keys()) == 0 {
+		t.Fatal("server tracer kept nothing")
+	}
+}

@@ -10,11 +10,20 @@
 //
 //	wrserve -addr :7421 -http 127.0.0.1:8077
 //	wrserve -addr :7421 -window 1024 -workers 8 -queue 16
+//	wrserve -http :8077 -watchdog-stall 5s -artifacts ./artifacts
 //
 // With -window N the detector retires events more than N operations
 // old, trading missed distant pairs for bounded memory; every stream
 // that retires anything carries a replay seed in its summary so the
 // execution can be re-analyzed post-mortem. -window 0 is exact.
+//
+// Tracing is on by default: every stream records per-batch spans
+// (queue wait, detector feed, retire, race-emit), tail-sampled so only
+// anomalous streams — racy, errored, truncated, or the slowest decile —
+// keep their full timeline, retrievable at /trace/{stream} as flight
+// JSONL or (?format=perfetto) a Chrome trace. The watchdog flags arm
+// self-profiling: an SLO breach captures CPU/heap/goroutine profiles
+// plus the offending stream's trace into -artifacts.
 package main
 
 import (
@@ -27,10 +36,13 @@ import (
 	"os/signal"
 	"syscall"
 
+	"time"
+
 	"weakrace/internal/memmodel"
 	"weakrace/internal/obs"
 	"weakrace/internal/stream"
 	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
 )
 
 func main() {
@@ -53,6 +65,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		window   = fs.Int("window", 0, "retire events more than this many operations old (0 = exact, unbounded)")
 		history  = fs.Int("history", 0, "per-location access-history cap (0 = unbounded)")
 		liberal  = fs.Bool("liberal-pairing", false, "treat Test&Set writes as releases")
+
+		traceOn   = fs.Bool("trace", true, "record per-batch spans per stream, tail-sampled for /trace/{stream}")
+		traceKeep = fs.Int("trace-keep", 0, "finished traces the tail sampler retains (0 = default 128)")
+
+		wdP99X     = fs.Float64("watchdog-p99x", 0, "watchdog: fire when a batch feed exceeds this multiple of its running p99 (0 = off)")
+		wdAbs      = fs.Duration("watchdog-abs", 0, "watchdog: fire when any single observation exceeds this duration (0 = off)")
+		wdStall    = fs.Duration("watchdog-stall", 0, "watchdog: fire when a stream with queued batches makes no progress for this long (0 = off)")
+		wdCooldown = fs.Duration("watchdog-cooldown", 0, "watchdog: minimum time between captures (0 = default 30s)")
+		artifacts  = fs.String("artifacts", "", "watchdog capture directory: pprof snapshots + the offending stream's trace per firing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	if *liberal {
 		pairing = memmodel.LiberalPairing
 	}
+	wantWdog := *wdP99X > 0 || *wdAbs > 0 || *wdStall > 0
 
 	opts := stream.Options{
 		Addr:         *addr,
@@ -72,14 +94,57 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		Registry:     telemetry.Default(),
 	}
 
+	var tracer *telemetry.Tracer
+	if *traceOn {
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{
+			Keep:     *traceKeep,
+			Registry: telemetry.Default(),
+		})
+		opts.Tracer = tracer
+	}
+
 	var obsSrv *obs.Server
 	var httpLn net.Listener
 	if *httpAddr != "" {
 		obsSrv = obs.NewServer(obs.Options{Tool: "wrserve"})
 		opts.Publisher = obsSrv.Publisher()
-	} else {
-		// No HTTP plane: nobody is scraping, keep the hot path free.
+	} else if !wantWdog {
+		// No HTTP plane and no watchdog: nobody is scraping, keep the
+		// hot path free. (The watchdog's relative SLO needs the phase
+		// histograms, so an armed watchdog keeps collection on.)
 		telemetry.Default().SetEnabled(false)
+	} else {
+		telemetry.Default().SetEnabled(true)
+	}
+
+	// srv is assigned before wdog.Start launches the stall poller, so
+	// the closure reads it safely.
+	var srv *stream.Server
+	var wdog *obs.Watchdog
+	if wantWdog {
+		var pub *obs.Publisher
+		if obsSrv != nil {
+			pub = obsSrv.Publisher()
+		}
+		wdog = obs.NewWatchdog(obs.WatchdogOptions{
+			Publisher:   pub,
+			Dir:         *artifacts,
+			P99Multiple: *wdP99X,
+			Absolute:    *wdAbs,
+			Stall:       *wdStall,
+			Cooldown:    *wdCooldown,
+			StallCheck: func(olderThan time.Duration) []obs.StallInfo {
+				return srv.Stalled(olderThan)
+			},
+			TraceFor: func(key string) ([]export.Record, bool) {
+				ts, ok := tracer.Lookup(key)
+				if !ok {
+					return nil, false
+				}
+				return export.TraceRecords(ts), true
+			},
+		})
+		opts.Watchdog = wdog
 	}
 
 	srv, err := stream.Serve(opts)
@@ -89,8 +154,20 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	}
 	defer srv.Close()
 	fmt.Fprintf(stderr, "wrserve: ingest plane on %s (window=%d)\n", srv.Addr(), *window)
+	if wdog != nil {
+		wdog.Start()
+		defer wdog.Stop()
+		fmt.Fprintf(stderr, "wrserve: watchdog armed (p99x=%g abs=%v stall=%v artifacts=%q)\n",
+			*wdP99X, *wdAbs, *wdStall, *artifacts)
+	}
 
 	if obsSrv != nil {
+		if ts := srv.TraceSource(); ts != nil {
+			obsSrv.SetTraceSource(ts)
+		}
+		if wdog != nil {
+			obsSrv.AttachWatchdog(wdog)
+		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/streams", srv.StreamsHandler())
 		mux.Handle("/", obsSrv.Handler())

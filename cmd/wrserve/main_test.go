@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"weakrace/internal/sim"
 	"weakrace/internal/stream"
 	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
 	"weakrace/internal/workload"
 )
 
@@ -145,5 +148,155 @@ func TestDaemonBadFlags(t *testing.T) {
 	}
 	if !strings.Contains(errBuf.String(), "flag") {
 		t.Fatalf("no usage on stderr: %s", errBuf.String())
+	}
+}
+
+// Tracing on (the default): a racy stream's trace must be retrievable
+// at /trace/{stream} in both formats, and /status must carry the new
+// latency and trace counters.
+func TestDaemonTraceEndpoint(t *testing.T) {
+	ingest, httpAddr, shutdown := startDaemon(t)
+	defer shutdown()
+
+	c := workload.Corpus(1, 1)[0] // racy corpus entry
+	r, err := sim.Run(c.Workload.Prog, sim.Config{Model: c.Model, Seed: c.Seed, InitMemory: c.Workload.InitMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := stream.Send(ingest, r.Exec, stream.SendOptions{BatchSize: 32, TraceID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Races) == 0 {
+		t.Fatal("corpus entry 0 expected racy")
+	}
+	if !sum.TraceKept {
+		t.Fatal("racy stream's trace not kept")
+	}
+
+	url := "http://" + httpAddr + "/trace/" + strconv.FormatUint(sum.StreamID, 10)
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d\n%s", url, resp.StatusCode, body)
+	}
+	recs, err := export.ReadJSONL(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("served trace unreadable: %v", err)
+	}
+	if len(recs) < 2 || recs[0].Meta == nil || recs[0].Meta.TraceID != sum.TraceID {
+		t.Fatalf("trace records = %+v", recs)
+	}
+
+	resp2, err := http.Get(url + "?format=perfetto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body2, &doc); err != nil || len(doc.TraceEvents) == 0 {
+		t.Fatalf("perfetto export: err=%v events=%d", err, len(doc.TraceEvents))
+	}
+
+	// /status: batch latency quantiles and trace counters present.
+	resp3, err := http.Get("http://" + httpAddr + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var status struct {
+		Streams *struct {
+			TracesKept int64 `json:"traces_kept"`
+			BatchFeed  *struct {
+				Count int64 `json:"count"`
+				P99NS int64 `json:"p99_ns"`
+			} `json:"batch_feed"`
+		} `json:"streams"`
+	}
+	if err := json.NewDecoder(resp3.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Streams == nil || status.Streams.TracesKept != 1 {
+		t.Fatalf("status streams = %+v", status.Streams)
+	}
+	if status.Streams.BatchFeed == nil || status.Streams.BatchFeed.Count == 0 {
+		t.Fatalf("no batch_feed quantiles in /status: %+v", status.Streams)
+	}
+}
+
+// An aggressively armed watchdog must fire on real traffic and leave a
+// loadable artifact directory: firing.json, pprof snapshots, and the
+// offending stream's trace.
+func TestDaemonWatchdogCaptures(t *testing.T) {
+	dir := t.TempDir()
+	ingest, httpAddr, shutdown := startDaemon(t,
+		"-watchdog-abs", "1ns", "-watchdog-cooldown", "1ms", "-artifacts", dir)
+
+	c := workload.Corpus(1, 1)[0]
+	r, err := sim.Run(c.Workload.Prog, sim.Config{Model: c.Model, Seed: c.Seed, InitMemory: c.Workload.InitMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.Send(ingest, r.Exec, stream.SendOptions{BatchSize: 32}); err != nil {
+		t.Fatal(err)
+	}
+
+	// /status must report the firing (possibly after the async capture).
+	var wdStatus struct {
+		Watchdog *struct {
+			Firings int64 `json:"firings"`
+			Recent  []struct {
+				Dir string `json:"dir"`
+			} `json:"recent"`
+		} `json:"watchdog"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + httpAddr + "/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&wdStatus)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wdStatus.Watchdog != nil && wdStatus.Watchdog.Firings > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog never fired: %+v", wdStatus)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Shutdown waits for in-flight captures, so artifacts are complete.
+	shutdown()
+
+	adir := wdStatus.Watchdog.Recent[0].Dir
+	for _, name := range []string{"firing.json", "heap.pprof", "goroutine.pprof"} {
+		if fi, err := os.Stat(filepath.Join(adir, name)); err != nil || fi.Size() == 0 {
+			t.Errorf("artifact %s: err=%v", name, err)
+		}
+	}
+	var firing struct {
+		Phase  string `json:"phase"`
+		Reason string `json:"reason"`
+	}
+	data, err := os.ReadFile(filepath.Join(adir, "firing.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &firing); err != nil {
+		t.Fatal(err)
+	}
+	if firing.Phase == "" || !strings.Contains(firing.Reason, "absolute SLO") {
+		t.Fatalf("firing = %+v", firing)
 	}
 }

@@ -123,6 +123,14 @@ type Options struct {
 	// event/edge dumps. Replay the interesting seed with a recorder
 	// attached to get the full log.
 	Flight *export.Recorder
+	// Tracer, when non-nil, opens one trace per seed (key "seed-<n>",
+	// simulate and analyze spans) and tail-samples the finished traces:
+	// racy and failed seeds always keep theirs for /trace/{key}, the
+	// rest survive only in the aggregate phase histograms.
+	Tracer *telemetry.Tracer
+	// Watchdog, when non-nil, receives each seed's total duration keyed
+	// by "seed-<n>", so an SLO breach captures that seed's trace.
+	Watchdog *obs.Watchdog
 }
 
 // Run executes the campaign, fanning executions across workers. The
@@ -270,6 +278,24 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 			defer func() { seedDone(seed, results[seed], errs[seed]) }()
 			sp := reg.StartSpan("campaign.seed")
 			defer sp.End()
+			// Per-seed trace: simulate and analyze spans under one key, so
+			// racehunt serves /trace/seed-N for every racy or failed seed.
+			var str *telemetry.StreamTrace
+			if opts.Tracer != nil {
+				key := fmt.Sprintf("seed-%d", seed)
+				id := telemetry.TraceID(uint64(start.UnixNano())<<16 | uint64(seed)&0xffff)
+				str = opts.Tracer.Begin(key, id, 0, cfg.Workload.Name, cfg.Model.String(), int64(seed))
+				seedStart := time.Now()
+				defer func() {
+					dur := time.Since(seedStart)
+					res := results[seed]
+					opts.Tracer.Finish(str, telemetry.TraceOutcome{
+						Racy:    res != nil && res.racy,
+						Errored: errs[seed] != nil,
+					})
+					opts.Watchdog.Observe("campaign.seed", dur, key)
+				}()
+			}
 			// The seed summary is timed and emitted only when a recorder is
 			// attached; the default path costs one nil check.
 			var seedStart time.Time
@@ -297,11 +323,13 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 				}
 				opts.Flight.Emit(export.Record{Kind: export.KindSeed, Seed: rec})
 			}
+			simStart := time.Now()
 			r, err := simRun(cfg.Workload.Prog, sim.Config{
 				Model: cfg.Model, Seed: int64(seed),
 				RetireProb: cfg.RetireProb,
 				InitMemory: cfg.Workload.InitMemory,
 			})
+			str.Record("simulate", -1, simStart, time.Since(simStart))
 			if err != nil {
 				errs[seed] = err
 				emitSeed(nil, false, err)
@@ -317,8 +345,10 @@ func RunWithOptions(cfg Config, opts Options) (*Report, error) {
 			// seed pool would only oversubscribe it.
 			scratch := scratches.Get().(*seedScratch)
 			defer scratches.Put(scratch)
+			anStart := time.Now()
 			a, err := core.Analyze(trace.FromExecutionInto(r.Exec, scratch.trace),
 				core.Options{Pairing: cfg.Pairing, Workers: 1, Arena: scratch.core})
+			str.Record("analyze", -1, anStart, time.Since(anStart))
 			if err != nil {
 				errs[seed] = err
 				emitSeed(nil, res.incomplete, err)

@@ -3,6 +3,7 @@ package campaign
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -528,5 +529,52 @@ func TestCampaignLiveCounters(t *testing.T) {
 	}
 	if got := snap.Counters["campaign.seeds_failed"]; got != 0 {
 		t.Errorf("campaign.seeds_failed = %d, want 0", got)
+	}
+}
+
+// A traced campaign must keep every racy seed's trace, retrievable
+// under "seed-N", with the simulate and analyze spans recorded; clean
+// seeds are sampled out.
+func TestCampaignTracing(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.SetEnabled(true)
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{Registry: reg, MinSlowSamples: 1 << 30})
+	rep, err := RunWithOptions(Config{
+		Workload: workload.LockedCounter(3, 4, 1),
+		Model:    memmodel.WO,
+		Seeds:    40,
+	}, Options{Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RaceFree() {
+		t.Fatal("buggy campaign race-free")
+	}
+	// Each example seed is a known-racy execution; its trace must be
+	// kept with the simulate and analyze spans in the timeline.
+	for _, st := range rep.Races {
+		key := fmt.Sprintf("seed-%d", st.ExampleSeed)
+		ts, ok := tracer.Lookup(key)
+		if !ok {
+			t.Errorf("racy seed %d has no kept trace", st.ExampleSeed)
+			continue
+		}
+		if !ts.Finished || !ts.Outcome.Racy {
+			t.Errorf("seed %d outcome = %+v", st.ExampleSeed, ts.Outcome)
+		}
+		seen := map[string]bool{}
+		for _, sp := range ts.Spans {
+			seen[sp.Name] = true
+		}
+		if !seen["simulate"] || !seen["analyze"] {
+			t.Errorf("seed %d trace missing phases: %v", st.ExampleSeed, seen)
+		}
+	}
+	// With slow sampling disabled, exactly the racy executions stay kept.
+	if kept := len(tracer.Keys()); kept != rep.Racy {
+		t.Errorf("tracer keeps %d traces, want %d racy executions", kept, rep.Racy)
+	}
+	if got := reg.Counter("trace.streams_traced").Value(); got != 40 {
+		t.Errorf("streams_traced = %d, want 40", got)
 	}
 }

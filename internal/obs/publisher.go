@@ -34,6 +34,10 @@ const (
 	// overwrote while it lagged. Synthesized per subscription, never
 	// stored in the ring.
 	EventDropped = "dropped"
+	// EventWatchdog announces a watchdog SLO firing: the breached phase,
+	// the observed duration, and where the capture landed. Never
+	// coalesced away.
+	EventWatchdog = "watchdog"
 )
 
 // Event is one notification on the /events stream. Kind selects which
@@ -54,12 +58,16 @@ type Event struct {
 	Race string `json:"race,omitempty"`
 	Seed int64  `json:"seed,omitempty"`
 
-	// EventPhase
+	// EventPhase (Phase/DurNS shared with EventWatchdog)
 	Phase string `json:"phase,omitempty"`
 	DurNS int64  `json:"dur_ns,omitempty"`
 
 	// EventDropped
 	Dropped int64 `json:"dropped,omitempty"`
+
+	// EventWatchdog
+	Reason      string `json:"reason,omitempty"`
+	ArtifactDir string `json:"artifact_dir,omitempty"`
 }
 
 // DefaultRingSize is the event ring's capacity: enough to ride out a

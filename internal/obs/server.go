@@ -9,10 +9,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"weakrace/internal/report"
 	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
 )
 
 // Options configures a Server. The zero value serves the process-wide
@@ -53,7 +56,23 @@ type Server struct {
 	coalesceWindow time.Duration
 	// heartbeat is the SSE keep-alive comment interval.
 	heartbeat time.Duration
+
+	// traceSource resolves /trace/{key} to flight records; nil until a
+	// tracing-enabled host (wrserve, racehunt) wires one in.
+	traceSource atomic.Pointer[TraceSource]
+	// watchdog, when attached, contributes the /status watchdog block.
+	watchdog atomic.Pointer[Watchdog]
 }
+
+// TraceSource resolves a stream or seed key to the flight records of
+// its tail-sampled trace.
+type TraceSource func(key string) ([]export.Record, bool)
+
+// SetTraceSource wires the /trace/{key} endpoint to a trace store.
+func (s *Server) SetTraceSource(ts TraceSource) { s.traceSource.Store(&ts) }
+
+// AttachWatchdog adds the watchdog's firing summary to /status.
+func (s *Server) AttachWatchdog(w *Watchdog) { s.watchdog.Store(w) }
 
 // NewServer builds the plane without a listener (for mounting on an
 // existing mux or an httptest server). It enables the registry and
@@ -89,6 +108,7 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/status", s.handleStatus)
 	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/trace/", s.handleTrace)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -179,6 +199,7 @@ type Status struct {
 	Campaign      *CampaignStatus        `json:"campaign,omitempty"`
 	Streams       *StreamsStatus         `json:"streams,omitempty"`
 	Phases        map[string]PhaseStatus `json:"phases,omitempty"`
+	Watchdog      *WatchdogStatus        `json:"watchdog,omitempty"`
 }
 
 // CampaignStatus mirrors the campaign's live counters.
@@ -204,6 +225,17 @@ type StreamsStatus struct {
 	Retired     int64 `json:"retired"`
 	ReplaySeeds int64 `json:"replay_seeds"`
 	Window      int64 `json:"window"`
+
+	// QueueHighWater is the deepest any stream's batch queue has been
+	// since startup — the backpressure signal.
+	QueueHighWater int64 `json:"queue_high_water,omitempty"`
+	// TracesKept / TracesSampledOut report the tail sampler's decisions.
+	TracesKept       int64 `json:"traces_kept,omitempty"`
+	TracesSampledOut int64 `json:"traces_sampled_out,omitempty"`
+	// BatchWait / BatchFeed summarize per-batch queue-wait and detector
+	// feed latency across all streams.
+	BatchWait *PhaseStatus `json:"batch_wait,omitempty"`
+	BatchFeed *PhaseStatus `json:"batch_feed,omitempty"`
 }
 
 // PhaseStatus summarizes one phase histogram for display.
@@ -252,19 +284,25 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Retired:     snap.Counters["stream.retired"],
 			ReplaySeeds: snap.Counters["stream.replay_seeds"],
 			Window:      snap.Gauges["stream.window"],
+
+			QueueHighWater:   snap.Gauges["stream.queue_high_water"],
+			TracesKept:       snap.Counters["trace.kept"],
+			TracesSampledOut: snap.Counters["trace.sampled_out"],
 		}
+		if p, ok := snap.Phases["stream.batch_wait"]; ok {
+			st.Streams.BatchWait = phaseStatus(p)
+		}
+		if p, ok := snap.Phases["stream.batch_feed"]; ok {
+			st.Streams.BatchFeed = phaseStatus(p)
+		}
+	}
+	if wd := s.watchdog.Load(); wd != nil {
+		st.Watchdog = wd.Status()
 	}
 	if len(snap.Phases) > 0 {
 		st.Phases = make(map[string]PhaseStatus, len(snap.Phases))
 		for name, p := range snap.Phases {
-			st.Phases[name] = PhaseStatus{
-				Count:   p.Count,
-				TotalNS: p.TotalNS,
-				P50NS:   p.Quantile(0.50),
-				P90NS:   p.Quantile(0.90),
-				P99NS:   p.Quantile(0.99),
-				MaxNS:   p.MaxNS,
-			}
+			st.Phases[name] = *phaseStatus(p)
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -272,6 +310,55 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(st); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// phaseStatus summarizes one phase snapshot for display.
+func phaseStatus(p telemetry.PhaseSnapshot) *PhaseStatus {
+	return &PhaseStatus{
+		Count:   p.Count,
+		TotalNS: p.TotalNS,
+		P50NS:   p.Quantile(0.50),
+		P90NS:   p.Quantile(0.90),
+		P99NS:   p.Quantile(0.99),
+		MaxNS:   p.MaxNS,
+	}
+}
+
+// handleTrace serves /trace/{key}: the tail-sampled flight trace of one
+// stream (or campaign seed). Default output is flight-recorder JSONL;
+// ?format=perfetto renders Chrome trace-event JSON loadable in Perfetto
+// or chrome://tracing. 404 means the key was never traced or was
+// sampled out as unremarkable.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tsp := s.traceSource.Load()
+	if tsp == nil {
+		http.Error(w, "tracing not enabled", http.StatusNotFound)
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/trace/")
+	if key == "" {
+		http.Error(w, "usage: /trace/{stream}", http.StatusBadRequest)
+		return
+	}
+	recs, ok := (*tsp)(key)
+	if !ok {
+		http.Error(w, "no trace for "+key, http.StatusNotFound)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "jsonl":
+		w.Header().Set("Content-Type", "application/jsonl")
+		if err := export.WriteJSONL(w, recs); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "perfetto", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		if err := export.WriteChromeTrace(w, recs); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.Error(w, "unknown format (want jsonl or perfetto)", http.StatusBadRequest)
 	}
 }
 

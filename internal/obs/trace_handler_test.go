@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
+)
+
+// testTraceSource serves one canned trace under key "7".
+func testTraceSource(t *testing.T) TraceSource {
+	t.Helper()
+	tr := telemetry.NewTracer(telemetry.TracerOptions{MinSlowSamples: 1 << 30})
+	st := tr.Begin("7", telemetry.TraceID(0xbeef), 0, "prog", "WO", 3)
+	st.Record("batch.feed", 0, st.Start(), time.Millisecond)
+	if !tr.Finish(st, telemetry.TraceOutcome{Racy: true}) {
+		t.Fatal("racy trace sampled out")
+	}
+	return func(key string) ([]export.Record, bool) {
+		ts, ok := tr.Lookup(key)
+		if !ok {
+			return nil, false
+		}
+		return export.TraceRecords(ts), true
+	}
+}
+
+func TestTraceEndpointWithoutSource(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, _ := get(t, ts.URL+"/trace/7")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404 when tracing is off", resp.StatusCode)
+	}
+}
+
+func TestTraceEndpointJSONL(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	s.SetTraceSource(testTraceSource(t))
+
+	resp, body := get(t, ts.URL+"/trace/7")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/jsonl" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	recs, err := export.ReadJSONL(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("served JSONL unreadable: %v", err)
+	}
+	// One meta + batch.feed span + the trace-level "stream" span Finish appends.
+	if len(recs) != 3 || recs[0].Kind != export.KindMeta || recs[0].Meta.Stream != "7" {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[1].Phase == nil || recs[1].Phase.Name != "batch.feed" {
+		t.Fatalf("span record = %+v", recs[1])
+	}
+	if recs[2].Phase == nil || recs[2].Phase.Name != "stream" {
+		t.Fatalf("trace-level record = %+v", recs[2])
+	}
+}
+
+func TestTraceEndpointPerfetto(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	s.SetTraceSource(testTraceSource(t))
+
+	resp, body := get(t, ts.URL+"/trace/7?format=perfetto")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("perfetto body is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("perfetto trace has no events")
+	}
+}
+
+func TestTraceEndpointErrors(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	s.SetTraceSource(testTraceSource(t))
+
+	if resp, _ := get(t, ts.URL+"/trace/99"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown stream: status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/trace/"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing key: status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/trace/7?format=xml"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestStatusWatchdogBlock(t *testing.T) {
+	s, ts, reg := newTestServer(t)
+	w := NewWatchdog(WatchdogOptions{Registry: reg, Absolute: time.Millisecond, Cooldown: time.Hour})
+	w.Start()
+	defer w.Stop()
+	s.AttachWatchdog(w)
+	w.Observe("stream.batch_feed", time.Second, "3")
+
+	_, body := get(t, ts.URL+"/status")
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if st.Watchdog == nil {
+		t.Fatal("watchdog block missing from /status")
+	}
+	if st.Watchdog.Firings != 1 || len(st.Watchdog.Recent) != 1 {
+		t.Fatalf("watchdog = %+v", st.Watchdog)
+	}
+	if st.Watchdog.Recent[0].Key != "3" || st.Watchdog.Recent[0].Reason == "" {
+		t.Fatalf("firing = %+v", st.Watchdog.Recent[0])
+	}
+}
+
+func TestStatusStreamsLatencyFields(t *testing.T) {
+	_, ts, reg := newTestServer(t)
+	reg.Gauge("stream.streams_active").Set(1)
+	reg.Gauge("stream.queue_high_water").Set(5)
+	reg.Counter("trace.kept").Add(2)
+	reg.Counter("trace.sampled_out").Add(8)
+	for i := 0; i < 10; i++ {
+		reg.Phase("stream.batch_wait").Observe(time.Duration(i+1) * time.Microsecond)
+		reg.Phase("stream.batch_feed").Observe(time.Duration(i+1) * 2 * time.Microsecond)
+	}
+
+	_, body := get(t, ts.URL+"/status")
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	sb := st.Streams
+	if sb == nil {
+		t.Fatal("streams block missing")
+	}
+	if sb.QueueHighWater != 5 || sb.TracesKept != 2 || sb.TracesSampledOut != 8 {
+		t.Fatalf("streams = %+v", sb)
+	}
+	if sb.BatchWait == nil || sb.BatchWait.Count != 10 || sb.BatchWait.P99NS < sb.BatchWait.P50NS {
+		t.Fatalf("batch_wait = %+v", sb.BatchWait)
+	}
+	if sb.BatchFeed == nil || sb.BatchFeed.Count != 10 {
+		t.Fatalf("batch_feed = %+v", sb.BatchFeed)
+	}
+}

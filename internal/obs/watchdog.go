@@ -1,0 +1,413 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weakrace/internal/atomicio"
+	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
+)
+
+// Watchdog is the self-profiling arm of the observability plane: it
+// watches phase latencies (via the registry's span hook and explicit
+// Observe calls from the stream workers) and live-stream stalls, and
+// when a configured SLO is breached it captures the evidence while it
+// is still hot — CPU/heap/goroutine pprof snapshots plus the offending
+// stream's tail-sampled trace — into an artifacts directory, surfacing
+// the firing on /status and /events.
+//
+// The hot path is one atomic threshold compare per observation; the
+// capture itself runs in a background goroutine behind a cooldown, so a
+// pathological phase cannot turn the watchdog into its own overhead.
+
+// WatchdogOptions configures SLOs and capture.
+type WatchdogOptions struct {
+	// Registry holds the phase histograms the relative SLO reads.
+	// Default telemetry.Default().
+	Registry *telemetry.Registry
+	// Publisher receives one EventWatchdog per firing. Nil discards.
+	Publisher *Publisher
+	// Dir is the artifacts directory; firings create
+	// dir/watchdog-<seq>-<phase> subdirectories. Empty disables capture
+	// (firings are still counted and published).
+	Dir string
+	// P99Multiple fires when one observation exceeds this multiple of
+	// the phase's running p99 (after MinSamples observations of that
+	// phase). 0 disables the relative SLO.
+	P99Multiple float64
+	// MinSamples gates the relative SLO: a phase's p99 is meaningless
+	// until it has history. Default 64.
+	MinSamples int64
+	// Absolute fires when any single observation exceeds this duration.
+	// 0 disables the absolute SLO.
+	Absolute time.Duration
+	// Stall fires when StallCheck reports an item older than this.
+	// 0 disables stall polling.
+	Stall time.Duration
+	// StallCheck lists currently stalled items (a wrserve plugs in its
+	// live-stream scan). Consulted every PollInterval when Stall > 0.
+	StallCheck func(olderThan time.Duration) []StallInfo
+	// PollInterval is the stall scan cadence. Default 1s.
+	PollInterval time.Duration
+	// Cooldown is the minimum time between captures. Default 30s.
+	Cooldown time.Duration
+	// CPUProfile is how long the capture's CPU profile runs. Default
+	// 250ms; 0 keeps the default.
+	CPUProfile time.Duration
+	// TraceFor resolves a stream/seed key to its trace records for the
+	// capture (a Tracer lookup). Nil skips the trace artifact.
+	TraceFor func(key string) ([]export.Record, bool)
+}
+
+// StallInfo is one stalled item reported by StallCheck.
+type StallInfo struct {
+	Key   string
+	Phase string
+	Age   time.Duration
+}
+
+// Firing is one recorded SLO breach.
+type Firing struct {
+	Seq    int    `json:"seq"`
+	UnixNS int64  `json:"unix_ns"`
+	Phase  string `json:"phase"`
+	Key    string `json:"key,omitempty"`
+	Reason string `json:"reason"`
+	DurNS  int64  `json:"dur_ns"`
+	Dir    string `json:"dir,omitempty"`
+}
+
+// WatchdogStatus is the /status block.
+type WatchdogStatus struct {
+	Firings    int64    `json:"firings"`
+	Suppressed int64    `json:"suppressed"`
+	Recent     []Firing `json:"recent,omitempty"`
+}
+
+// phaseStat is the per-phase hot-path state: an observation count and a
+// cached firing threshold, refreshed from the histogram every
+// thresholdRefresh observations so the common case is two atomic loads.
+type phaseStat struct {
+	count     atomic.Int64
+	threshold atomic.Int64 // ns; 0 = not yet computed
+}
+
+const thresholdRefresh = 64
+
+// recentFiringsCap bounds the firings kept for /status.
+const recentFiringsCap = 16
+
+// Watchdog monitors SLOs. A nil *Watchdog no-ops every method, so call
+// sites (the stream worker, campaign seeds) need no enabled checks.
+type Watchdog struct {
+	opts WatchdogOptions
+	reg  *telemetry.Registry
+
+	phases    sync.Map // phase name -> *phaseStat
+	lastFire  atomic.Int64
+	capturing atomic.Bool
+
+	mu         sync.Mutex
+	seq        int
+	firings    int64
+	suppressed int64
+	recent     []Firing
+
+	stopPoll  chan struct{}
+	pollDone  chan struct{}
+	startOnce sync.Once
+	stopOnce  sync.Once
+	captureWG sync.WaitGroup
+}
+
+// NewWatchdog builds a watchdog; call Start to install the span hook
+// and the stall poller.
+func NewWatchdog(opts WatchdogOptions) *Watchdog {
+	if opts.Registry == nil {
+		opts.Registry = telemetry.Default()
+	}
+	if opts.MinSamples <= 0 {
+		opts.MinSamples = 64
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = time.Second
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 30 * time.Second
+	}
+	if opts.CPUProfile <= 0 {
+		opts.CPUProfile = 250 * time.Millisecond
+	}
+	return &Watchdog{
+		opts:     opts,
+		reg:      opts.Registry,
+		stopPoll: make(chan struct{}),
+		pollDone: make(chan struct{}),
+	}
+}
+
+// Start installs the registry span hook (chained after any existing
+// observer) and, when a stall SLO is configured, the stall poller.
+func (w *Watchdog) Start() {
+	if w == nil {
+		return
+	}
+	w.startOnce.Do(func() {
+		w.reg.AddSpanHook(func(name string, d time.Duration) {
+			w.Observe(name, d, "")
+		})
+		if w.opts.Stall > 0 && w.opts.StallCheck != nil {
+			go w.pollStalls()
+		} else {
+			close(w.pollDone)
+		}
+	})
+}
+
+// Stop halts the stall poller and waits for in-flight captures. The
+// span hook stays installed (hooks are wired once per process); it
+// observes into a stopped watchdog harmlessly.
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stopPoll) })
+	<-w.pollDone
+	w.captureWG.Wait()
+}
+
+// Observe is the hot-path SLO check: the stream worker calls it per
+// batch with the stream's key, and the span hook calls it for every
+// completed registry span with an empty key. Cost when no SLO is
+// breached: one sync.Map load and two atomic loads.
+func (w *Watchdog) Observe(phase string, d time.Duration, key string) {
+	if w == nil {
+		return
+	}
+	if abs := w.opts.Absolute; abs > 0 && d >= abs {
+		w.fire(phase, key, d, fmt.Sprintf("absolute SLO: %v >= %v", d, abs))
+		return
+	}
+	if w.opts.P99Multiple <= 0 {
+		return
+	}
+	psAny, ok := w.phases.Load(phase)
+	if !ok {
+		psAny, _ = w.phases.LoadOrStore(phase, &phaseStat{})
+	}
+	ps := psAny.(*phaseStat)
+	n := ps.count.Add(1)
+	if n < w.opts.MinSamples {
+		return
+	}
+	th := ps.threshold.Load()
+	if th == 0 || n%thresholdRefresh == 0 {
+		snap := w.reg.Phase(phase).Snapshot()
+		th = int64(w.opts.P99Multiple * float64(snap.Quantile(0.99)))
+		if th <= 0 {
+			th = 1
+		}
+		ps.threshold.Store(th)
+	}
+	if int64(d) >= th {
+		w.fire(phase, key, d, fmt.Sprintf("p99 SLO: %v >= %.1fx p99 (%v)",
+			d, w.opts.P99Multiple, time.Duration(th)))
+	}
+}
+
+// pollStalls scans for stalled items on a ticker.
+func (w *Watchdog) pollStalls() {
+	defer close(w.pollDone)
+	t := time.NewTicker(w.opts.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopPoll:
+			return
+		case <-t.C:
+			for _, st := range w.opts.StallCheck(w.opts.Stall) {
+				w.fire(st.Phase, st.Key, st.Age,
+					fmt.Sprintf("stall SLO: no progress for %v (>= %v)", st.Age.Round(time.Millisecond), w.opts.Stall))
+			}
+		}
+	}
+}
+
+// fire records one breach and kicks off the capture, behind the
+// cooldown so breach storms cost one capture per window.
+func (w *Watchdog) fire(phase, key string, d time.Duration, reason string) {
+	now := time.Now().UnixNano()
+	last := w.lastFire.Load()
+	if now-last < int64(w.opts.Cooldown) || !w.lastFire.CompareAndSwap(last, now) {
+		w.mu.Lock()
+		w.suppressed++
+		w.mu.Unlock()
+		if w.reg.Enabled() {
+			w.reg.Counter("watchdog.suppressed").Inc()
+		}
+		return
+	}
+
+	w.mu.Lock()
+	w.seq++
+	f := Firing{Seq: w.seq, UnixNS: now, Phase: phase, Key: key, Reason: reason, DurNS: int64(d)}
+	if w.opts.Dir != "" {
+		f.Dir = filepath.Join(w.opts.Dir, fmt.Sprintf("watchdog-%03d-%s", f.Seq, pathSafe(phase)))
+	}
+	w.firings++
+	w.recent = append(w.recent, f)
+	if len(w.recent) > recentFiringsCap {
+		w.recent = w.recent[len(w.recent)-recentFiringsCap:]
+	}
+	w.mu.Unlock()
+
+	if w.reg.Enabled() {
+		w.reg.Counter("watchdog.firings").Inc()
+	}
+	w.opts.Publisher.Publish(Event{
+		Kind: EventWatchdog, Phase: phase, DurNS: int64(d),
+		Reason: reason, ArtifactDir: f.Dir,
+	})
+	if f.Dir != "" && w.capturing.CompareAndSwap(false, true) {
+		// Resolve the offending trace now, while the stream is still
+		// live: by the time the async capture runs, a clean stream may
+		// have finished and been sampled out of the kept set.
+		var traceRecs []export.Record
+		if w.opts.TraceFor != nil && f.Key != "" {
+			traceRecs, _ = w.opts.TraceFor(f.Key)
+		}
+		w.captureWG.Add(1)
+		go func() {
+			defer w.captureWG.Done()
+			defer w.capturing.Store(false)
+			w.capture(f, traceRecs)
+		}()
+	}
+}
+
+// capture writes the firing's evidence: firing.json, heap + goroutine
+// profiles, a short CPU profile, and the offending stream's trace when
+// one resolved at fire time. Every artifact is best-effort — a capture
+// error is recorded in errors.txt, never propagated into the serving
+// path.
+func (w *Watchdog) capture(f Firing, traceRecs []export.Record) {
+	var errs []string
+	fail := func(what string, err error) {
+		errs = append(errs, fmt.Sprintf("%s: %v", what, err))
+	}
+	if err := os.MkdirAll(f.Dir, 0o755); err != nil {
+		return // nowhere to write anything, including errors.txt
+	}
+
+	if err := atomicio.WriteFile(filepath.Join(f.Dir, "firing.json"), func(fw io.Writer) error {
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fw.Write(append(data, '\n'))
+		return err
+	}); err != nil {
+		fail("firing.json", err)
+	}
+
+	// Heap profile: materialize current allocation stats first.
+	runtime.GC()
+	if hf, err := os.Create(filepath.Join(f.Dir, "heap.pprof")); err != nil {
+		fail("heap.pprof", err)
+	} else {
+		if err := pprof.WriteHeapProfile(hf); err != nil {
+			fail("heap.pprof", err)
+		}
+		hf.Close()
+	}
+
+	// Goroutine profile, both loadable (proto) and human-readable forms.
+	if gf, err := os.Create(filepath.Join(f.Dir, "goroutine.pprof")); err != nil {
+		fail("goroutine.pprof", err)
+	} else {
+		if err := pprof.Lookup("goroutine").WriteTo(gf, 0); err != nil {
+			fail("goroutine.pprof", err)
+		}
+		gf.Close()
+	}
+	if gf, err := os.Create(filepath.Join(f.Dir, "goroutines.txt")); err != nil {
+		fail("goroutines.txt", err)
+	} else {
+		if err := pprof.Lookup("goroutine").WriteTo(gf, 2); err != nil {
+			fail("goroutines.txt", err)
+		}
+		gf.Close()
+	}
+
+	// CPU profile of the stall in progress. StartCPUProfile fails when a
+	// -cpuprofile flag (or a /debug/pprof/profile scrape) already owns
+	// profiling; that is a skipped artifact, not an error state.
+	if cf, err := os.Create(filepath.Join(f.Dir, "cpu.pprof")); err != nil {
+		fail("cpu.pprof", err)
+	} else {
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			fail("cpu.pprof", err)
+			cf.Close()
+			os.Remove(cf.Name())
+		} else {
+			time.Sleep(w.opts.CPUProfile)
+			pprof.StopCPUProfile()
+			cf.Close()
+		}
+	}
+
+	// The offending stream's trace, in both flight-recorder forms.
+	if len(traceRecs) > 0 {
+		if err := atomicio.WriteFile(filepath.Join(f.Dir, export.FlightLogName), func(fw io.Writer) error {
+			return export.WriteJSONL(fw, traceRecs)
+		}); err != nil {
+			fail(export.FlightLogName, err)
+		}
+		if err := atomicio.WriteFile(filepath.Join(f.Dir, export.ChromeTraceName), func(fw io.Writer) error {
+			return export.WriteChromeTrace(fw, traceRecs)
+		}); err != nil {
+			fail(export.ChromeTraceName, err)
+		}
+	}
+
+	if len(errs) > 0 {
+		os.WriteFile(filepath.Join(f.Dir, "errors.txt"), //nolint:errcheck
+			[]byte(strings.Join(errs, "\n")+"\n"), 0o644)
+	}
+}
+
+// Status returns the /status watchdog block.
+func (w *Watchdog) Status() *WatchdogStatus {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return &WatchdogStatus{
+		Firings:    w.firings,
+		Suppressed: w.suppressed,
+		Recent:     append([]Firing(nil), w.recent...),
+	}
+}
+
+// pathSafe turns a phase name into a directory-name-safe slug.
+func pathSafe(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '.'
+		}
+	}, s)
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
+)
+
+func TestNilWatchdogNoOps(t *testing.T) {
+	var w *Watchdog
+	w.Start() // must not panic
+	w.Observe("p", time.Second, "k")
+	if st := w.Status(); st != nil {
+		t.Fatalf("nil watchdog status = %+v", st)
+	}
+	w.Stop()
+}
+
+// keptTracer returns a tracer holding one finished racy trace under key.
+func keptTracer(t *testing.T, key string) *telemetry.Tracer {
+	t.Helper()
+	tr := telemetry.NewTracer(telemetry.TracerOptions{MinSlowSamples: 1 << 30})
+	st := tr.Begin(key, 42, 0, "prog", "WO", 7)
+	st.Record("batch.feed", 0, st.Start(), time.Millisecond)
+	if !tr.Finish(st, telemetry.TraceOutcome{Racy: true}) {
+		t.Fatal("racy trace sampled out")
+	}
+	return tr
+}
+
+func TestAbsoluteSLOFiresAndCaptures(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	tracer := keptTracer(t, "3")
+	w := NewWatchdog(WatchdogOptions{
+		Registry:   reg,
+		Dir:        dir,
+		Absolute:   10 * time.Millisecond,
+		CPUProfile: 10 * time.Millisecond,
+		TraceFor: func(key string) ([]export.Record, bool) {
+			ts, ok := tracer.Lookup(key)
+			if !ok {
+				return nil, false
+			}
+			return export.TraceRecords(ts), true
+		},
+	})
+	w.Start()
+	w.Observe("stream.batch_feed", 5*time.Millisecond, "3") // below SLO
+	w.Observe("stream.batch_feed", 50*time.Millisecond, "3")
+	w.Stop() // waits for the in-flight capture
+
+	st := w.Status()
+	if st.Firings != 1 {
+		t.Fatalf("firings = %d, want 1", st.Firings)
+	}
+	if len(st.Recent) != 1 || st.Recent[0].Key != "3" || st.Recent[0].Dir == "" {
+		t.Fatalf("recent = %+v", st.Recent)
+	}
+	adir := st.Recent[0].Dir
+	for _, name := range []string{"firing.json", "heap.pprof", "goroutine.pprof", "goroutines.txt", "cpu.pprof", export.FlightLogName, export.ChromeTraceName} {
+		info, err := os.Stat(filepath.Join(adir, name))
+		if err != nil {
+			t.Errorf("artifact %s: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 && name != "cpu.pprof" { // an idle CPU profile may legitimately be tiny
+			t.Errorf("artifact %s is empty", name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(adir, "errors.txt")); !os.IsNotExist(err) {
+		data, _ := os.ReadFile(filepath.Join(adir, "errors.txt"))
+		t.Fatalf("capture recorded errors:\n%s", data)
+	}
+	// The captured trace must round-trip through the JSONL codec.
+	f, err := os.Open(filepath.Join(adir, export.FlightLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := export.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("captured trace unreadable: %v", err)
+	}
+	if len(recs) == 0 || recs[0].Kind != export.KindMeta || recs[0].Meta.Stream != "3" {
+		t.Fatalf("captured trace records = %+v", recs)
+	}
+}
+
+func TestCooldownSuppresses(t *testing.T) {
+	w := NewWatchdog(WatchdogOptions{
+		Registry: telemetry.NewRegistry(),
+		Absolute: time.Millisecond,
+		Cooldown: time.Hour,
+	})
+	w.Start()
+	for i := 0; i < 5; i++ {
+		w.Observe("p", time.Second, "")
+	}
+	w.Stop()
+	st := w.Status()
+	if st.Firings != 1 || st.Suppressed != 4 {
+		t.Fatalf("firings = %d suppressed = %d, want 1/4", st.Firings, st.Suppressed)
+	}
+}
+
+func TestRelativeSLOWaitsForSamples(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.SetEnabled(true)
+	w := NewWatchdog(WatchdogOptions{
+		Registry:    reg,
+		P99Multiple: 3,
+		MinSamples:  8,
+		Cooldown:    time.Hour,
+	})
+	w.Start()
+	// Below MinSamples nothing can fire, however extreme the value.
+	for i := 0; i < 7; i++ {
+		reg.Phase("p").Observe(time.Millisecond)
+		w.Observe("p", time.Millisecond, "")
+	}
+	if st := w.Status(); st.Firings != 0 {
+		t.Fatalf("fired during warmup: %+v", st)
+	}
+	// Past MinSamples, an observation far over 3x the p99 fires.
+	reg.Phase("p").Observe(time.Millisecond)
+	w.Observe("p", time.Millisecond, "")
+	w.Observe("p", time.Second, "k")
+	w.Stop()
+	st := w.Status()
+	if st.Firings != 1 {
+		t.Fatalf("firings = %d, want 1 (%+v)", st.Firings, st.Recent)
+	}
+}
+
+func TestStallPollerFires(t *testing.T) {
+	fired := make(chan struct{})
+	var once bool
+	w := NewWatchdog(WatchdogOptions{
+		Registry:     telemetry.NewRegistry(),
+		Stall:        time.Millisecond,
+		PollInterval: 5 * time.Millisecond,
+		Cooldown:     time.Hour,
+		StallCheck: func(olderThan time.Duration) []StallInfo {
+			if once {
+				return nil
+			}
+			once = true
+			close(fired)
+			return []StallInfo{{Key: "9", Phase: "stream.batch_feed", Age: 10 * time.Second}}
+		},
+	})
+	w.Start()
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stall poller never consulted StallCheck")
+	}
+	// Give fire() a moment to record, then stop.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if w.Status().Firings > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.Stop()
+	st := w.Status()
+	if st.Firings != 1 || st.Recent[0].Key != "9" {
+		t.Fatalf("status = %+v, want one stall firing for stream 9", st)
+	}
+}
+
+func TestWatchdogPublishesEvent(t *testing.T) {
+	pub := NewPublisherSize(8)
+	sub := pub.Subscribe()
+	defer sub.Close()
+	w := NewWatchdog(WatchdogOptions{
+		Registry:  telemetry.NewRegistry(),
+		Publisher: pub,
+		Absolute:  time.Millisecond,
+	})
+	w.Start()
+	w.Observe("stream.batch_feed", time.Second, "5")
+	w.Stop()
+	evs, _ := sub.Poll()
+	if len(evs) != 1 || evs[0].Kind != EventWatchdog || evs[0].Reason == "" {
+		t.Fatalf("events = %+v, want one watchdog event with a reason", evs)
+	}
+}

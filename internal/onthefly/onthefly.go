@@ -236,6 +236,15 @@ func (d *Detector) LiveReleases() int { return len(d.releaseVC) }
 // across all locations.
 func (d *Detector) LiveAccesses() int { return d.liveAccesses }
 
+// RacesSoFar returns the number of distinct racing location-pairs found
+// so far — a live view for per-batch instrumentation, cheap enough to
+// read between batches.
+func (d *Detector) RacesSoFar() int { return len(d.res.Races) }
+
+// RetiredSoFar returns the number of history entries the window has
+// retired so far.
+func (d *Detector) RetiredSoFar() int64 { return int64(d.res.Retired) }
+
 // retire drops everything recorded before the window that ends at the
 // operation about to be fed, logging the replay seed.
 func (d *Detector) retire() {

@@ -81,6 +81,11 @@ td:first-child { color: var(--ink-2); }
 #events li.race .badge {
   color: var(--status-critical); font-weight: 600; margin-right: 6px;
 }
+#events li.watchdog .badge {
+  color: var(--series-2); font-weight: 600; margin-right: 6px;
+}
+#streams-card a { color: var(--series-1); text-decoration: none; }
+#streams-card a:hover { text-decoration: underline; }
 #conn { font-size: 11px; color: var(--ink-3); }
 .meter { height: 6px; border-radius: 3px; background: var(--grid); overflow: hidden; margin-top: 8px; }
 .meter > div { height: 100%; background: var(--series-1); width: 0%; }
@@ -109,6 +114,13 @@ td:first-child { color: var(--ink-2); }
 </div>
 
 <div class="cards">
+  <div class="card" id="streams-card" style="display:none">
+    <h2>Stream batch latency (queue wait / detector feed; traces tail-sampled)</h2>
+    <div class="sub" id="streams-agg"></div>
+    <table id="streams"><thead><tr>
+      <th>stream</th><th>program</th><th>events</th><th>batches</th><th>queued</th><th>queue hw</th><th>wait p99</th><th>feed p99</th><th>trace</th>
+    </tr></thead><tbody></tbody></table>
+  </div>
   <div class="card">
     <h2>Phase latency (bucket-interpolated quantiles; rate from successive snapshots)</h2>
     <table id="phases"><thead><tr>
@@ -237,9 +249,53 @@ td:first-child { color: var(--ink-2); }
         '</td><td>' + fmtNS(p.p99_ns) + '</td><td>' + fmtNS(p.max_ns) + '</td></tr>';
     }
     $('phases').querySelector('tbody').innerHTML = rows;
+
+    renderStreams(status.streams, streamsDoc);
+  }
+
+  // Streams card: aggregate batch-latency quantiles from /status plus a
+  // per-stream table from /streams — live rows first, then recently
+  // finished summaries. Trace links point at the tail-sampled capture.
+  function renderStreams(agg, doc) {
+    if (!agg) return;
+    $('streams-card').style.display = '';
+    var parts = [];
+    if (agg.batch_wait) parts.push('queue wait p50 ' + fmtNS(agg.batch_wait.p50_ns) + ' / p99 ' + fmtNS(agg.batch_wait.p99_ns));
+    if (agg.batch_feed) parts.push('feed p50 ' + fmtNS(agg.batch_feed.p50_ns) + ' / p99 ' + fmtNS(agg.batch_feed.p99_ns));
+    if (agg.queue_high_water) parts.push('queue high-water ' + agg.queue_high_water);
+    if (agg.traces_kept != null && (agg.traces_kept || agg.traces_sampled_out)) {
+      parts.push('traces kept ' + agg.traces_kept + ' / sampled out ' + (agg.traces_sampled_out || 0));
+    }
+    $('streams-agg').textContent = parts.join(' · ') || (agg.active + ' active streams');
+    if (!doc) return;
+    var rows = '';
+    function traceCell(id, kept) {
+      if (kept === false) return '–';
+      return '<a href="/trace/' + id + '?format=perfetto">perfetto</a> <a href="/trace/' + id + '">jsonl</a>';
+    }
+    var live = doc.live || [];
+    for (var i = 0; i < Math.min(live.length, 10); i++) {
+      var s = live[i];
+      rows += '<tr><td>' + s.stream_id + ' (live)</td><td>' + s.program + '</td><td>' +
+        fmtNum(s.processed) + '</td><td>' + s.batches + '</td><td>' + s.queued_batches +
+        '</td><td>' + (s.queue_high_water || 0) + '</td><td>' + fmtNS(s.batch_wait_p99_ns) +
+        '</td><td>' + fmtNS(s.batch_feed_p99_ns) + '</td><td>' +
+        (s.trace_id ? traceCell(s.stream_id) : '–') + '</td></tr>';
+    }
+    var fin = (doc.finished || []).slice().reverse();
+    for (var j = 0; j < Math.min(fin.length, 10); j++) {
+      var f = fin[j];
+      rows += '<tr><td>' + f.stream_id + '</td><td>' + f.program + '</td><td>' +
+        fmtNum(f.events) + '</td><td>' + f.batches + '</td><td>–</td><td>' +
+        (f.queue_high_water || 0) + '</td><td>' + fmtNS(f.batch_wait_p99_ns) +
+        '</td><td>' + fmtNS(f.batch_feed_p99_ns) + '</td><td>' +
+        traceCell(f.stream_id, !!f.trace_kept) + '</td></tr>';
+    }
+    $('streams').querySelector('tbody').innerHTML = rows;
   }
 
   var prevStatus = null;
+  var streamsDoc = null;
   function poll() {
     Promise.all([
       fetch('/status').then(function (r) { return r.json(); }),
@@ -250,6 +306,13 @@ td:first-child { color: var(--ink-2); }
       $('conn').textContent = 'live';
       render(res[0], res[1], dt);
       prevStatus = res[0]; prev = res[1]; prevAt = now;
+      // The /streams document lives on the wrserve mux, not the obs
+      // plane itself; refresh it only when the status shows streams.
+      if (res[0].streams) {
+        fetch('/streams').then(function (r) { return r.json(); })
+          .then(function (d) { streamsDoc = d; })
+          .catch(function () { streamsDoc = null; });
+      }
     }).catch(function () {
       $('conn').textContent = 'disconnected';
     });
@@ -265,10 +328,10 @@ td:first-child { color: var(--ink-2); }
     t.className = 't';
     t.textContent = new Date().toTimeString().slice(0, 8);
     li.appendChild(t);
-    if (cls === 'race') {
+    if (cls === 'race' || cls === 'watchdog') {
       var b = document.createElement('span');
       b.className = 'badge';
-      b.textContent = '⚠ race';
+      b.textContent = cls === 'race' ? '⚠ race' : '⏱ watchdog';
       li.appendChild(b);
     }
     li.appendChild(document.createTextNode(text));
@@ -290,6 +353,11 @@ td:first-child { color: var(--ink-2); }
     es.addEventListener('dropped', function (e) {
       var ev = JSON.parse(e.data);
       logEvent('dropped', ev.dropped + ' events coalesced away while lagging');
+    });
+    es.addEventListener('watchdog', function (e) {
+      var ev = JSON.parse(e.data);
+      logEvent('watchdog', ev.phase + ': ' + (ev.reason || 'SLO breach') +
+        (ev.artifact_dir ? ' → ' + ev.artifact_dir : ''), 'watchdog');
     });
   }
 })();

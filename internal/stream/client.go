@@ -19,6 +19,14 @@ type SendOptions struct {
 	Delay time.Duration
 	// Timeout bounds the whole exchange (dial to summary). 0 = none.
 	Timeout time.Duration
+	// TraceID and ParentSpan stamp the client's trace context into the
+	// WRS1 header so the server's per-batch spans continue this trace.
+	// Zero leaves the stream untraced (the server may mint its own ID).
+	TraceID    uint64
+	ParentSpan uint64
+	// OnBatch, when set, observes each batch's wire-write latency —
+	// wrclient's per-stream latency summary reads from it.
+	OnBatch func(batch int, d time.Duration)
 }
 
 // Send streams an execution to a wrserve daemon at addr and returns the
@@ -43,18 +51,26 @@ func Send(addr string, e *sim.Execution, opts SendOptions) (*Summary, error) {
 		Seed:         e.Seed,
 		NumCPUs:      e.NumCPUs,
 		NumLocations: e.NumLocations,
+		TraceID:      opts.TraceID,
+		ParentSpan:   opts.ParentSpan,
 	})
 	if err != nil {
 		return nil, err
 	}
+	batch := 0
 	for start := 0; start < len(e.Ops); start += opts.BatchSize {
 		end := start + opts.BatchSize
 		if end > len(e.Ops) {
 			end = len(e.Ops)
 		}
+		wstart := time.Now()
 		if err := sw.WriteBatch(e.Ops[start:end]); err != nil {
 			return nil, err
 		}
+		if opts.OnBatch != nil {
+			opts.OnBatch(batch, time.Since(wstart))
+		}
+		batch++
 		if opts.Delay > 0 && end < len(e.Ops) {
 			time.Sleep(opts.Delay)
 		}

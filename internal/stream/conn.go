@@ -9,6 +9,7 @@ import (
 
 	"weakrace/internal/onthefly"
 	"weakrace/internal/sim"
+	"weakrace/internal/telemetry"
 	"weakrace/internal/trace"
 )
 
@@ -55,7 +56,11 @@ func (s *Server) handleConn(conn net.Conn) {
 		// Bounded queue then per-batch token: a full queue blocks here,
 		// which stops reading this connection and lets TCP throttle the
 		// client. Order per stream is the send order of the tokens.
-		st.q <- ops
+		st.q <- batchMsg{ops: ops, enq: time.Now()}
+		if depth := int64(len(st.q)); depth > st.queueHW.Load() {
+			st.queueHW.Store(depth)
+			s.reg.Gauge("stream.queue_high_water").SetMax(depth)
+		}
 		w.ready <- st
 	}
 
@@ -65,7 +70,7 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	// Sentinel: the worker processes every queued batch first (tokens
 	// are FIFO), then finalizes the summary and closes done.
-	st.q <- nil
+	st.q <- batchMsg{}
 	w.ready <- st
 	<-st.done
 
@@ -92,19 +97,32 @@ func (s *Server) register(hdr trace.StreamHeader, remote string) *stream {
 		Window:       s.opts.Window,
 	})
 	det.SetSource(hdr.ProgramName, hdr.Model, hdr.Seed)
+	now := time.Now()
 	s.mu.Lock()
 	s.nextID++
 	st := &stream{
 		id:     s.nextID,
 		hdr:    hdr,
 		remote: remote,
-		opened: time.Now(),
-		q:      make(chan []sim.MemOp, s.opts.QueueDepth),
+		opened: now,
+		q:      make(chan batchMsg, s.opts.QueueDepth),
 		done:   make(chan struct{}),
 		det:    det,
 	}
 	s.live[st.id] = st
 	s.mu.Unlock()
+	st.lastActive.Store(now.UnixNano())
+	if s.tracer != nil {
+		// Continue the client's trace context; a client that did not
+		// stamp one gets a server-minted ID so the trace is still
+		// correlatable across artifacts.
+		id := telemetry.TraceID(hdr.TraceID)
+		if id == 0 {
+			id = telemetry.TraceID(uint64(now.UnixNano())<<8 | st.id&0xff)
+		}
+		st.tr = s.tracer.Begin(st.key(), id, hdr.ParentSpan,
+			hdr.ProgramName, hdr.Model.String(), hdr.Seed)
+	}
 	s.reg.Counter("stream.streams_opened").Inc()
 	s.reg.Gauge("stream.streams_active").Set(int64(s.liveCount()))
 	return st

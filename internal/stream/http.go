@@ -19,6 +19,12 @@ type StreamInfo struct {
 	Processed     int64   `json:"processed"`
 	Batches       int64   `json:"batches"`
 	QueuedBatches int     `json:"queued_batches"`
+
+	// Trace context and live batch latency, present when tracing is on.
+	TraceID        string `json:"trace_id,omitempty"`
+	QueueHighWater int    `json:"queue_high_water,omitempty"`
+	BatchWaitP99NS int64  `json:"batch_wait_p99_ns,omitempty"`
+	BatchFeedP99NS int64  `json:"batch_feed_p99_ns,omitempty"`
 }
 
 // StreamsDoc is the /streams document: live streams plus the most
@@ -37,18 +43,27 @@ func (s *Server) StreamsHandler() http.HandlerFunc {
 		s.mu.Lock()
 		doc := StreamsDoc{Finished: append([]*Summary(nil), s.closed...)}
 		for _, st := range s.live {
-			doc.Live = append(doc.Live, StreamInfo{
-				StreamID:      st.id,
-				Remote:        st.remote,
-				Program:       st.hdr.ProgramName,
-				Model:         st.hdr.Model.String(),
-				Seed:          st.hdr.Seed,
-				AgeSeconds:    now.Sub(st.opened).Seconds(),
-				Received:      st.received.Load(),
-				Processed:     st.processed.Load(),
-				Batches:       st.batches.Load(),
-				QueuedBatches: len(st.q),
-			})
+			info := StreamInfo{
+				StreamID:       st.id,
+				Remote:         st.remote,
+				Program:        st.hdr.ProgramName,
+				Model:          st.hdr.Model.String(),
+				Seed:           st.hdr.Seed,
+				AgeSeconds:     now.Sub(st.opened).Seconds(),
+				Received:       st.received.Load(),
+				Processed:      st.processed.Load(),
+				Batches:        st.batches.Load(),
+				QueuedBatches:  len(st.q),
+				QueueHighWater: int(st.queueHW.Load()),
+			}
+			if st.tr != nil {
+				info.TraceID = st.tr.TraceID.String()
+			}
+			if feeds := st.feedHist.Snapshot(); feeds.Count > 0 {
+				info.BatchFeedP99NS = feeds.Quantile(0.99)
+				info.BatchWaitP99NS = st.waitHist.Snapshot().Quantile(0.99)
+			}
+			doc.Live = append(doc.Live, info)
 		}
 		s.mu.Unlock()
 		sort.Slice(doc.Live, func(i, j int) bool { return doc.Live[i].StreamID < doc.Live[j].StreamID })

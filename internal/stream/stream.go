@@ -39,6 +39,7 @@ import (
 	"weakrace/internal/onthefly"
 	"weakrace/internal/sim"
 	"weakrace/internal/telemetry"
+	"weakrace/internal/telemetry/export"
 	"weakrace/internal/trace"
 )
 
@@ -67,6 +68,12 @@ type Options struct {
 	// Publisher receives race-found events for the obs /events stream.
 	// Nil is fine (publishes are discarded).
 	Publisher *obs.Publisher
+	// Tracer, when set, records per-batch spans for every stream and
+	// tail-samples the finished traces for /trace/{stream}. Nil = off.
+	Tracer *telemetry.Tracer
+	// Watchdog, when set, receives per-batch feed latencies (keyed by
+	// stream) for SLO checking. Nil = off.
+	Watchdog *obs.Watchdog
 }
 
 func (o Options) withDefaults() Options {
@@ -109,6 +116,28 @@ type Summary struct {
 
 	Replay *onthefly.ReplaySeed `json:"replay,omitempty"`
 	Err    string               `json:"error,omitempty"`
+
+	// Trace context: the ID correlating this stream across client and
+	// server, and whether the tail sampler kept the full span timeline
+	// (retrievable at /trace/{stream_id} while it stays in the kept set).
+	TraceID   string `json:"trace_id,omitempty"`
+	TraceKept bool   `json:"trace_kept,omitempty"`
+
+	// Per-stream batch latency: queue-wait and detector-feed quantiles,
+	// and the deepest the batch queue got — the backpressure signal.
+	BatchWaitP50NS int64 `json:"batch_wait_p50_ns,omitempty"`
+	BatchWaitP99NS int64 `json:"batch_wait_p99_ns,omitempty"`
+	BatchFeedP50NS int64 `json:"batch_feed_p50_ns,omitempty"`
+	BatchFeedP99NS int64 `json:"batch_feed_p99_ns,omitempty"`
+	QueueHighWater int   `json:"queue_high_water,omitempty"`
+}
+
+// batchMsg is one queue entry: the decoded ops plus the enqueue
+// timestamp the worker turns into the batch's queue-wait span. Ops nil
+// is the end-of-stream sentinel.
+type batchMsg struct {
+	ops []sim.MemOp
+	enq time.Time
 }
 
 // stream is one client connection's state. The reader goroutine owns
@@ -121,9 +150,9 @@ type stream struct {
 	remote string
 	opened time.Time
 
-	// q carries decoded batches to the pinned worker; a nil batch is
-	// the end-of-stream sentinel that triggers finalization.
-	q    chan []sim.MemOp
+	// q carries decoded batches to the pinned worker; a nil-ops message
+	// is the end-of-stream sentinel that triggers finalization.
+	q    chan batchMsg
 	done chan struct{}
 
 	det *onthefly.Detector
@@ -132,16 +161,41 @@ type stream struct {
 	processed atomic.Int64 // ops fed to the detector
 	batches   atomic.Int64
 
+	// queueHW is the deepest this stream's queue has been; lastActive is
+	// when the worker last made progress on it (unix ns) — the stall
+	// poller's evidence.
+	queueHW    atomic.Int64
+	lastActive atomic.Int64
+
+	// tr is the stream's span buffer (nil when tracing is off). The
+	// per-stream latency histograms feed the summary's quantiles.
+	tr       *telemetry.StreamTrace
+	waitHist telemetry.Histogram
+	feedHist telemetry.Histogram
+
+	// Worker-owned batch bookkeeping: the batch index being fed and the
+	// detector's retire/race tallies after the previous batch, so retire
+	// and race-emit land as per-batch markers. No locks — one worker.
+	fedBatches  int
+	prevRetired int64
+	prevRaces   int
+
 	mu      sync.Mutex
 	summary *Summary // set by the worker at finish, read by /streams
 	readErr error    // decode-side error, folded into the summary
 }
+
+// key returns the stream's trace key — the decimal stream ID, which is
+// also the /trace/{stream} path segment.
+func (st *stream) key() string { return fmt.Sprintf("%d", st.id) }
 
 // Server is the ingest daemon.
 type Server struct {
 	opts    Options
 	reg     *telemetry.Registry
 	pub     *obs.Publisher
+	tracer  *telemetry.Tracer
+	wdog    *obs.Watchdog
 	ln      net.Listener
 	workers []*worker
 
@@ -168,12 +222,14 @@ func Serve(opts Options) (*Server, error) {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
 	s := &Server{
-		opts:  opts,
-		reg:   opts.Registry,
-		pub:   opts.Publisher,
-		ln:    ln,
-		live:  map[uint64]*stream{},
-		conns: map[net.Conn]struct{}{},
+		opts:   opts,
+		reg:    opts.Registry,
+		pub:    opts.Publisher,
+		tracer: opts.Tracer,
+		wdog:   opts.Watchdog,
+		ln:     ln,
+		live:   map[uint64]*stream{},
+		conns:  map[net.Conn]struct{}{},
 	}
 	// Creating the gauges up front makes the stream block appear in
 	// /status from the first scrape, races-so-far zero included.
@@ -185,6 +241,7 @@ func Serve(opts Options) (*Server, error) {
 	s.reg.Counter("stream.streams_dropped") // never incremented by design; CI asserts 0
 	s.reg.Counter("stream.events")
 	s.reg.Counter("stream.races")
+	s.reg.Gauge("stream.queue_high_water").Set(0)
 
 	s.workers = make([]*worker, opts.Workers)
 	for i := range s.workers {
@@ -206,6 +263,48 @@ func Serve(opts Options) (*Server, error) {
 
 // Addr returns the bound ingest address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// TraceSnapshot returns the tail-sampled (or still-live) trace for a
+// stream key — the decimal stream ID — when tracing is on and the
+// sampler kept it.
+func (s *Server) TraceSnapshot(key string) (telemetry.TraceSnapshot, bool) {
+	return s.tracer.Lookup(key)
+}
+
+// TraceSource adapts the server's tracer to the obs /trace/{stream}
+// endpoint, resolving keys to flight records. Returns nil when tracing
+// is off so callers can skip the wiring entirely.
+func (s *Server) TraceSource() obs.TraceSource {
+	if s.tracer == nil {
+		return nil
+	}
+	return func(key string) ([]export.Record, bool) {
+		ts, ok := s.tracer.Lookup(key)
+		if !ok {
+			return nil, false
+		}
+		return export.TraceRecords(ts), true
+	}
+}
+
+// Stalled reports live streams with queued work and no worker progress
+// for at least olderThan — the watchdog's StallCheck.
+func (s *Server) Stalled(olderThan time.Duration) []obs.StallInfo {
+	now := time.Now()
+	var out []obs.StallInfo
+	s.mu.Lock()
+	for _, st := range s.live {
+		if len(st.q) == 0 {
+			continue
+		}
+		last := st.lastActive.Load()
+		if age := now.Sub(time.Unix(0, last)); age >= olderThan {
+			out = append(out, obs.StallInfo{Key: st.key(), Phase: "stream.batch_feed", Age: age})
+		}
+	}
+	s.mu.Unlock()
+	return out
+}
 
 // Close stops accepting, severs open connections, and drains the
 // worker pool. Safe to call more than once.

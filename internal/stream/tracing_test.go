@@ -1,0 +1,225 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"weakrace/internal/memmodel"
+	"weakrace/internal/sim"
+	"weakrace/internal/telemetry"
+	"weakrace/internal/workload"
+)
+
+// tracedServer is newTestServer plus a tracer whose slow-decile sampler
+// never triggers, so kept/sampled-out decisions are deterministic.
+func tracedServer(t *testing.T) (*Server, *telemetry.Tracer) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.SetEnabled(true)
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{Registry: reg, MinSlowSamples: 1 << 30})
+	s := newTestServer(t, Options{Registry: reg, Tracer: tracer})
+	return s, tracer
+}
+
+// A racy stream's trace must be kept by the tail sampler and
+// retrievable — by snapshot, and as flight records via TraceSource.
+func TestTracingKeepsRacyStream(t *testing.T) {
+	s, _ := tracedServer(t)
+	c := workload.Corpus(1, 1)[0] // corpus entry 0 is racy
+	e := runCorpusEntry(t, c)
+
+	sum, err := Send(s.Addr(), e, SendOptions{BatchSize: 7, TraceID: 0xabcd, ParentSpan: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Races) == 0 {
+		t.Fatal("corpus entry 0 expected racy")
+	}
+	if sum.TraceID != telemetry.TraceID(0xabcd).String() {
+		t.Fatalf("summary trace ID = %q, want the client-stamped %s", sum.TraceID, telemetry.TraceID(0xabcd))
+	}
+	if !sum.TraceKept {
+		t.Fatal("racy stream's trace was sampled out")
+	}
+
+	key := fmt.Sprintf("%d", sum.StreamID)
+	ts, ok := s.TraceSnapshot(key)
+	if !ok {
+		t.Fatalf("no trace snapshot for stream %s", key)
+	}
+	if ts.TraceID != sum.TraceID || ts.ParentSpan != 3 {
+		t.Fatalf("trace context = %s/%d", ts.TraceID, ts.ParentSpan)
+	}
+	if ts.Program != e.ProgramName || ts.Seed != e.Seed {
+		t.Fatalf("trace identity = %s/%d", ts.Program, ts.Seed)
+	}
+	if !ts.Finished || !ts.Outcome.Racy {
+		t.Fatalf("outcome = %+v finished = %v", ts.Outcome, ts.Finished)
+	}
+	// Every phase of the batch lifecycle must appear in the timeline.
+	seen := map[string]bool{}
+	for _, sp := range ts.Spans {
+		seen[sp.Name] = true
+	}
+	for _, want := range []string{"batch.wait", "batch.feed", "batch.race_emit", "finalize", "stream"} {
+		if !seen[want] {
+			t.Errorf("span %q missing from trace (have %v)", want, seen)
+		}
+	}
+
+	src := s.TraceSource()
+	if src == nil {
+		t.Fatal("TraceSource nil with tracing on")
+	}
+	recs, ok := src(key)
+	if !ok || len(recs) < 2 {
+		t.Fatalf("TraceSource(%s) = %v, %v", key, recs, ok)
+	}
+	if recs[0].Meta == nil || recs[0].Meta.TraceID != sum.TraceID {
+		t.Fatalf("meta record = %+v", recs[0])
+	}
+}
+
+// With no client trace ID the server mints one, so a stream is never
+// untraced while tracing is on.
+func TestTracingServerMintsID(t *testing.T) {
+	s, _ := tracedServer(t)
+	c := workload.Corpus(1, 1)[0]
+	e := runCorpusEntry(t, c)
+	sum, err := Send(s.Addr(), e, SendOptions{BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TraceID == "" || sum.TraceID == telemetry.TraceID(0).String() {
+		t.Fatalf("server did not mint a trace ID: %q", sum.TraceID)
+	}
+}
+
+// The per-stream latency fields must be populated whenever the stream
+// fed at least one batch, tracing or not.
+func TestSummaryLatencyFields(t *testing.T) {
+	s := newTestServer(t, Options{})
+	c := workload.Corpus(1, 1)[0]
+	e := runCorpusEntry(t, c)
+	sum, err := Send(s.Addr(), e, SendOptions{BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Batches == 0 {
+		t.Fatal("no batches fed")
+	}
+	if sum.BatchFeedP50NS <= 0 || sum.BatchFeedP99NS < sum.BatchFeedP50NS {
+		t.Fatalf("feed quantiles = %d/%d", sum.BatchFeedP50NS, sum.BatchFeedP99NS)
+	}
+	if sum.BatchWaitP50NS <= 0 || sum.BatchWaitP99NS < sum.BatchWaitP50NS {
+		t.Fatalf("wait quantiles = %d/%d", sum.BatchWaitP50NS, sum.BatchWaitP99NS)
+	}
+	if sum.QueueHighWater < 1 {
+		t.Fatalf("queue high-water = %d, want >= 1", sum.QueueHighWater)
+	}
+}
+
+// The sampler keeps the anomalous decile only: a mixed corpus streamed
+// through a traced server must keep every racy stream and sample out
+// the clean fast ones.
+func TestTailSamplingOverCorpus(t *testing.T) {
+	s, tracer := tracedServer(t)
+	corpus := workload.Corpus(12, 1)
+	keptRacy, cleanKept := 0, 0
+	for _, c := range corpus {
+		e := runCorpusEntry(t, c)
+		sum, err := Send(s.Addr(), e, SendOptions{BatchSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		racy := len(sum.Races) > 0
+		if racy && !sum.TraceKept {
+			t.Errorf("racy stream %d sampled out", sum.StreamID)
+		}
+		if racy && sum.TraceKept {
+			keptRacy++
+		}
+		if !racy && sum.TraceKept {
+			cleanKept++
+		}
+	}
+	if keptRacy == 0 {
+		t.Fatal("corpus produced no kept racy traces")
+	}
+	if cleanKept > 0 {
+		t.Errorf("%d clean streams kept despite slow sampling disabled", cleanKept)
+	}
+	if len(tracer.Keys()) != keptRacy {
+		t.Errorf("tracer keeps %d traces, want %d", len(tracer.Keys()), keptRacy)
+	}
+}
+
+// stripVolatile zeroes the fields that legitimately differ between a
+// traced and an untraced run (trace context, wall-clock latencies),
+// leaving everything detection-relevant for the byte-identical check.
+func stripVolatile(s Summary) Summary {
+	s.TraceID, s.TraceKept = "", false
+	s.BatchWaitP50NS, s.BatchWaitP99NS = 0, 0
+	s.BatchFeedP50NS, s.BatchFeedP99NS = 0, 0
+	s.QueueHighWater = 0
+	return s
+}
+
+// Acceptance: streaming the standing 60-trace corpus with tracing on
+// must produce byte-identical detection output to tracing off.
+func TestTracingDoesNotChangeOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("60-trace corpus in -short mode")
+	}
+	traced, _ := tracedServer(t)
+	plain := newTestServer(t, Options{})
+
+	corpus := workload.Corpus(60, 1)
+	for i, c := range corpus {
+		e := runCorpusEntry(t, c)
+		sumT, err := Send(traced.Addr(), e, SendOptions{BatchSize: 128, TraceID: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumP, err := Send(plain.Addr(), e, SendOptions{BatchSize: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := stripVolatile(*sumT), stripVolatile(*sumP)
+		if !reflect.DeepEqual(a, b) {
+			ja, _ := json.Marshal(a)
+			jb, _ := json.Marshal(b)
+			t.Fatalf("corpus %d (%s seed %d): summaries diverge with tracing on:\n on: %s\noff: %s",
+				i, c.Workload.Name, c.Seed, ja, jb)
+		}
+	}
+}
+
+// BenchmarkStreamThroughputTraced is BenchmarkStreamThroughput with
+// tracing on — the pair quantifies the tracing tax (acceptance: <5%).
+func BenchmarkStreamThroughputTraced(b *testing.B) {
+	reg := telemetry.NewRegistry() // disabled: measure the hot path
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{Registry: reg})
+	s, err := Serve(Options{Addr: "127.0.0.1:0", Registry: reg, Tracer: tracer})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	w := workload.Random(workload.RandomParams{
+		Seed: 21, CPUs: 4, Segments: 20, OpsPerSegment: 6, Locks: 2,
+		UnlockedFraction: 0.3, SharedFraction: 0.6,
+	})
+	r, err := sim.Run(w.Prog, sim.Config{Model: memmodel.WO, Seed: 21, InitMemory: w.InitMemory})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(r.Exec.Ops)), "ops/stream")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Send(s.Addr(), r.Exec, SendOptions{BatchSize: 256, TraceID: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,8 +2,10 @@ package stream
 
 import (
 	"sort"
+	"time"
 
 	"weakrace/internal/obs"
+	"weakrace/internal/telemetry"
 )
 
 // worker owns the detectors of the streams sharded onto it. The ready
@@ -18,32 +20,68 @@ type worker struct {
 
 func (w *worker) run(s *Server) {
 	for st := range w.ready {
-		batch := <-st.q
-		if batch == nil {
+		m := <-st.q
+		if m.ops == nil {
 			w.finish(s, st)
 			continue
 		}
-		for _, op := range batch {
-			st.det.Feed(op)
-		}
-		st.processed.Add(int64(len(batch)))
-		if reg := s.reg; reg.Enabled() {
-			reg.Counter("stream.events").Add(int64(len(batch)))
-			reg.Counter("stream.batches").Inc()
-			reg.Gauge("stream.window_occupancy_peak").SetMax(int64(st.det.LiveAccesses()))
-		}
+		w.feed(s, st, m)
+	}
+}
+
+// feed runs one batch through the stream's detector, recording the
+// batch's queue-wait and feed spans. Tracing off (st.tr == nil, no
+// watchdog, disabled registry) reduces to two time.Now calls and two
+// histogram observes per batch — the cost the soak's <5% budget holds.
+func (w *worker) feed(s *Server, st *stream, m batchMsg) {
+	batch := st.fedBatches
+	st.fedBatches++
+	feedStart := time.Now()
+	wait := feedStart.Sub(m.enq)
+	for _, op := range m.ops {
+		st.det.Feed(op)
+	}
+	feedDur := time.Since(feedStart)
+	st.lastActive.Store(feedStart.Add(feedDur).UnixNano())
+	st.processed.Add(int64(len(m.ops)))
+
+	st.waitHist.Observe(wait)
+	st.feedHist.Observe(feedDur)
+	st.tr.Record("batch.wait", batch, m.enq, wait)
+	st.tr.Record("batch.feed", batch, feedStart, feedDur)
+	// Retire and race-emit land as zero-duration markers on the batch
+	// that triggered them, read off the detector's live tallies.
+	if r := st.det.RetiredSoFar(); r > st.prevRetired {
+		st.tr.Mark("batch.retire", batch)
+		st.prevRetired = r
+	}
+	if n := st.det.RacesSoFar(); n > st.prevRaces {
+		st.tr.Mark("batch.race_emit", batch)
+		st.prevRaces = n
+	}
+	s.wdog.Observe("stream.batch_feed", feedDur, st.key())
+
+	if reg := s.reg; reg.Enabled() {
+		reg.Counter("stream.events").Add(int64(len(m.ops)))
+		reg.Counter("stream.batches").Inc()
+		reg.Gauge("stream.window_occupancy_peak").SetMax(int64(st.det.LiveAccesses()))
+		reg.Phase("stream.batch_wait").Observe(wait)
+		reg.Phase("stream.batch_feed").Observe(feedDur)
 	}
 }
 
 // finish finalizes one stream: freeze the detector's result into the
-// wire summary, account for it, publish its races, and wake the reader.
+// wire summary, account for it, publish its races, run the tail
+// sampler, and wake the reader.
 func (w *worker) finish(s *Server, st *stream) {
+	finStart := time.Now()
 	res := st.det.Result()
 	races := make([]string, 0, len(res.Races))
 	for ll := range res.Races {
 		races = append(races, ll.String())
 	}
 	sort.Strings(races)
+	st.tr.Record("finalize", -1, finStart, time.Since(finStart))
 
 	st.mu.Lock()
 	readErr := st.readErr
@@ -63,12 +101,38 @@ func (w *worker) finish(s *Server, st *stream) {
 		Retired:          res.Retired,
 		WindowPairMisses: res.WindowPairMisses,
 		Replay:           res.Replay,
+		QueueHighWater:   int(st.queueHW.Load()),
 	}
 	if readErr != nil {
 		sum.Err = readErr.Error()
 	}
+	if waits := st.waitHist.Snapshot(); waits.Count > 0 {
+		sum.BatchWaitP50NS = waits.Quantile(0.50)
+		sum.BatchWaitP99NS = waits.Quantile(0.99)
+	}
+	if feeds := st.feedHist.Snapshot(); feeds.Count > 0 {
+		sum.BatchFeedP50NS = feeds.Quantile(0.50)
+		sum.BatchFeedP99NS = feeds.Quantile(0.99)
+	}
+	if st.tr != nil {
+		sum.TraceID = st.tr.TraceID.String()
+	}
 	st.summary = sum
 	st.mu.Unlock()
+
+	// The tail sampler's verdict: racy, errored, and truncated streams
+	// always keep their trace; unremarkable ones survive only in the
+	// aggregate histograms.
+	if s.tracer != nil {
+		kept := s.tracer.Finish(st.tr, telemetry.TraceOutcome{
+			Racy:      len(races) > 0,
+			Errored:   readErr != nil,
+			Truncated: readErr != nil && errIsTruncation(readErr),
+		})
+		st.mu.Lock()
+		sum.TraceKept = kept
+		st.mu.Unlock()
+	}
 
 	if reg := s.reg; reg.Enabled() {
 		reg.Counter("stream.races").Add(int64(len(races)))

@@ -69,7 +69,9 @@ type Record struct {
 	Seed      *SeedRec      `json:"seed,omitempty"`
 }
 
-// MetaRec is one analysis's header.
+// MetaRec is one analysis's header. TraceID and Stream are set only on
+// stream-trace exports (see streamtrace.go), correlating the record set
+// with the client-stamped trace context from the WRS1 header.
 type MetaRec struct {
 	Tool      string `json:"tool"`
 	Program   string `json:"program"`
@@ -78,6 +80,8 @@ type MetaRec struct {
 	CPUs      int    `json:"cpus"`
 	Locations int    `json:"locations"`
 	Events    int    `json:"events"`
+	TraceID   string `json:"trace_id,omitempty"`
+	Stream    string `json:"stream,omitempty"`
 }
 
 // EventRec is one trace event, identified the way reports identify
@@ -100,12 +104,16 @@ type EdgeRec struct {
 
 // PhaseRec is one timed phase: StartNS is relative to the recorder
 // start, like Record.TS. Track names the timeline the phase belongs to
-// in the Chrome trace export (one lane set per track).
+// in the Chrome trace export (one lane set per track). Batch tags
+// stream-trace spans with the wire batch they measure (-1 for
+// stream-level spans; 0 doubles as "unset" for offline phases, which
+// never carry batches).
 type PhaseRec struct {
 	Name    string `json:"name"`
 	StartNS int64  `json:"start_ns"`
 	DurNS   int64  `json:"dur_ns"`
 	Track   string `json:"track,omitempty"`
+	Batch   int    `json:"batch,omitempty"`
 }
 
 // RaceRec is one detected race in dense event ids plus human-readable

@@ -1,0 +1,59 @@
+package export
+
+import (
+	"io"
+
+	"weakrace/internal/telemetry"
+)
+
+// Stream-trace export: one tail-sampled StreamTrace rendered in the
+// flight recorder's record vocabulary, so a kept trace round-trips
+// through the same JSONL codec the offline flight logs use and loads in
+// Perfetto through the same Chrome trace-event writer.
+
+// TraceRecords converts a trace snapshot into flight records: one meta
+// record carrying the trace identity, then one phase record per span,
+// all on a single track named after the trace key. The conversion is
+// lossless for span data (name, batch, start, duration), so
+// WriteJSONL∘ReadJSONL∘WriteJSONL is byte-identical — the same
+// round-trip contract the offline flight log holds.
+func TraceRecords(ts telemetry.TraceSnapshot) []Record {
+	track := "stream " + ts.Key
+	recs := make([]Record, 0, len(ts.Spans)+1)
+	recs = append(recs, Record{
+		Kind: KindMeta,
+		Meta: &MetaRec{
+			Tool:    "stream-trace",
+			Program: ts.Program,
+			Model:   ts.Model,
+			Seed:    ts.Seed,
+			TraceID: ts.TraceID,
+			Stream:  ts.Key,
+		},
+	})
+	for _, sp := range ts.Spans {
+		recs = append(recs, Record{
+			TS:   sp.StartNS + sp.DurNS,
+			Kind: KindPhase,
+			Phase: &PhaseRec{
+				Name:    sp.Name,
+				StartNS: sp.StartNS,
+				DurNS:   sp.DurNS,
+				Track:   track,
+				Batch:   sp.Batch,
+			},
+		})
+	}
+	return recs
+}
+
+// WriteTraceJSONL writes one trace snapshot as flight-recorder JSONL.
+func WriteTraceJSONL(w io.Writer, ts telemetry.TraceSnapshot) error {
+	return WriteJSONL(w, TraceRecords(ts))
+}
+
+// WriteTraceChrome writes one trace snapshot as Chrome trace-event JSON
+// loadable in Perfetto.
+func WriteTraceChrome(w io.Writer, ts telemetry.TraceSnapshot) error {
+	return WriteChromeTrace(w, TraceRecords(ts))
+}

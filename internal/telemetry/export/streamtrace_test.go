@@ -1,0 +1,104 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"weakrace/internal/telemetry"
+)
+
+// sampleTrace builds a finished, kept snapshot with a few batch spans.
+func sampleTrace(t *testing.T) telemetry.TraceSnapshot {
+	t.Helper()
+	tr := telemetry.NewTracer(telemetry.TracerOptions{MinSlowSamples: 1 << 30})
+	st := tr.Begin("7", telemetry.TraceID(0x1234), 5, "prog", "WO", 99)
+	st.Record("batch.wait", 0, st.Start(), 100*time.Microsecond)
+	st.Record("batch.feed", 0, st.Start().Add(100*time.Microsecond), 250*time.Microsecond)
+	st.Mark("batch.retire", 0)
+	st.Mark("batch.race_emit", 0)
+	if !tr.Finish(st, telemetry.TraceOutcome{Racy: true}) {
+		t.Fatal("racy trace sampled out")
+	}
+	ts, ok := tr.Lookup("7")
+	if !ok {
+		t.Fatal("kept trace not retrievable")
+	}
+	return ts
+}
+
+func TestTraceRecordsShape(t *testing.T) {
+	ts := sampleTrace(t)
+	recs := TraceRecords(ts)
+	if len(recs) != len(ts.Spans)+1 {
+		t.Fatalf("records = %d, want %d", len(recs), len(ts.Spans)+1)
+	}
+	meta := recs[0]
+	if meta.Kind != KindMeta || meta.Meta == nil {
+		t.Fatalf("first record = %+v, want meta", meta)
+	}
+	if meta.Meta.TraceID != telemetry.TraceID(0x1234).String() || meta.Meta.Stream != "7" {
+		t.Fatalf("meta identity = %q/%q", meta.Meta.TraceID, meta.Meta.Stream)
+	}
+	if meta.Meta.Program != "prog" || meta.Meta.Model != "WO" || meta.Meta.Seed != 99 {
+		t.Fatalf("meta workload = %+v", meta.Meta)
+	}
+	for _, rec := range recs[1:] {
+		if rec.Kind != KindPhase || rec.Phase == nil {
+			t.Fatalf("span record = %+v, want phase", rec)
+		}
+		if rec.Phase.Track != "stream 7" {
+			t.Fatalf("track = %q", rec.Phase.Track)
+		}
+		if rec.TS != rec.Phase.StartNS+rec.Phase.DurNS {
+			t.Fatalf("TS %d != start+dur %d", rec.TS, rec.Phase.StartNS+rec.Phase.DurNS)
+		}
+	}
+}
+
+func TestTraceJSONLRoundTripByteIdentical(t *testing.T) {
+	ts := sampleTrace(t)
+	var first bytes.Buffer
+	if err := WriteTraceJSONL(&first, ts); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	var second bytes.Buffer
+	if err := WriteJSONL(&second, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round trip not byte-identical:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+	}
+}
+
+func TestTraceChromeLoads(t *testing.T) {
+	ts := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := WriteTraceChrome(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if name, _ := ev["name"].(string); strings.Contains(name, "batch.feed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no batch.feed event in chrome trace")
+	}
+}

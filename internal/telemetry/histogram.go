@@ -87,6 +87,11 @@ func (h *Histogram) Sum() time.Duration {
 	return h.sum
 }
 
+// Snapshot captures the histogram's current state — the single-phase
+// form of Registry.Snapshot, for consumers (the watchdog's SLO check)
+// that need one phase's quantiles without copying the whole registry.
+func (h *Histogram) Snapshot() PhaseSnapshot { return h.snapshot() }
+
 // snapshot captures the histogram under its lock.
 func (h *Histogram) snapshot() PhaseSnapshot {
 	h.mu.Lock()

@@ -238,6 +238,24 @@ func (r *Registry) SetSpanHook(h SpanHook) {
 	r.spanHook.Store(&h)
 }
 
+// AddSpanHook chains h after whatever hook is already installed, so two
+// observers (the obs plane's phase events and the watchdog's SLO check)
+// can both see completed spans. Not atomic against a concurrent
+// Set/AddSpanHook — hooks are wired once at startup. SetSpanHook(nil)
+// removes the whole chain.
+func (r *Registry) AddSpanHook(h SpanHook) {
+	prev := r.spanHook.Load()
+	if prev == nil {
+		r.SetSpanHook(h)
+		return
+	}
+	first := *prev
+	r.SetSpanHook(func(name string, d time.Duration) {
+		first(name, d)
+		h(name, d)
+	})
+}
+
 // CurrentPhase returns the name of the most recently started span that
 // has not ended, or "" when the registry is idle (or disabled). Best-
 // effort under concurrency: with overlapping spans from several

@@ -1,0 +1,343 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Request tracing: the cheap always-on breadcrumbs the streaming daemon
+// and the campaign engine keep per stream (or per seed), tail-sampled so
+// only the executions worth debugging retain their full span timelines.
+//
+// A TraceID is stamped by the client (wrclient) and travels in the WRS1
+// header; the server continues the trace as per-batch spans (enqueue
+// wait, feed, retire, race-emit) recorded into a StreamTrace — a small
+// single-writer span buffer whose appends cost one uncontended mutex
+// acquisition and one slice append. When the stream finishes, the
+// Tracer's tail sampler decides its fate: anomalous streams (racy,
+// errored, truncated, or in the slowest decile of recent completions)
+// keep their full trace for /trace/{stream}; everything else is dropped,
+// surviving only in the aggregate batch-latency histograms. This is the
+// Ronsse–De Bosschere trade applied to observability itself: cheap
+// always-on recording, deep capture only for the executions that matter.
+
+// TraceID is a client-stamped 64-bit trace identifier correlating one
+// execution across wrclient, the WRS1 wire header, and the server's
+// span buffer. Zero means the client did not stamp one.
+type TraceID uint64
+
+// String renders the ID the way traces are grepped for: 16 hex digits.
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// SpanRec is one completed span in a stream's trace: a named interval,
+// tagged with the batch it belongs to (-1 for stream-level spans),
+// relative to the trace's start.
+type SpanRec struct {
+	Name    string `json:"name"`
+	Batch   int    `json:"batch"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// TraceOutcome is what the tail sampler judges a finished trace by.
+type TraceOutcome struct {
+	Racy      bool `json:"racy"`
+	Errored   bool `json:"errored"`
+	Truncated bool `json:"truncated"`
+	// Slow is filled by the sampler: the trace's total duration fell in
+	// the slowest decile of recent completions.
+	Slow bool `json:"slow"`
+	// DurNS is the trace's total wall-clock duration, filled at Finish.
+	DurNS int64 `json:"dur_ns"`
+}
+
+// StreamTrace is one execution's span buffer. The owner (the stream's
+// pinned worker, or the campaign worker running the seed) appends spans;
+// concurrent readers (/trace/{key} on a live stream) take snapshots
+// under the same mutex. A nil *StreamTrace is the "off" state: every
+// method no-ops, so call sites need no tracing-enabled checks.
+type StreamTrace struct {
+	Key        string
+	TraceID    TraceID
+	ParentSpan uint64
+	Program    string
+	Model      string
+	Seed       int64
+
+	start    time.Time
+	maxSpans int
+
+	mu       sync.Mutex
+	spans    []SpanRec
+	dropped  int
+	finished bool
+	outcome  TraceOutcome
+}
+
+// Start returns the trace's start time (zero on a nil trace).
+func (t *StreamTrace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Record appends one completed span that started at start and lasted d.
+// Spans past the per-trace cap are counted, not stored.
+func (t *StreamTrace) Record(name string, batch int, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	rec := SpanRec{Name: name, Batch: batch, StartNS: int64(start.Sub(t.start)), DurNS: int64(d)}
+	t.mu.Lock()
+	if len(t.spans) >= t.maxSpans {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, rec)
+	}
+	t.mu.Unlock()
+}
+
+// Mark appends a zero-duration marker span at now — the form retire and
+// race-emit events take inside a batch.
+func (t *StreamTrace) Mark(name string, batch int) {
+	if t == nil {
+		return
+	}
+	t.Record(name, batch, time.Now(), 0)
+}
+
+// TraceSnapshot is a point-in-time copy of a StreamTrace, safe to
+// serialize while the owner keeps appending.
+type TraceSnapshot struct {
+	Key        string       `json:"key"`
+	TraceID    string       `json:"trace_id"`
+	ParentSpan uint64       `json:"parent_span,omitempty"`
+	Program    string       `json:"program"`
+	Model      string       `json:"model"`
+	Seed       int64        `json:"seed"`
+	Finished   bool         `json:"finished"`
+	Outcome    TraceOutcome `json:"outcome"`
+	Spans      []SpanRec    `json:"spans"`
+	Dropped    int          `json:"spans_dropped,omitempty"`
+}
+
+// Snapshot copies the trace's current state.
+func (t *StreamTrace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TraceSnapshot{
+		Key:        t.Key,
+		TraceID:    t.TraceID.String(),
+		ParentSpan: t.ParentSpan,
+		Program:    t.Program,
+		Model:      t.Model,
+		Seed:       t.Seed,
+		Finished:   t.finished,
+		Outcome:    t.outcome,
+		Spans:      append([]SpanRec(nil), t.spans...),
+		Dropped:    t.dropped,
+	}
+}
+
+// TracerOptions tunes the tail sampler.
+type TracerOptions struct {
+	// MaxSpans caps one trace's span buffer. Default 4096.
+	MaxSpans int
+	// Keep bounds how many finished traces are retained. Default 128.
+	Keep int
+	// SlowWindow is how many recent completion durations the slowest-
+	// decile threshold is computed over. Default 128.
+	SlowWindow int
+	// SlowQuantile is the keep threshold on that window: a completion at
+	// or above this quantile is "slow" and kept. Default 0.9 (the
+	// slowest decile).
+	SlowQuantile float64
+	// MinSlowSamples is how many completions must be seen before
+	// slowness alone keeps a trace (the first few streams are always
+	// "slowest so far"). Default 16.
+	MinSlowSamples int
+	// Registry receives trace.* counters (started, kept, dropped,
+	// spans_dropped). Nil skips the accounting.
+	Registry *Registry
+}
+
+func (o TracerOptions) withDefaults() TracerOptions {
+	if o.MaxSpans <= 0 {
+		o.MaxSpans = 4096
+	}
+	if o.Keep <= 0 {
+		o.Keep = 128
+	}
+	if o.SlowWindow <= 0 {
+		o.SlowWindow = 128
+	}
+	if o.SlowQuantile <= 0 || o.SlowQuantile >= 1 {
+		o.SlowQuantile = 0.9
+	}
+	if o.MinSlowSamples <= 0 {
+		o.MinSlowSamples = 16
+	}
+	return o
+}
+
+// Tracer owns the live and tail-sampled traces of one process: the
+// streaming daemon has one for its streams, a campaign one for its
+// seeds. A nil *Tracer is the "tracing off" state — Begin returns a nil
+// *StreamTrace and the whole plane costs one nil check per stream.
+type Tracer struct {
+	opts TracerOptions
+
+	mu        sync.Mutex
+	live      map[string]*StreamTrace
+	kept      map[string]*StreamTrace
+	keptOrder []string // FIFO eviction order for kept
+	durs      []int64  // ring of recent completion durations
+	dursNext  int
+	dursSeen  int
+}
+
+// NewTracer returns a Tracer with the given sampling policy.
+func NewTracer(opts TracerOptions) *Tracer {
+	opts = opts.withDefaults()
+	return &Tracer{
+		opts: opts,
+		live: map[string]*StreamTrace{},
+		kept: map[string]*StreamTrace{},
+		durs: make([]int64, 0, opts.SlowWindow),
+	}
+}
+
+// Begin opens a trace for key (the server's stream id or the campaign's
+// seed label) and registers it as live. Nil receiver returns nil.
+func (tr *Tracer) Begin(key string, id TraceID, parent uint64, program, model string, seed int64) *StreamTrace {
+	if tr == nil {
+		return nil
+	}
+	st := &StreamTrace{
+		Key: key, TraceID: id, ParentSpan: parent,
+		Program: program, Model: model, Seed: seed,
+		start: time.Now(), maxSpans: tr.opts.MaxSpans,
+	}
+	tr.mu.Lock()
+	tr.live[key] = st
+	tr.mu.Unlock()
+	if reg := tr.opts.Registry; reg != nil && reg.Enabled() {
+		reg.Counter("trace.streams_traced").Inc()
+	}
+	return st
+}
+
+// Finish closes the trace, runs the tail sampler, and reports whether
+// the full trace was kept. The trace-level "stream" span and the
+// outcome are recorded either way.
+func (tr *Tracer) Finish(st *StreamTrace, oc TraceOutcome) (kept bool) {
+	if tr == nil || st == nil {
+		return false
+	}
+	dur := time.Since(st.start)
+	oc.DurNS = int64(dur)
+
+	tr.mu.Lock()
+	// Slowest-decile judgment over the recent-completions window. The
+	// current duration joins the window first, so a lone early outlier
+	// still sees itself at the top of the distribution.
+	if len(tr.durs) < tr.opts.SlowWindow {
+		tr.durs = append(tr.durs, int64(dur))
+	} else {
+		tr.durs[tr.dursNext] = int64(dur)
+		tr.dursNext = (tr.dursNext + 1) % tr.opts.SlowWindow
+	}
+	tr.dursSeen++
+	if tr.dursSeen >= tr.opts.MinSlowSamples && int64(dur) >= tr.slowThresholdLocked() {
+		oc.Slow = true
+	}
+	kept = oc.Racy || oc.Errored || oc.Truncated || oc.Slow
+	delete(tr.live, st.Key)
+	if kept {
+		if _, dup := tr.kept[st.Key]; !dup {
+			tr.keptOrder = append(tr.keptOrder, st.Key)
+		}
+		tr.kept[st.Key] = st
+		for len(tr.keptOrder) > tr.opts.Keep {
+			evict := tr.keptOrder[0]
+			tr.keptOrder = tr.keptOrder[1:]
+			delete(tr.kept, evict)
+		}
+	}
+	tr.mu.Unlock()
+
+	st.mu.Lock()
+	st.spans = append(st.spans, SpanRec{Name: "stream", Batch: -1, StartNS: 0, DurNS: int64(dur)})
+	st.finished = true
+	st.outcome = oc
+	spansDropped := st.dropped
+	st.mu.Unlock()
+
+	if reg := tr.opts.Registry; reg != nil && reg.Enabled() {
+		if kept {
+			reg.Counter("trace.kept").Inc()
+		} else {
+			reg.Counter("trace.sampled_out").Inc()
+		}
+		if spansDropped > 0 {
+			reg.Counter("trace.spans_dropped").Add(int64(spansDropped))
+		}
+	}
+	return kept
+}
+
+// slowThresholdLocked computes the SlowQuantile duration of the window.
+// Called with tr.mu held; the window is at most SlowWindow entries.
+func (tr *Tracer) slowThresholdLocked() int64 {
+	sorted := append([]int64(nil), tr.durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(float64(len(sorted)) * tr.opts.SlowQuantile)
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Lookup returns a snapshot of the trace for key — live traces first,
+// then the tail-sampled kept set.
+func (tr *Tracer) Lookup(key string) (TraceSnapshot, bool) {
+	if tr == nil {
+		return TraceSnapshot{}, false
+	}
+	tr.mu.Lock()
+	st := tr.live[key]
+	if st == nil {
+		st = tr.kept[key]
+	}
+	tr.mu.Unlock()
+	if st == nil {
+		return TraceSnapshot{}, false
+	}
+	return st.Snapshot(), true
+}
+
+// Keys returns the retrievable trace keys: live ones and kept ones, in
+// no particular order.
+func (tr *Tracer) Keys() []string {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	keys := make([]string, 0, len(tr.live)+len(tr.kept))
+	for k := range tr.live {
+		keys = append(keys, k)
+	}
+	for k := range tr.kept {
+		if _, isLive := tr.live[k]; !isLive {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}

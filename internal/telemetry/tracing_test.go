@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceIDString(t *testing.T) {
+	if got := TraceID(0xdeadbeef).String(); got != "00000000deadbeef" {
+		t.Fatalf("TraceID.String() = %q", got)
+	}
+}
+
+func TestNilStreamTraceNoOps(t *testing.T) {
+	var st *StreamTrace
+	st.Record("batch.feed", 0, time.Now(), time.Millisecond) // must not panic
+	st.Mark("batch.retire", 1)
+	if !st.Start().IsZero() {
+		t.Fatal("nil trace has a start time")
+	}
+	if snap := st.Snapshot(); len(snap.Spans) != 0 {
+		t.Fatalf("nil trace snapshot has %d spans", len(snap.Spans))
+	}
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	st := tr.Begin("1", 7, 0, "p", "WO", 1)
+	if st != nil {
+		t.Fatal("nil tracer returned a trace")
+	}
+	if kept := tr.Finish(st, TraceOutcome{Racy: true}); kept {
+		t.Fatal("nil tracer kept a trace")
+	}
+	if _, ok := tr.Lookup("1"); ok {
+		t.Fatal("nil tracer resolved a key")
+	}
+	if keys := tr.Keys(); keys != nil {
+		t.Fatalf("nil tracer has keys %v", keys)
+	}
+}
+
+func TestStreamTraceRecordAndSnapshot(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	st := tr.Begin("42", TraceID(0xabc), 9, "prog", "WO", 7)
+	st.Record("batch.wait", 0, st.Start(), 2*time.Millisecond)
+	st.Record("batch.feed", 0, st.Start().Add(2*time.Millisecond), 3*time.Millisecond)
+	st.Mark("batch.retire", 0)
+
+	snap, ok := tr.Lookup("42")
+	if !ok {
+		t.Fatal("live trace not resolvable")
+	}
+	if snap.Finished {
+		t.Fatal("live trace claims finished")
+	}
+	if snap.TraceID != TraceID(0xabc).String() || snap.ParentSpan != 9 {
+		t.Fatalf("trace context = %s/%d", snap.TraceID, snap.ParentSpan)
+	}
+	if snap.Program != "prog" || snap.Model != "WO" || snap.Seed != 7 {
+		t.Fatalf("identity = %s/%s/%d", snap.Program, snap.Model, snap.Seed)
+	}
+	if len(snap.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(snap.Spans))
+	}
+	if snap.Spans[1].Name != "batch.feed" || snap.Spans[1].DurNS != int64(3*time.Millisecond) {
+		t.Fatalf("feed span = %+v", snap.Spans[1])
+	}
+	if snap.Spans[2].DurNS != 0 {
+		t.Fatalf("marker span has duration %d", snap.Spans[2].DurNS)
+	}
+}
+
+func TestTraceSpanCapCountsDropped(t *testing.T) {
+	tr := NewTracer(TracerOptions{MaxSpans: 2})
+	st := tr.Begin("1", 1, 0, "p", "WO", 0)
+	for i := 0; i < 5; i++ {
+		st.Mark("batch.feed", i)
+	}
+	snap := st.Snapshot()
+	if len(snap.Spans) != 2 || snap.Dropped != 3 {
+		t.Fatalf("spans = %d dropped = %d, want 2/3", len(snap.Spans), snap.Dropped)
+	}
+}
+
+func TestTailSamplingKeepsAnomalousOnly(t *testing.T) {
+	tr := NewTracer(TracerOptions{MinSlowSamples: 1 << 30}) // slowness never triggers
+	cases := []struct {
+		key  string
+		oc   TraceOutcome
+		want bool
+	}{
+		{"racy", TraceOutcome{Racy: true}, true},
+		{"errored", TraceOutcome{Errored: true}, true},
+		{"truncated", TraceOutcome{Errored: true, Truncated: true}, true},
+		{"clean", TraceOutcome{}, false},
+	}
+	for _, c := range cases {
+		st := tr.Begin(c.key, 1, 0, "p", "WO", 0)
+		if kept := tr.Finish(st, c.oc); kept != c.want {
+			t.Errorf("%s: kept = %v, want %v", c.key, kept, c.want)
+		}
+		_, ok := tr.Lookup(c.key)
+		if ok != c.want {
+			t.Errorf("%s: retrievable = %v, want %v", c.key, ok, c.want)
+		}
+	}
+}
+
+func TestTailSamplingFinishedOutcome(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	st := tr.Begin("5", 1, 0, "p", "WO", 0)
+	tr.Finish(st, TraceOutcome{Racy: true})
+	snap, ok := tr.Lookup("5")
+	if !ok {
+		t.Fatal("racy trace not kept")
+	}
+	if !snap.Finished || !snap.Outcome.Racy || snap.Outcome.DurNS <= 0 {
+		t.Fatalf("outcome = %+v finished = %v", snap.Outcome, snap.Finished)
+	}
+	// The trace-level span is appended at Finish.
+	last := snap.Spans[len(snap.Spans)-1]
+	if last.Name != "stream" || last.Batch != -1 {
+		t.Fatalf("final span = %+v, want stream/-1", last)
+	}
+}
+
+func TestTailSamplingSlowestDecile(t *testing.T) {
+	tr := NewTracer(TracerOptions{MinSlowSamples: 4, SlowWindow: 64})
+	// Seed the window with fast completions.
+	for i := 0; i < 8; i++ {
+		st := tr.Begin("fast", 1, 0, "p", "WO", 0)
+		tr.Finish(st, TraceOutcome{})
+	}
+	// A completion far above everything in the window must judge slow.
+	st := tr.Begin("slow", 1, 0, "p", "WO", 0)
+	time.Sleep(20 * time.Millisecond)
+	if kept := tr.Finish(st, TraceOutcome{}); !kept {
+		t.Fatal("slowest-decile completion was sampled out")
+	}
+	snap, _ := tr.Lookup("slow")
+	if !snap.Outcome.Slow {
+		t.Fatalf("outcome = %+v, want Slow", snap.Outcome)
+	}
+}
+
+func TestKeptTracesEvictFIFO(t *testing.T) {
+	tr := NewTracer(TracerOptions{Keep: 2, MinSlowSamples: 1 << 30})
+	for _, key := range []string{"a", "b", "c"} {
+		st := tr.Begin(key, 1, 0, "p", "WO", 0)
+		tr.Finish(st, TraceOutcome{Racy: true})
+	}
+	if _, ok := tr.Lookup("a"); ok {
+		t.Fatal("oldest kept trace not evicted")
+	}
+	for _, key := range []string{"b", "c"} {
+		if _, ok := tr.Lookup(key); !ok {
+			t.Fatalf("%s evicted, want kept", key)
+		}
+	}
+	if n := len(tr.Keys()); n != 2 {
+		t.Fatalf("keys = %d, want 2", n)
+	}
+}
+
+func TestTracerCounters(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	tr := NewTracer(TracerOptions{Registry: reg, MinSlowSamples: 1 << 30})
+	tr.Finish(tr.Begin("1", 1, 0, "p", "WO", 0), TraceOutcome{Racy: true})
+	tr.Finish(tr.Begin("2", 1, 0, "p", "WO", 0), TraceOutcome{})
+	if got := reg.Counter("trace.streams_traced").Value(); got != 2 {
+		t.Fatalf("streams_traced = %d", got)
+	}
+	if got := reg.Counter("trace.kept").Value(); got != 1 {
+		t.Fatalf("kept = %d", got)
+	}
+	if got := reg.Counter("trace.sampled_out").Value(); got != 1 {
+		t.Fatalf("sampled_out = %d", got)
+	}
+}

@@ -8,7 +8,8 @@ package trace
 // its incremental detector without ever holding the full trace.
 //
 //	magic "WRS1"
-//	header: name, model, seed, numCPUs, numLocations   (WRT1 field codec)
+//	header: name, model, seed, numCPUs, numLocations,
+//	        traceID, parentSpan                        (WRT1 field codec)
 //	batch*: uvarint payloadBytes > 0, then payload:
 //	          uvarint opCount, then per op:
 //	            kind byte, cpu, pc, loc (uvarints),
@@ -59,6 +60,14 @@ type StreamHeader struct {
 	Seed         int64
 	NumCPUs      int
 	NumLocations int
+
+	// TraceID and ParentSpan carry the client's trace context so the
+	// server can continue the trace the client started: per-batch server
+	// spans land under the same trace ID the client prints, and
+	// /trace/{stream} on the server joins with the client's own latency
+	// summary. Zero means untraced — servers then mint their own ID.
+	TraceID    uint64
+	ParentSpan uint64
 }
 
 // StreamWriter frames an operation stream onto w: header once at
@@ -87,6 +96,8 @@ func NewStreamWriter(w io.Writer, h StreamHeader) (*StreamWriter, error) {
 	hw.varint(h.Seed)
 	hw.uvarint(uint64(h.NumCPUs))
 	hw.uvarint(uint64(h.NumLocations))
+	hw.uvarint(h.TraceID)
+	hw.uvarint(h.ParentSpan)
 	if hw.err != nil {
 		return nil, fmt.Errorf("trace: stream encode: %w", hw.err)
 	}
@@ -196,6 +207,8 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	sr.hdr.Seed = rd.varint()
 	sr.hdr.NumCPUs = rd.count("cpu")
 	sr.hdr.NumLocations = rd.count("location")
+	sr.hdr.TraceID = rd.uvarint()
+	sr.hdr.ParentSpan = rd.uvarint()
 	if rd.err != nil {
 		return nil, fmt.Errorf("trace: stream decode header: %w", rd.err)
 	}
