@@ -11,6 +11,7 @@
 //	wrbench -scenario full-pipeline -o - -iters 10
 //	wrbench -scenario model-throughput,tracing-overhead -iters 3
 //	wrbench -http 127.0.0.1:8077   # live /metrics, /status, dashboard
+//	wrbench -scenario postmortem-scaling-xl -profile prof/   # per-scenario pprof
 //	wrbench -trajectory trend.html           # all BENCH_*.json -> one report
 //	wrbench -trajectory trend.html BENCH_2.json BENCH_5.json
 package main
@@ -113,8 +114,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		htmlOut  = fs.String("html", "", "with -flight or alone: write the segments-32 run's HTML race report to this file")
 		httpAddr = fs.String("http", "", "serve the observability plane (metrics, status, dashboard, pprof) on this address while benching")
 		traject  = fs.String("trajectory", "", "standalone mode: render the checked-in BENCH_*.json files (or the\npositional arguments) into one HTML trend report at this path, then exit")
-		metrics  = fs.String("metrics", "", "dump a JSON telemetry snapshot on exit to this file (- for stdout);\nincludes the parallel-analysis counters (graph.ts.*, detect.sweep.*, detect.arena.*)")
+		metrics  = fs.String("metrics", "", "dump a JSON telemetry snapshot on exit to this file (- for stdout);\nincludes the parallel-analysis counters (graph.ts.*, graph.build.*,\ntrace.validate.*, detect.sweep.*, detect.condreach.*, detect.arena.*)")
 		workers  = fs.Int("workers", 0, "worker goroutines for the parallel analysis passes in the detection\nscenarios (0 = GOMAXPROCS); output is byte-identical for every worker count")
+		profile  = fs.String("profile", "", "write a per-scenario CPU profile (<scenario>.pprof) into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -163,15 +165,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scenarios = filtered
 	}
 
+	if *profile != "" {
+		if err := os.MkdirAll(*profile, 0o755); err != nil {
+			fmt.Fprintf(stderr, "wrbench: %v\n", err)
+			return 2
+		}
+	}
 	defer telemetry.EnableDefault()()
 	output := Output{Meta: collectMeta(), Iters: *iters}
 	for _, s := range scenarios {
 		fmt.Fprintf(stderr, "wrbench: %s (%d iters)...\n", s.name, *iters)
+		var stopProfile func()
+		if *profile != "" {
+			// One CPU profile per scenario, so a hot phase can be
+			// attributed to the scenario that exercised it.
+			path := filepath.Join(*profile, s.name+".pprof")
+			stop, err := telemetry.StartProfiles(path, "", stderr)
+			if err != nil {
+				fmt.Fprintf(stderr, "wrbench: %v\n", err)
+				return 2
+			}
+			stopProfile = stop
+		}
 		sp := telemetry.Default().StartSpan("bench." + s.name)
 		start := time.Now()
 		metrics, err := s.run(*iters)
 		elapsed := time.Since(start)
 		sp.End()
+		if stopProfile != nil {
+			stopProfile()
+			fmt.Fprintf(stderr, "wrbench: CPU profile written to %s\n",
+				filepath.Join(*profile, s.name+".pprof"))
+		}
 		if err != nil {
 			fmt.Fprintf(stderr, "wrbench: %s: %v\n", s.name, err)
 			return 2
@@ -563,6 +588,71 @@ func allScenarios(workers int) []scenario {
 			for _, n := range []int{2, 4, 8} {
 				if p := metrics[fmt.Sprintf("workers_%d_ns_per_iter", n)]; p > 0 {
 					metrics[fmt.Sprintf("speedup_%dw", n)] = metrics["workers_1_ns_per_iter"] / p
+				}
+			}
+			return metrics, nil
+		}},
+		{"postmortem-scaling-xl", func(iters int) (map[string]float64, error) {
+			// PR 10: the regime where the formerly serial phases —
+			// validation, hb1 construction, partition ordering — dominate.
+			// Full Analyze (validation on) over segments 2048/4096 with a
+			// worker sweep {1,2,4,8,16} on each, plus a per-phase
+			// breakdown of one segments-4096 analysis taken from the
+			// telemetry phase histograms (phase_<name>_ns metrics). These
+			// traces run hundreds of ms per analysis, so iterations are
+			// capped at 3.
+			metrics := map[string]float64{}
+			li := iters
+			if li > 3 {
+				li = 3
+			}
+			var tr4096 *weakrace.Trace
+			for _, segments := range []int{2048, 4096} {
+				w := weakrace.RandomWorkload(weakrace.RandomParams{
+					Seed: 5, CPUs: 4, Segments: segments, UnlockedFraction: 0.3,
+				})
+				res, err := weakrace.Simulate(w.Prog, weakrace.SimConfig{Model: weakrace.WO, Seed: 1})
+				if err != nil {
+					return nil, err
+				}
+				tr := weakrace.TraceExecution(res.Exec)
+				if segments == 4096 {
+					tr4096 = tr
+				}
+				key := fmt.Sprintf("segments_%d", segments)
+				for _, n := range []int{1, 2, 4, 8, 16} {
+					start := time.Now()
+					events := 0
+					for i := 0; i < li; i++ {
+						a, err := weakrace.Detect(tr, weakrace.DetectOptions{Workers: n})
+						if err != nil {
+							return nil, err
+						}
+						events = a.NumEvents
+					}
+					metrics[fmt.Sprintf("%s_workers_%d_ns_per_iter", key, n)] =
+						float64(time.Since(start).Nanoseconds()) / float64(li)
+					metrics[key+"_events"] = float64(events)
+				}
+				for _, n := range []int{2, 4, 8, 16} {
+					if p := metrics[fmt.Sprintf("%s_workers_%d_ns_per_iter", key, n)]; p > 0 {
+						metrics[fmt.Sprintf("%s_speedup_%dw", key, n)] =
+							metrics[fmt.Sprintf("%s_workers_1_ns_per_iter", key)] / p
+					}
+				}
+			}
+			// Per-phase breakdown: one more segments-4096 analysis at the
+			// flag's worker count, bracketed by telemetry snapshots.
+			before := telemetry.Default().Snapshot()
+			if _, err := weakrace.Detect(tr4096, weakrace.DetectOptions{Workers: workers}); err != nil {
+				return nil, err
+			}
+			delta := telemetry.Default().Snapshot().Delta(before)
+			for name, ph := range delta.Phases {
+				if strings.HasPrefix(name, "detect.") ||
+					strings.HasPrefix(name, "graph.") ||
+					strings.HasPrefix(name, "trace.") {
+					metrics["phase_"+name+"_ns"] = float64(ph.TotalNS)
 				}
 			}
 			return metrics, nil

@@ -17,7 +17,7 @@ func TestRunList(t *testing.T) {
 	if got := run([]string{"-list"}, &out, &errb); got != 0 {
 		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
 	}
-	for _, want := range []string{"model-throughput", "tracing-overhead", "postmortem-scaling", "postmortem-scaling-large", "full-pipeline"} {
+	for _, want := range []string{"model-throughput", "tracing-overhead", "postmortem-scaling", "postmortem-scaling-large", "postmortem-scaling-xl", "full-pipeline"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("list missing %q:\n%s", want, out.String())
 		}
@@ -41,8 +41,8 @@ func TestRunAllScenarios(t *testing.T) {
 	if o.Iters != 3 {
 		t.Errorf("iters = %d, want 3", o.Iters)
 	}
-	if len(o.Scenarios) != 5 {
-		t.Fatalf("scenarios = %d, want 5", len(o.Scenarios))
+	if len(o.Scenarios) != 6 {
+		t.Fatalf("scenarios = %d, want 6", len(o.Scenarios))
 	}
 	for _, s := range o.Scenarios {
 		if s.TotalNS <= 0 || s.NSPerIter <= 0 {
@@ -133,6 +133,68 @@ func TestRunLargeScalingScenario(t *testing.T) {
 	for _, name := range []string{
 		"graph.ts.spans", "graph.ts.span_max_events",
 		"detect.sweep.buckets", "detect.arena.shards", "detect.arena.shard_recs_highwater",
+	} {
+		if !strings.Contains(string(data), name) {
+			t.Errorf("telemetry dump missing %q", name)
+		}
+	}
+}
+
+// TestRunXLScalingScenario: the PR-10 scenario reports the 67k–134k-event
+// series with worker sweeps through 16 workers, a per-phase breakdown of
+// one segments-4096 analysis, and profiles per scenario under -profile;
+// -metrics dumps a snapshot carrying the new parallel-phase telemetry.
+func TestRunXLScalingScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute scenario at full worker sweep")
+	}
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	profDir := filepath.Join(dir, "prof")
+	var out, errb bytes.Buffer
+	got := run([]string{"-scenario", "postmortem-scaling-xl", "-iters", "1", "-o", "-",
+		"-workers", "2", "-metrics", metricsPath, "-profile", profDir}, &out, &errb)
+	if got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, errb.String())
+	}
+	var o Output
+	if err := json.Unmarshal(out.Bytes(), &o); err != nil {
+		t.Fatalf("stdout is not the JSON trajectory: %v\n%s", err, out.String())
+	}
+	if len(o.Scenarios) != 1 || o.Scenarios[0].Name != "postmortem-scaling-xl" {
+		t.Fatalf("scenarios: %+v", o.Scenarios)
+	}
+	m := o.Scenarios[0].Metrics
+	for _, key := range []string{
+		"segments_2048_events", "segments_4096_events",
+		"segments_2048_workers_1_ns_per_iter", "segments_2048_workers_16_ns_per_iter",
+		"segments_4096_workers_1_ns_per_iter", "segments_4096_workers_16_ns_per_iter",
+		"segments_2048_speedup_4w", "segments_4096_speedup_16w",
+		"phase_detect.analyze_ns", "phase_detect.validate_ns",
+		"phase_trace.validate.streams_ns", "phase_trace.validate.so1_ns",
+		"phase_graph.build.count_ns", "phase_graph.build.fill_ns",
+		"phase_detect.condreach.materialize_ns",
+	} {
+		if m[key] <= 0 {
+			t.Errorf("metric %q = %v, want > 0", key, m[key])
+		}
+	}
+	if m["segments_4096_events"] < 100000 {
+		t.Errorf("segments_4096_events = %v, want the 100k+-event regime", m["segments_4096_events"])
+	}
+	if fi, err := os.Stat(filepath.Join(profDir, "postmortem-scaling-xl.pprof")); err != nil || fi.Size() == 0 {
+		t.Errorf("per-scenario CPU profile missing or empty: %v", err)
+	}
+	// The -metrics dump must carry the PR-10 telemetry: the parallel
+	// validator, the counted hb1 fill, and the partition ordering.
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"trace.validate.workers", "trace.validate.streams", "trace.validate.so1",
+		"graph.build.workers", "graph.build.count", "graph.build.fill",
+		"detect.condreach.workers", "detect.condreach.materialize", "detect.condreach.order",
 	} {
 		if !strings.Contains(string(data), name) {
 			t.Errorf("telemetry dump missing %q", name)

@@ -1,0 +1,67 @@
+package core_test
+
+// Worker-count equivalence of the parallel hb1 build: the adjacency
+// structure of a.HB — list contents AND order, which downstream Tarjan
+// numbering depends on — must be byte-identical to the sequential
+// build for every worker count, on traces large enough to clear the
+// parallel cutoff. Run under -race in CI to also catch unsynchronized
+// slab writes.
+
+import (
+	"testing"
+
+	"weakrace/internal/core"
+	"weakrace/internal/memmodel"
+	"weakrace/internal/sim"
+	"weakrace/internal/trace"
+	"weakrace/internal/workload"
+)
+
+func TestParallelBuildHBEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-trace equivalence sweep")
+	}
+	for _, segments := range []int{320, 512} {
+		w := workload.Random(workload.RandomParams{
+			Seed: 11, CPUs: 4, Segments: segments, UnlockedFraction: 0.3,
+		})
+		r, err := sim.Run(w.Prog, sim.Config{Model: memmodel.WO, Seed: 1, InitMemory: w.InitMemory})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.FromExecution(r.Exec)
+
+		seq, err := core.Analyze(tr, core.Options{SkipValidate: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.NumEvents() < 1<<13 {
+			t.Fatalf("segments=%d: trace too small (%d events) to engage the parallel hb1 build", segments, tr.NumEvents())
+		}
+		for _, workers := range []int{2, 3, 8, 16} {
+			par, err := core.Analyze(tr, core.Options{SkipValidate: true, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := par.HB.N(), seq.HB.N(); got != want {
+				t.Fatalf("segments=%d workers=%d: N=%d, want %d", segments, workers, got, want)
+			}
+			if got, want := par.HB.M(), seq.HB.M(); got != want {
+				t.Fatalf("segments=%d workers=%d: M=%d, want %d", segments, workers, got, want)
+			}
+			for u := 0; u < seq.HB.N(); u++ {
+				ps, ss := par.HB.Succ(u), seq.HB.Succ(u)
+				if len(ps) != len(ss) {
+					t.Fatalf("segments=%d workers=%d: node %d: %d successors, want %d",
+						segments, workers, u, len(ps), len(ss))
+				}
+				for k := range ss {
+					if ps[k] != ss[k] {
+						t.Fatalf("segments=%d workers=%d: node %d slot %d: %d, want %d",
+							segments, workers, u, k, ps[k], ss[k])
+					}
+				}
+			}
+		}
+	}
+}

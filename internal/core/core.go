@@ -125,6 +125,9 @@ type Arena struct {
 	segOff    []int32     // sorted-location offsets into segs (len(locs)+1)
 	units     []sweepUnit // (location, segment-pair) buckets the scan workers pull
 	recsMerge []pairRec   // parallel merge's concatenation buffer
+	groupOff  []int32     // two-level merge: per-group record offsets
+	hbCnt     []int32     // parallel hb1 fill: per-event so1 rank counters
+	hbLess    []int32     // parallel hb1 fill: per-event acquires-below-po counts
 	digits    []int32     // radix sort's counting buffer
 	digitsW   []int32     // parallel radix sort's per-worker histograms
 	recsTmp   []pairRec   // radix sort's ping-pong buffer
@@ -237,6 +240,7 @@ type Analysis struct {
 	raceWorkers     int              // worker count the race search actually used
 	sweepBuckets    int64            // (location, segment-pair) units the scan was sharded into
 	vcWindowQueries int64            // sweep boundary lookups answered by HBTime
+	mergeGroups     int              // two-level merge group count (0 = flat merge)
 	// pairShift is the bit width of this trace's event ids: packed pair
 	// keys are lo<<pairShift | hi, so they span only 2·⌈log₂ n⌉ bits and
 	// the radix sort runs the fewest counting passes the ids allow.
@@ -316,8 +320,12 @@ func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
 	fl := newFlight(opts.Flight)
 	defer startPhase(reg, fl, "detect.analyze")()
 	if !opts.SkipValidate {
+		// Validation shares the analysis's worker budget
+		// (ValidateParallel resolves 0 to GOMAXPROCS the same way
+		// resolveWorkers does) and reports the identical error for
+		// every worker count.
 		done := startPhase(reg, fl, "detect.validate")
-		err := t.Validate()
+		err := t.ValidateParallel(opts.Workers)
 		done()
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
@@ -378,7 +386,7 @@ func Analyze(t *trace.Trace, opts Options) (*Analysis, error) {
 	}
 	done()
 	done = startPhase(reg, fl, "detect.partition")
-	a.partition()
+	a.partition(reg, fl)
 	done()
 	a.flushTelemetry(reg)
 	if fl != nil {
@@ -436,6 +444,11 @@ func (a *Analysis) flushTelemetry(reg *telemetry.Registry) {
 	// marks — how much record slab each worker's sub-arena has grown to
 	// across the analyses run through it.
 	reg.Counter("detect.sweep.buckets").Add(a.sweepBuckets)
+	// detect.sweep.merge_groups appears only when the two-level merge
+	// engaged (workers ≥ mergeTwoLevelCutoff and a sharded sweep ran).
+	if a.mergeGroups > 0 {
+		reg.Gauge("detect.sweep.merge_groups").SetMax(int64(a.mergeGroups))
+	}
 	if ar := a.Options.Arena; ar != nil {
 		reg.Gauge("detect.arena.shards").SetMax(int64(len(ar.shards)))
 		maxRecs := 0
@@ -471,12 +484,49 @@ func (a *Analysis) flushTelemetry(reg *telemetry.Registry) {
 	reg.Gauge("detect.scc.max_size").SetMax(int64(a.AugSCC.MaxSize()))
 }
 
+// pairs reports whether an event is an acquire whose pairing the policy
+// admits — the events that contribute so1 edges to hb1.
+func (a *Analysis) pairs(ev *trace.Event) bool {
+	return ev.Kind == trace.Sync && ev.Role == memmodel.RoleAcquire &&
+		ev.Observed.Valid() && a.Options.Pairing.CanPair(ev.ObservedRole)
+}
+
+// hbParallelCutoff is the event count below which hb1 construction
+// stays on the calling goroutine; both paths build byte-identical
+// graphs, so the cutoff is purely a scheduling decision.
+const hbParallelCutoff = 1 << 13
+
+// hbChunk is the number of source events per parallel counting unit.
+const hbChunk = 4096
+
 // buildHB constructs the happens-before-1 graph: po edges between
 // consecutive events of each processor, so1 edges from each paired release
 // to its acquire (Definition 2.2), subject to the pairing policy. A
 // counting pass sizes every adjacency list first, so edge insertion fills
 // one slab — two allocations per analysis instead of one per event.
+//
+// Above hbParallelCutoff the two passes fan out over the worker budget
+// (see buildHBParallel); the resulting Digraph is byte-identical to the
+// serial build for every worker count.
 func (a *Analysis) buildHB() {
+	reg := telemetry.Default()
+	workers := a.resolveWorkers()
+	if a.NumEvents < hbParallelCutoff {
+		workers = 1
+	}
+	if reg.Enabled() {
+		reg.Gauge("graph.build.workers").SetMax(int64(workers))
+	}
+	if workers <= 1 {
+		a.buildHBSerial(reg)
+	} else {
+		a.buildHBParallel(reg, workers)
+	}
+}
+
+// buildHBSerial is the sequential build: count degrees, carve the slab,
+// append every edge in processor-major scan order.
+func (a *Analysis) buildHBSerial(reg *telemetry.Registry) {
 	ar := a.Options.Arena
 	n := a.NumEvents
 	if cap(ar.degOf) < n {
@@ -486,32 +536,185 @@ func (a *Analysis) buildHB() {
 	for i := range deg {
 		deg[i] = 0
 	}
-	pairs := func(ev *trace.Event) bool {
-		return ev.Kind == trace.Sync && ev.Role == memmodel.RoleAcquire &&
-			ev.Observed.Valid() && a.Options.Pairing.CanPair(ev.ObservedRole)
-	}
+	sp := reg.StartSpan("graph.build.count")
 	for c, evs := range a.Trace.PerCPU {
 		for i := range evs {
 			if i+1 < len(evs) {
 				deg[a.base[c]+i]++
 			}
-			if pairs(evs[i]) {
+			if a.pairs(evs[i]) {
 				deg[a.ID(evs[i].Observed)]++
 			}
 		}
 	}
 	g := graph.NewWithDegrees(deg)
+	sp.End()
+	sp = reg.StartSpan("graph.build.fill")
 	for c, evs := range a.Trace.PerCPU {
 		for i := range evs {
 			if i+1 < len(evs) {
 				g.AddEdge(a.base[c]+i, a.base[c]+i+1)
 			}
-			if pairs(evs[i]) {
+			if a.pairs(evs[i]) {
 				g.AddEdge(int(a.ID(evs[i].Observed)), a.base[c]+i)
 			}
 		}
 	}
+	sp.End()
 	a.HB = g
+}
+
+// soRec is one so1 edge in flight during the parallel build: obs is the
+// observed synchronization write (the edge's source), v the acquire
+// that contributes the edge (its scan-order position).
+type soRec struct{ obs, v int32 }
+
+// buildHBParallel builds the same Digraph as buildHBSerial with the
+// passes fanned out, reproducing the serial adjacency order exactly.
+//
+// The serial scan appends each node u's edges in ascending order of the
+// CONTRIBUTING event's id: a po edge u→u+1 is appended while scanning u
+// itself, an so1 edge u→v while scanning the acquire v. So adj[u] is
+// {u's po successor} ∪ {observing acquires v}, merge-sorted by
+// contributor id — a position every edge can compute locally:
+//
+//	so1 slot of (u, v) = rank of v among u's acquires (v-ascending)
+//	                     + 1 if u has a po edge and u < v
+//	po  slot of u      = number of u's acquires with v < u
+//
+// Three phases keep every write disjoint: source-chunk units collect
+// so1 records bucketed by the observed event's stream; per-stream
+// workers concatenate their buckets in unit order (= v-ascending),
+// count degrees (po edges and record targets both live in the owned
+// stream), and — after a serial slab carve — place every edge at its
+// computed slot. No ordering ever depends on which worker ran first.
+func (a *Analysis) buildHBParallel(reg *telemetry.Registry, workers int) {
+	ar := a.Options.Arena
+	t := a.Trace
+	n := a.NumEvents
+	if cap(ar.degOf) < n {
+		ar.degOf = make([]int32, n)
+	}
+	deg := ar.degOf[:n]
+	clear(deg)
+
+	sp := reg.StartSpan("graph.build.count")
+	// Phase 1: source chunks collect so1 records, bucketed by the
+	// observed event's stream — the slab range the edge lands in.
+	type hbUnit struct {
+		c, lo, hi int
+		recs      [][]soRec
+	}
+	var units []hbUnit
+	for c, evs := range t.PerCPU {
+		for lo := 0; lo < len(evs); lo += hbChunk {
+			hi := min(lo+hbChunk, len(evs))
+			units = append(units, hbUnit{c: c, lo: lo, hi: hi})
+		}
+	}
+	runUnits(workers, len(units), func(k int) {
+		u := &units[k]
+		u.recs = make([][]soRec, t.NumCPUs)
+		evs := t.PerCPU[u.c]
+		base := a.base[u.c]
+		for i := u.lo; i < u.hi; i++ {
+			if ev := evs[i]; a.pairs(ev) {
+				s := ev.Observed.CPU
+				u.recs[s] = append(u.recs[s], soRec{obs: int32(a.ID(ev.Observed)), v: int32(base + i)})
+			}
+		}
+	})
+
+	// Phase 2: per-stream workers concatenate their buckets in unit
+	// order — units are enumerated processor-major, so the result is
+	// ascending in v — and count degrees. Both the po targets and the
+	// record targets of stream s lie in s's slab range, so the deg
+	// writes are disjoint across workers.
+	recsBy := make([][]soRec, t.NumCPUs)
+	runUnits(workers, t.NumCPUs, func(s int) {
+		total := 0
+		for k := range units {
+			total += len(units[k].recs[s])
+		}
+		recs := make([]soRec, 0, total)
+		for k := range units {
+			recs = append(recs, units[k].recs[s]...)
+		}
+		recsBy[s] = recs
+		base, evs := a.base[s], t.PerCPU[s]
+		for i := 0; i+1 < len(evs); i++ {
+			deg[base+i]++
+		}
+		for _, r := range recs {
+			deg[r.obs]++
+		}
+	})
+	g := graph.NewPlaced(deg)
+	sp.End()
+
+	sp = reg.StartSpan("graph.build.fill")
+	// Phase 3: place each edge at the slot the serial builder would
+	// have appended it to. One v-ascending pass over a stream's records
+	// yields each record's rank (cnt) and each event's below-po acquire
+	// count (less); the po edges then land at their final slots.
+	if cap(ar.hbCnt) < n {
+		ar.hbCnt = make([]int32, n)
+		ar.hbLess = make([]int32, n)
+	}
+	runUnits(workers, t.NumCPUs, func(s int) {
+		base, evs := a.base[s], t.PerCPU[s]
+		cnt := ar.hbCnt[base : base+len(evs)]
+		less := ar.hbLess[base : base+len(evs)]
+		clear(cnt)
+		clear(less)
+		for _, r := range recsBy[s] {
+			o := int(r.obs) - base
+			slot := int(cnt[o])
+			cnt[o]++
+			if r.v < r.obs {
+				less[o]++
+			} else if o+1 < len(evs) {
+				slot++ // the po edge's contributor (u itself) precedes this acquire
+			}
+			g.Place(int(r.obs), slot, int(r.v))
+		}
+		for i := 0; i+1 < len(evs); i++ {
+			g.Place(base+i, int(less[i]), base+i+1)
+		}
+	})
+	sp.End()
+	a.HB = g
+}
+
+// runUnits fans k units out over a worker pool pulling an atomic
+// cursor; fn must only write unit-owned state. With one worker (or one
+// unit) everything runs on the calling goroutine.
+func runUnits(workers, k int, fn func(int)) {
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		for i := 0; i < k; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // access is one (event, location) access used during race detection.
@@ -554,6 +757,12 @@ type sweepShard struct {
 // small traces. The parallel and sequential paths produce identical
 // output, so the cutoff is purely a scheduling decision.
 const sweepThreshold = 2048
+
+// mergeTwoLevelCutoff is the worker count from which the sweep's merge
+// concatenates in two levels (worker partials → ⌈√W⌉ group slabs →
+// final buffer) instead of flat. Both shapes produce the identical
+// record sequence; the cutoff is purely a scheduling decision.
+const mergeTwoLevelCutoff = 4
 
 // resolveWorkers returns the analysis's worker budget: Options.Workers,
 // with 0 meaning GOMAXPROCS. Individual passes may still run
@@ -839,11 +1048,21 @@ func (a *Analysis) findRaces(reg *telemetry.Registry, fl *flight) {
 	// below, so every buffer (including the merge concatenation) returns
 	// to the arena. Concatenation offsets are exact, so the parallel copy
 	// writes disjoint ranges.
+	//
+	// From mergeTwoLevelCutoff workers up, the concat goes NUMA-style in
+	// two levels: worker partials merge into ⌈√W⌉ contiguous GROUP slabs
+	// (each group owning a worker-order run of partials), and the group
+	// slabs then concatenate into the final buffer — so neither level
+	// fans out more than ⌈√W⌉ copy tasks and per-level merge cost stops
+	// growing linearly with the worker count. Groups preserve worker
+	// order, so the concatenated sequence — and everything downstream —
+	// is byte-identical to the flat merge.
 	doneMerge := startPhase(reg, fl, "detect.sweep.merge")
 	var recs []pairRec
-	if workers == 1 {
+	switch {
+	case workers == 1:
 		recs = partials[0]
-	} else {
+	case workers < mergeTwoLevelCutoff:
 		nRecs := 0
 		for _, p := range partials {
 			nRecs += len(p)
@@ -864,6 +1083,45 @@ func (a *Analysis) findRaces(reg *telemetry.Registry, fl *flight) {
 		}
 		wg.Wait()
 		ar.recsMerge = recs
+	default:
+		groups := 1
+		for groups*groups < workers {
+			groups++
+		}
+		a.mergeGroups = groups
+		nRecs := 0
+		if cap(ar.groupOff) < groups+1 {
+			ar.groupOff = make([]int32, groups+1)
+		}
+		groupOff := ar.groupOff[:groups+1]
+		for g := 0; g < groups; g++ {
+			groupOff[g] = int32(nRecs)
+			for _, p := range partials[g*workers/groups : (g+1)*workers/groups] {
+				nRecs += len(p)
+			}
+		}
+		groupOff[groups] = int32(nRecs)
+		if cap(ar.recsMerge) < nRecs {
+			ar.recsMerge = make([]pairRec, 0, nRecs)
+		}
+		if cap(ar.recsTmp) < nRecs {
+			ar.recsTmp = make([]pairRec, 0, nRecs)
+		}
+		recs = ar.recsMerge[:nRecs]
+		slabs := ar.recsTmp[:nRecs]
+		ar.recsMerge, ar.recsTmp = recs, slabs
+		// Level 1: each group concatenates its partials into its slab.
+		runUnits(groups, groups, func(g int) {
+			off := int(groupOff[g])
+			for _, p := range partials[g*workers/groups : (g+1)*workers/groups] {
+				copy(slabs[off:off+len(p)], p)
+				off += len(p)
+			}
+		})
+		// Level 2: the group slabs concatenate into the final buffer.
+		runUnits(groups, groups, func(g int) {
+			copy(recs[groupOff[g]:groupOff[g+1]], slabs[groupOff[g]:groupOff[g+1]])
+		})
 	}
 	recs = sortRecsByKey(recs, ar, workers)
 	doneMerge()
@@ -1320,7 +1578,18 @@ func (a *Analysis) augReaches(u, v int) bool {
 
 // partition groups the data races by the SCCs of G′ and computes the first
 // partitions under the partial order P of Definition 4.1.
-func (a *Analysis) partition() {
+//
+// The ordering runs in two phases. detect.condreach.materialize
+// pre-builds the condensation reachability rows of every partition
+// component that can be a non-trivial query source (all but the
+// minimum id — reverse-topological numbering answers the minimum's
+// queries without a row), with CondReach's CAS-publishing worker pool.
+// detect.condreach.order then evaluates the O(k²) "does any other
+// partition reach p" loop with partitions fanned out over the worker
+// budget: every query is a lock-free row load, each worker writes only
+// its own partition's First flag, and the flags are pure functions of
+// G′ — identical for every worker count and schedule.
+func (a *Analysis) partition(reg *telemetry.Registry, fl *flight) {
 	scc := a.AugSCC
 	byComp := map[int]*Partition{}
 	for _, ri := range a.DataRaces {
@@ -1354,8 +1623,34 @@ func (a *Analysis) partition() {
 	}
 	sort.Slice(parts, func(i, j int) bool { return parts[i].Events[0] < parts[j].Events[0] })
 
+	workers := a.resolveWorkers()
+	if reg.Enabled() && len(parts) > 0 {
+		reg.Gauge("detect.condreach.workers").SetMax(int64(workers))
+	}
+	// Both phases fire regardless of worker count or partition count, so
+	// flight recordings stay byte-identical across worker counts.
+	done := startPhase(reg, fl, "detect.condreach.materialize")
+	if a.augCond != nil && len(parts) > 1 {
+		minComp := parts[0].Component
+		for _, p := range parts[1:] {
+			if p.Component < minComp {
+				minComp = p.Component
+			}
+		}
+		comps := make([]int, 0, len(parts)-1)
+		for _, p := range parts {
+			if p.Component != minComp {
+				comps = append(comps, p.Component)
+			}
+		}
+		a.augCond.MaterializeRows(comps, workers)
+	}
+	done()
+
 	// A partition is first iff no OTHER data-race partition reaches it.
-	for i, p := range parts {
+	done = startPhase(reg, fl, "detect.condreach.order")
+	runUnits(workers, len(parts), func(i int) {
+		p := parts[i]
 		p.First = true
 		for j, q := range parts {
 			if i == j {
@@ -1366,7 +1661,8 @@ func (a *Analysis) partition() {
 				break
 			}
 		}
-	}
+	})
+	done()
 	a.Partitions = make([]Partition, len(parts))
 	for i, p := range parts {
 		a.Partitions[i] = *p

@@ -144,7 +144,7 @@ func TestParallelAnalysisCorpusEquivalent(t *testing.T) {
 		}
 
 		ref := run(1)
-		for _, workers := range []int{2, 3, 8} {
+		for _, workers := range []int{2, 3, 8, 16} {
 			got := run(workers)
 			if !reflect.DeepEqual(got.a.Races, ref.a.Races) ||
 				!reflect.DeepEqual(got.a.DataRaces, ref.a.DataRaces) ||

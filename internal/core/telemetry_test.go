@@ -91,6 +91,20 @@ func TestAnalyzeEmitsTelemetry(t *testing.T) {
 	if snap.Gauges["detect.find_races.workers"] < 1 {
 		t.Errorf("detect.find_races.workers = %d, want >= 1", snap.Gauges["detect.find_races.workers"])
 	}
+	// PR-10 parallel-analysis instrumentation: every phase of the pipeline
+	// now reports its resolved worker budget, even when a small input kept
+	// it on the serial path (the budget is a scheduling fact either way).
+	for _, name := range []string{"trace.validate.workers", "graph.build.workers", "detect.condreach.workers"} {
+		if snap.Gauges[name] < 1 {
+			t.Errorf("gauge %q = %d, want >= 1", name, snap.Gauges[name])
+		}
+	}
+	// The two-level merge only engages at Workers >= 4 with the sharded
+	// sweep; on this small trace the gauge must be ABSENT, not zero, so a
+	// flight log can distinguish "flat merge ran" from "no merge at all".
+	if v, ok := snap.Gauges["detect.sweep.merge_groups"]; ok {
+		t.Errorf("detect.sweep.merge_groups = %d present on a flat-merge trace, want absent", v)
+	}
 	// PR-8 parallel-analysis instrumentation: the timestamp layer's span
 	// statistics and the sweep's per-shard arena high-water marks.
 	if snap.Gauges["graph.ts.span_max_events"] < 1 {
@@ -100,7 +114,9 @@ func TestAnalyzeEmitsTelemetry(t *testing.T) {
 		t.Errorf("detect.arena.shards = %d, want >= 1", snap.Gauges["detect.arena.shards"])
 	}
 	for _, phase := range []string{"sim.run", "trace.build", "detect.analyze", "detect.find_races",
-		"detect.sweep.prep", "detect.sweep.scan", "detect.sweep.merge", "detect.sweep.coalesce"} {
+		"detect.sweep.prep", "detect.sweep.scan", "detect.sweep.merge", "detect.sweep.coalesce",
+		"trace.validate.streams", "trace.validate.so1", "graph.build.count", "graph.build.fill",
+		"detect.condreach.materialize", "detect.condreach.order"} {
 		if snap.Phases[phase].Count == 0 {
 			t.Errorf("phase %q has no observations", phase)
 		}

@@ -73,6 +73,38 @@ func NewWithDegrees(deg []int32) *Digraph {
 	return &Digraph{adj: adj}
 }
 
+// NewPlaced returns a digraph with len(deg) nodes whose adjacency
+// lists are carved at FULL length deg[u] out of one edge slab, for
+// callers that compute every edge's final slot up front and write them
+// with Place. It produces the same slab layout as NewWithDegrees; a
+// builder that places edge u→v at the slot AddEdge would have appended
+// it to yields a byte-identical adjacency structure — the detector's
+// parallel hb1 fill relies on exactly this. The edge count assumes
+// every slot is placed.
+func NewPlaced(deg []int32) *Digraph {
+	total := 0
+	for _, d := range deg {
+		total += int(d)
+	}
+	slab := make([]int, total)
+	adj := make([][]int, len(deg))
+	off := 0
+	for u, d := range deg {
+		end := off + int(d)
+		adj[u] = slab[off:end:end]
+		off = end
+	}
+	return &Digraph{adj: adj, nEdg: total}
+}
+
+// Place writes v into slot k of node u's pre-sized adjacency list (see
+// NewPlaced). Concurrent Place calls are safe whenever their (u, k)
+// slots are disjoint — the slab-disjointness discipline of the parallel
+// graph fill.
+func (g *Digraph) Place(u, k, v int) {
+	g.adj[u][k] = v
+}
+
 // N returns the number of nodes.
 func (g *Digraph) N() int { return len(g.adj) }
 
@@ -460,7 +492,6 @@ type CondReach struct {
 	scc  *SCC
 	dag  *Digraph
 	rows []atomic.Pointer[bitset.Set]
-	mu   sync.Mutex // serializes DFS materialization
 }
 
 // NewCondReach wraps a condensation DAG (components numbered in reverse
@@ -494,15 +525,57 @@ func (r *CondReach) Reaches(u, v int) bool {
 	return r.ComponentReaches(r.scc.Comp[u], r.scc.Comp[v])
 }
 
-// materialize runs one DFS from c, reusing any descendant rows already
-// built, and publishes the descendant set with an atomic store so
-// concurrent queries on built rows never take the mutex.
-func (r *CondReach) materialize(c int) *bitset.Set {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if row := r.rows[c].Load(); row != nil {
-		return row // lost the race to another materializer
+// MaterializeRows pre-builds the descendant rows of the given source
+// components with a pool of workers pulling an atomic cursor, so a
+// caller about to issue a batch of queries — the partition ordering's
+// O(k²) loop — pays the DFS cost up front, in parallel, and every
+// query afterwards is one lock-free load. Each row's content is a pure
+// function of the DAG, so the result is identical for every worker
+// count; concurrent materializers racing down a shared subtree may
+// duplicate work, which compare-and-swap publication discards.
+func (r *CondReach) MaterializeRows(comps []int, workers int) {
+	build := func(c int) {
+		if r.rows[c].Load() == nil {
+			r.materialize(c)
+		}
 	}
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	if workers <= 1 {
+		for _, c := range comps {
+			build(c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(comps) {
+					return
+				}
+				build(comps[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// materialize runs one DFS from c, reusing any descendant rows already
+// built, and publishes the descendant set by compare-and-swap — the
+// lazy-closure publication discipline: a row is stored only once fully
+// built, its content is a pure function of the DAG (the unique
+// descendant set of c), and every query after publication is one atomic
+// load. Concurrent materializers may duplicate a DFS; whichever row
+// publishes first wins and the duplicates are discarded, so no lock
+// ever serializes the workers and the published rows are identical for
+// any schedule.
+func (r *CondReach) materialize(c int) *bitset.Set {
 	row := bitset.New(r.dag.N())
 	row.Add(c)
 	stack := []int{c}
@@ -521,7 +594,9 @@ func (r *CondReach) materialize(c int) *bitset.Set {
 			stack = append(stack, v)
 		}
 	}
-	r.rows[c].Store(row)
+	if !r.rows[c].CompareAndSwap(nil, row) {
+		return r.rows[c].Load() // lost the publication race; reuse the winner
+	}
 	if reg := telemetry.Default(); reg.Enabled() {
 		reg.Counter("graph.condreach.rows_built").Inc()
 	}

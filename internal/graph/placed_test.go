@@ -1,0 +1,67 @@
+package graph
+
+// Equivalence of the indexed-placement builder with the append builder:
+// a NewPlaced graph whose edges are Placed at the slots AddEdge would
+// have appended them to must be indistinguishable from the
+// NewWithDegrees graph — same N/M, same successor lists in the same
+// order — regardless of how the Place calls are distributed over
+// goroutines. Run under -race in CI to catch any overlap in the slab
+// writes.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestPlacedFillWorkerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 3000
+	// Random edge list in insertion order; slot of an edge = how many
+	// earlier edges share its source.
+	type edge struct{ u, v, slot int }
+	var edges []edge
+	deg := make([]int32, n)
+	for i := 0; i < 20000; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		edges = append(edges, edge{u, v, int(deg[u])})
+		deg[u]++
+	}
+
+	want := NewWithDegrees(deg)
+	for _, e := range edges {
+		want.AddEdge(e.u, e.v)
+	}
+
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		got := NewPlaced(deg)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := len(edges) * w / workers
+			hi := len(edges) * (w + 1) / workers
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, e := range edges[lo:hi] {
+					got.Place(e.u, e.slot, e.v)
+				}
+			}()
+		}
+		wg.Wait()
+
+		if got.N() != want.N() || got.M() != want.M() {
+			t.Fatalf("workers=%d: N/M = %d/%d, want %d/%d", workers, got.N(), got.M(), want.N(), want.M())
+		}
+		for u := 0; u < n; u++ {
+			gs, ws := got.Succ(u), want.Succ(u)
+			if len(gs) != len(ws) {
+				t.Fatalf("workers=%d: node %d: %d successors, want %d", workers, u, len(gs), len(ws))
+			}
+			for k := range ws {
+				if gs[k] != ws[k] {
+					t.Fatalf("workers=%d: node %d slot %d: %d, want %d", workers, u, k, gs[k], ws[k])
+				}
+			}
+		}
+	}
+}

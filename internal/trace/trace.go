@@ -371,87 +371,3 @@ func FromExecutionInto(e *sim.Execution, ar *Arena) *Trace {
 	}
 	return t
 }
-
-// Validate checks structural invariants of a trace (typically after
-// decoding): event fields match their kind, references resolve, observed
-// events are synchronization writes on the same location, and per-location
-// synchronization sequence numbers are unique and dense.
-func (t *Trace) Validate() error {
-	if t.NumCPUs != len(t.PerCPU) {
-		return fmt.Errorf("trace: NumCPUs=%d but %d streams", t.NumCPUs, len(t.PerCPU))
-	}
-	syncSeqs := map[program.Addr]map[int]bool{}
-	for c, evs := range t.PerCPU {
-		for i, ev := range evs {
-			where := fmt.Sprintf("trace: event P%d.%d", c+1, i)
-			switch ev.Kind {
-			case Comp:
-				if ev.Reads == nil || ev.Writes == nil {
-					return fmt.Errorf("%s: computation event with nil access sets", where)
-				}
-				if ev.Reads.Empty() && ev.Writes.Empty() {
-					return fmt.Errorf("%s: empty computation event", where)
-				}
-				check := func(set *bitset.Set) error {
-					var err error
-					set.Range(func(v int) bool {
-						if v >= t.NumLocations {
-							err = fmt.Errorf("%s: location %d out of range [0,%d)", where, v, t.NumLocations)
-							return false
-						}
-						return true
-					})
-					return err
-				}
-				if err := check(ev.Reads); err != nil {
-					return err
-				}
-				if err := check(ev.Writes); err != nil {
-					return err
-				}
-			case Sync:
-				if !ev.Role.IsSync() {
-					return fmt.Errorf("%s: sync event with role %v", where, ev.Role)
-				}
-				if ev.Loc < 0 || int(ev.Loc) >= t.NumLocations {
-					return fmt.Errorf("%s: sync location %d out of range", where, ev.Loc)
-				}
-				if syncSeqs[ev.Loc] == nil {
-					syncSeqs[ev.Loc] = map[int]bool{}
-				}
-				if ev.SyncSeq < 0 {
-					return fmt.Errorf("%s: negative SyncSeq", where)
-				}
-				if syncSeqs[ev.Loc][ev.SyncSeq] {
-					return fmt.Errorf("%s: duplicate SyncSeq %d for location %d", where, ev.SyncSeq, ev.Loc)
-				}
-				syncSeqs[ev.Loc][ev.SyncSeq] = true
-				if ev.Observed.Valid() {
-					obs := t.Event(ev.Observed)
-					if obs == nil {
-						return fmt.Errorf("%s: dangling pairing reference %s", where, ev.Observed)
-					}
-					if !obs.IsWriteSync() {
-						return fmt.Errorf("%s: paired event %s is not a synchronization write", where, ev.Observed)
-					}
-					if obs.Loc != ev.Loc {
-						return fmt.Errorf("%s: paired event %s is on location %d, want %d", where, ev.Observed, obs.Loc, ev.Loc)
-					}
-					if ev.Role != memmodel.RoleAcquire {
-						return fmt.Errorf("%s: non-acquire event carries a pairing", where)
-					}
-				}
-			default:
-				return fmt.Errorf("%s: unknown kind %d", where, ev.Kind)
-			}
-		}
-	}
-	for loc, seqs := range syncSeqs {
-		for i := 0; i < len(seqs); i++ {
-			if !seqs[i] {
-				return fmt.Errorf("trace: location %d: SyncSeq %d missing (%d sync events)", loc, i, len(seqs))
-			}
-		}
-	}
-	return nil
-}
